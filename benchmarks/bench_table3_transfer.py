@@ -1,0 +1,65 @@
+"""Table III — transfer learning versus from-scratch training on Chip 1.
+
+For FNO, U-FNO and SAU-FNO, compares training on high-fidelity data from
+scratch against pre-training on low-fidelity data plus fine-tuning, and
+prints the Table III metric rows with wall-clock costs.  The pytest-benchmark
+timing wraps one fine-tuning epoch, the incremental unit of the second stage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.generation import DatasetSpec
+from repro.evaluation import format_table
+from repro.evaluation.table3 import run_table3, summarize_transfer
+from repro.operators import build_operator
+from repro.training import Trainer, TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def table3_rows(scale, dataset_cache):
+    return run_table3(scale=scale, cache=dataset_cache, verbose=True)
+
+
+def test_table3_transfer_learning(benchmark, table3_rows, scale):
+    print()
+    print(format_table(table3_rows, title=f"Table III (scale='{scale.name}', chip1)"))
+    benchmark.pedantic(lambda: format_table(table3_rows), rounds=1, iterations=1)
+    summary = summarize_transfer(table3_rows)
+    print(f"transfer/from-scratch RMSE ratios: {summary}")
+    for row in table3_rows:
+        assert np.isfinite(float(row["RMSE"])) and float(row["RMSE"]) > 0
+    # Both training routes must exist for every method.
+    methods = {row["Method"] for row in table3_rows}
+    for method in methods:
+        flags = {row["Transfer"] for row in table3_rows if row["Method"] == method}
+        assert flags == {"-", "yes"}
+
+
+def test_finetune_epoch_cost(benchmark, scale, dataset_cache):
+    """Benchmark one fine-tuning epoch on the high-fidelity dataset."""
+    spec = DatasetSpec(
+        chip_name="chip1",
+        resolution=scale.transfer_high_resolution,
+        num_samples=scale.transfer_num_high,
+        seed=scale.seed + 1,
+    )
+    dataset = dataset_cache.get(spec)
+    model = build_operator(
+        "sau_fno",
+        dataset.num_input_channels,
+        dataset.num_output_channels,
+        scale.model.as_dict(),
+        np.random.default_rng(scale.seed),
+    )
+    trainer = Trainer(
+        model,
+        TrainingConfig(epochs=1, batch_size=scale.batch_size, learning_rate=scale.learning_rate * 0.1),
+    )
+
+    def one_epoch():
+        trainer.fit(dataset)
+        return trainer.history.train_loss[-1]
+
+    loss = benchmark.pedantic(one_epoch, rounds=1, iterations=1)
+    assert np.isfinite(loss)

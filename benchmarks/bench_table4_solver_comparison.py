@@ -1,0 +1,57 @@
+"""Table IV — COMSOL / MTA / HotSpot / SAU-FNO temperature and runtime comparison.
+
+Regenerates both halves of the paper's solver study on all three chips: the
+maximum/minimum temperature agreement between the reference solver, the
+standard-mesh solver, the compact HotSpot model and the trained SAU-FNO
+surrogate, and the per-case runtime / speedup numbers of Section IV-D.  The
+pytest-benchmark timing wraps a single standard-mesh FVM solve (the unit of
+cost the operator amortises).
+"""
+
+import numpy as np
+import pytest
+
+from repro.chip.designs import get_chip
+from repro.data.power import PowerSampler
+from repro.evaluation import format_table
+from repro.evaluation.table4 import run_table4
+from repro.solvers.fvm import FVMSolver
+
+
+@pytest.fixture(scope="module")
+def table4(scale, dataset_cache):
+    return run_table4(scale=scale, cache=dataset_cache, verbose=True)
+
+
+def test_table4_solver_comparison(benchmark, table4, scale):
+    rows, timing_rows = table4["rows"], table4["timing_rows"]
+    benchmark.pedantic(lambda: format_table(rows), rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title=f"Table IV (scale='{scale.name}')"))
+    print()
+    print(format_table(timing_rows, title="Per-case runtime and speedups (Section IV-D)"))
+
+    for row in rows:
+        for solver_name in ("COMSOL", "MTA", "Hotspot", "Ours"):
+            value = float(row[solver_name])
+            assert 250.0 < value < 600.0, f"unphysical temperature {value} for {solver_name}"
+    # The two FVM fidelities (COMSOL/MTA roles) must agree closely, as in the paper.
+    for row in rows:
+        assert abs(float(row["COMSOL"]) - float(row["MTA"])) < 5.0
+    # The trained operator must be faster per case than the fine-mesh reference
+    # solver (the COMSOL role).  At the tiny CPU scale the standard-mesh solver
+    # can be nearly as cheap as one operator inference, so the MTA-role speedup
+    # is reported but not asserted; see EXPERIMENTS.md for the discussion.
+    for row in timing_rows:
+        assert float(row["Speedup vs COMSOL"]) > 1.0
+        assert float(row["Speedup vs MTA"]) > 0.2
+
+
+def test_fvm_solve_cost(benchmark, scale):
+    """Benchmark one standard-mesh FVM solve on chip1 (the cost SAU-FNO amortises)."""
+    chip = get_chip("chip1")
+    sampler = PowerSampler(chip)
+    case = sampler.sample(np.random.default_rng(scale.seed))
+    solver = FVMSolver(chip, nx=scale.table4_standard_resolution, cells_per_layer=2)
+    field = benchmark(lambda: solver.solve(case.assignment))
+    assert field.max_K > chip.cooling.ambient_K

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at the scale
+selected by ``REPRO_BENCH_SCALE`` (default ``tiny``; see
+``repro.evaluation.config``).  Generated datasets are cached on disk under
+``.cache/repro_datasets`` so benches that share a dataset only pay the FVM
+solver cost once per scale/seed combination.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data.cache import DatasetCache
+from repro.evaluation.config import scale_from_env
+
+
+def pytest_configure(config):
+    scale = scale_from_env()
+    print(f"\n[repro benchmarks] experiment scale: '{scale.name}' "
+          f"(set REPRO_BENCH_SCALE=tiny|small|paper to change)")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale shared by every benchmark."""
+    return scale_from_env()
+
+
+@pytest.fixture(scope="session")
+def dataset_cache(tmp_path_factory):
+    """On-disk dataset cache shared across the benchmark session."""
+    directory = os.environ.get("REPRO_DATASET_CACHE")
+    if directory is None:
+        directory = os.path.join(".cache", "repro_datasets")
+    return DatasetCache(directory)

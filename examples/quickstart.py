@@ -1,0 +1,92 @@
+"""Quickstart: train SAU-FNO as a thermal surrogate for a 3D-IC.
+
+This example walks the full pipeline on a small configuration:
+
+1. build the single-core benchmark chip (Chip 1 of the paper),
+2. generate training data by solving the steady heat-conduction PDE with the
+   in-repo finite-volume solver for random power maps,
+3. train the SAU-FNO operator on (power map -> temperature field) pairs,
+4. evaluate it in physical units and compare one prediction against the
+   solver field it is meant to replace.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.chip import get_chip
+from repro.data import DatasetSpec, PowerSampler, generate_dataset
+from repro.evaluation import format_table
+from repro.metrics import evaluate_all, speedup
+from repro.operators import SAUFNO2d
+from repro.solvers import FVMSolver
+from repro.training import Trainer, TrainingConfig
+
+
+def main() -> None:
+    resolution = 24
+    chip = get_chip("chip1")
+    print(chip.summary())
+    print()
+
+    # ------------------------------------------------------------------
+    # 1. Generate a dataset with the FVM solver (the paper uses MTA here).
+    # ------------------------------------------------------------------
+    print("Generating training data with the finite-volume solver ...")
+    spec = DatasetSpec(chip_name="chip1", resolution=resolution, num_samples=48, seed=0)
+    dataset = generate_dataset(spec, verbose=True)
+    split = dataset.split(train_fraction=0.8, rng=np.random.default_rng(0))
+    print(f"dataset: {len(split.train)} train / {len(split.test)} test cases "
+          f"at {resolution}x{resolution}\n")
+
+    # ------------------------------------------------------------------
+    # 2. Build and train SAU-FNO.
+    # ------------------------------------------------------------------
+    model = SAUFNO2d(
+        in_channels=dataset.num_input_channels,
+        out_channels=dataset.num_output_channels,
+        width=16,
+        modes1=8,
+        modes2=8,
+        num_fourier_layers=1,
+        num_ufourier_layers=1,
+        unet_base_channels=8,
+        unet_levels=2,
+        attention_dim=16,
+    )
+    print(f"SAU-FNO with {model.num_parameters()} parameters")
+    trainer = Trainer(model, TrainingConfig(epochs=15, batch_size=4, learning_rate=2e-3))
+    history = trainer.fit(split.train)
+    print(f"trained for {history.epochs_run} epochs "
+          f"({history.total_seconds:.1f}s, final loss {history.train_loss[-1]:.4f})\n")
+
+    # ------------------------------------------------------------------
+    # 3. Evaluate in kelvin on held-out power maps.
+    # ------------------------------------------------------------------
+    report = trainer.evaluate(split.test)
+    print(format_table([{"Model": "SAU-FNO", **{k: round(v, 3) for k, v in report.as_dict().items()}}],
+                       title="Held-out accuracy (kelvin / percent)"))
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. Compare one prediction against a fresh solver run.
+    # ------------------------------------------------------------------
+    sampler = PowerSampler(chip)
+    case = sampler.sample(np.random.default_rng(42))
+    solver = FVMSolver(chip, nx=resolution)
+    field = solver.solve(case.assignment)
+    prediction = trainer.predict(sampler.rasterize(case, resolution)[None])[0]
+
+    operator_seconds = trainer.inference_seconds_per_case(split.test, repeats=1)
+    print(f"unseen case with total power {case.total_W:.1f} W:")
+    print(f"  solver junction temperature    : {field.max_K:.2f} K "
+          f"({field.solve_seconds:.3f} s per solve)")
+    print(f"  SAU-FNO junction temperature   : {prediction.max():.2f} K "
+          f"({operator_seconds:.4f} s per prediction)")
+    print(f"  speedup over the PDE solver    : {speedup(field.solve_seconds, operator_seconds):.0f}x")
+    case_metrics = evaluate_all(prediction[None], field.power_layer_maps()[None])
+    print(f"  per-case RMSE                  : {case_metrics.rmse:.3f} K")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""SAU-FNO: Self-Attention U-Net Fourier Neural Operator for 3D-IC thermal simulation.
+
+A from-scratch reproduction of the DAC 2025 paper "Self-Attention to Operator
+Learning-based 3D-IC Thermal Simulation", including every substrate the paper
+depends on: a NumPy autodiff engine and neural-network library, steady-state
+finite-volume and compact (HotSpot-style) thermal solvers, the three 3D-IC
+benchmark chips, the SAU-FNO model and its baselines (FNO, U-FNO, DeepOHeat,
+GAR), multi-fidelity transfer learning, and the experiment harness that
+regenerates every table and figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from repro import autodiff, nn, optim
+
+__all__ = ["autodiff", "nn", "optim", "__version__"]

@@ -1,0 +1,152 @@
+"""Composite differentiable functions built from Tensor primitives.
+
+These are the activation functions, normalisations and loss functions used by
+the neural-operator models.  Everything here is expressed in terms of the
+primitive operations of :class:`repro.autodiff.Tensor`, so gradients come for
+free from the tape.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+_SQRT_2 = math.sqrt(2.0)
+_SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return Tensor.ensure(x).relu()
+
+
+def gelu(x: Tensor, approximate: bool = False) -> Tensor:
+    """Gaussian Error Linear Unit, the activation used by every FNO layer.
+
+    Parameters
+    ----------
+    x:
+        Input tensor.
+    approximate:
+        If True, use the tanh approximation; otherwise use the exact
+        erf-based definition ``0.5 * x * (1 + erf(x / sqrt(2)))``.
+    """
+    x = Tensor.ensure(x)
+    if approximate:
+        inner = _SQRT_2_OVER_PI * (x + 0.044715 * x ** 3)
+        return 0.5 * x * (1.0 + inner.tanh())
+    return 0.5 * x * (1.0 + (x / _SQRT_2).erf())
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return Tensor.ensure(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return Tensor.ensure(x).tanh()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky rectified linear unit."""
+    x = Tensor.ensure(x)
+    return x.maximum(0.0) + negative_slope * (-((-x).maximum(0.0)))
+
+
+def softplus(x: Tensor) -> Tensor:
+    """Numerically-stable softplus ``log(1 + exp(x))``."""
+    x = Tensor.ensure(x)
+    return x.maximum(0.0) + (1.0 + (-x.abs()).exp()).log()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` with the usual max-subtraction stabilisation."""
+    x = Tensor.ensure(x)
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Logarithm of the softmax along ``axis``."""
+    x = Tensor.ensure(x)
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def layer_norm(
+    x: Tensor,
+    normalized_axes: Sequence[int],
+    weight: Optional[Tensor] = None,
+    bias: Optional[Tensor] = None,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Layer normalisation over ``normalized_axes``."""
+    x = Tensor.ensure(x)
+    axes = tuple(normalized_axes)
+    mean = x.mean(axis=axes, keepdims=True)
+    var = x.var(axis=axes, keepdims=True)
+    normalized = (x - mean) / (var + eps).sqrt()
+    if weight is not None:
+        normalized = normalized * weight
+    if bias is not None:
+        normalized = normalized + bias
+    return normalized
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error, the L2 loss used for both training stages (Eq. 12)."""
+    prediction = Tensor.ensure(prediction)
+    target = Tensor.ensure(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def l1_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error."""
+    prediction = Tensor.ensure(prediction)
+    target = Tensor.ensure(target)
+    return (prediction - target).abs().mean()
+
+
+def relative_l2_loss(prediction: Tensor, target: Tensor, eps: float = 1e-12) -> Tensor:
+    """Relative L2 loss commonly used for neural-operator training.
+
+    Computed per sample as ``||pred - target||_2 / ||target||_2`` and averaged
+    over the batch.
+    """
+    prediction = Tensor.ensure(prediction)
+    target = Tensor.ensure(target)
+    batch = prediction.shape[0]
+    diff = (prediction - target).reshape(batch, -1)
+    ref = target.reshape(batch, -1)
+    num = (diff * diff).sum(axis=1).sqrt()
+    den = (ref * ref).sum(axis=1).sqrt() + eps
+    return (num / den).mean()
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic near zero, linear in the tails."""
+    prediction = Tensor.ensure(prediction)
+    target = Tensor.ensure(target)
+    diff = (prediction - target).abs()
+    quadratic = diff.clip(0.0, delta)
+    linear = diff - quadratic
+    return (0.5 * quadratic * quadratic + delta * linear).mean()
+
+
+def dropout(x: Tensor, p: float = 0.5, training: bool = True, rng=None) -> Tensor:
+    """Inverted dropout.  At evaluation time this is the identity."""
+    if not training or p <= 0.0:
+        return Tensor.ensure(x)
+    if not 0.0 <= p < 1.0:
+        raise ValueError("dropout probability must be in [0, 1)")
+    x = Tensor.ensure(x)
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    return x * Tensor(mask)

@@ -1,0 +1,48 @@
+"""3D-IC chip description: materials, floorplans, layer stacks and designs.
+
+This subpackage encodes the geometric and thermal structure of the three
+benchmark chips used in the paper (Table I and Fig. 3): a single-core
+two-layer processor, a quad-core three-layer processor and an octa-core
+two-layer processor, all modelled after the Alpha 21264 (EV6)
+microarchitecture, stacked face-to-back with TSVs, TIM, a copper heat
+spreader and a finned heat sink.
+"""
+
+from repro.chip.materials import Material, MaterialLibrary, SILICON, TIM, COPPER, tsv_effective_material
+from repro.chip.floorplan import FloorplanBlock, Floorplan
+from repro.chip.layers import Layer, TSVArray
+from repro.chip.cooling import CoolingSpec, HeatSpreader, HeatSink
+from repro.chip.stack import ChipStack
+from repro.chip.designs import (
+    build_chip1,
+    build_chip2,
+    build_chip3,
+    get_chip,
+    list_chips,
+    alpha21264_floorplan,
+    CHIP_BUILDERS,
+)
+
+__all__ = [
+    "Material",
+    "MaterialLibrary",
+    "SILICON",
+    "TIM",
+    "COPPER",
+    "tsv_effective_material",
+    "FloorplanBlock",
+    "Floorplan",
+    "Layer",
+    "TSVArray",
+    "CoolingSpec",
+    "HeatSpreader",
+    "HeatSink",
+    "ChipStack",
+    "build_chip1",
+    "build_chip2",
+    "build_chip3",
+    "get_chip",
+    "list_chips",
+    "alpha21264_floorplan",
+    "CHIP_BUILDERS",
+]

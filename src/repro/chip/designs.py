@@ -1,0 +1,283 @@
+"""The three 3D-IC designs evaluated in the paper (Table I, Fig. 3).
+
+All three chips use the Alpha 21264 (EV6) microprocessor as the core
+architecture and share the same face-to-back stacking: package side at the
+bottom, then the L2-cache layer(s), the core layer, the TIM, and the heat
+spreader / heat sink assembly on top.  The floorplan block shapes are taken
+from Fig. 3 of the paper (drawn there without TSVs, which we fold into the
+layer conductivity).
+
+* **Chip 1** — single-core, two device layers: one layer with the core, two
+  L1 caches and one L2 cache; the other with three L2 caches.
+* **Chip 2** — quad-core, three device layers: the layer closest to the heat
+  sink holds the four cores; the other two identical layers hold two L2
+  caches each.
+* **Chip 3** — octa-core, two device layers: the upper layer holds eight
+  cores (with their L1 caches) and a crossbar; the lower layer four L2
+  caches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.chip.cooling import CoolingSpec, HeatSink, HeatSpreader
+from repro.chip.floorplan import Floorplan, FloorplanBlock
+from repro.chip.layers import Layer, TSVArray
+from repro.chip.materials import SILICON, TIM
+from repro.chip.stack import ChipStack
+
+_DEFAULT_TSV = TSVArray(diameter_mm=0.01, pitch_mm=0.01)
+
+
+def _default_cooling() -> CoolingSpec:
+    """The common spreader + sink assembly of Table I."""
+    return CoolingSpec(
+        spreader=HeatSpreader(width_mm=30.0, height_mm=30.0, thickness_mm=1.0),
+        sink=HeatSink(
+            base_width_mm=60.0,
+            base_height_mm=60.0,
+            base_thickness_mm=6.9,
+            fin_count=21,
+            fin_thickness_mm=1.0,
+            fin_length_mm=60.0,
+            fin_height_mm=50.0,
+        ),
+        ambient_K=298.15,
+    )
+
+
+# ----------------------------------------------------------------------
+# Alpha 21264 (EV6) floorplan
+# ----------------------------------------------------------------------
+def alpha21264_floorplan(width_mm: float = 16.0, height_mm: float = 16.0) -> Floorplan:
+    """The classic EV6 functional-unit floorplan, scaled to ``width`` x ``height``.
+
+    Block positions follow the HotSpot ``ev6.flp`` reference floorplan
+    (normalised and rescaled), providing a finer-grained power model of a
+    single Alpha 21264 core for the detailed-core example.
+    """
+    # (name, x, y, w, h) in fractions of the die.
+    fractional = [
+        ("L2_left", 0.000, 0.000, 0.245, 0.595),
+        ("L2", 0.245, 0.000, 0.510, 0.305),
+        ("L2_right", 0.755, 0.000, 0.245, 0.595),
+        ("Icache", 0.245, 0.305, 0.255, 0.290),
+        ("Dcache", 0.500, 0.305, 0.255, 0.290),
+        ("Bpred", 0.000, 0.595, 0.160, 0.095),
+        ("DTB", 0.160, 0.595, 0.255, 0.095),
+        ("FPAdd", 0.415, 0.595, 0.180, 0.095),
+        ("FPReg", 0.595, 0.595, 0.120, 0.095),
+        ("FPMul", 0.715, 0.595, 0.285, 0.095),
+        ("FPMap", 0.000, 0.690, 0.180, 0.070),
+        ("IntMap", 0.180, 0.690, 0.200, 0.070),
+        ("IntQ", 0.380, 0.690, 0.300, 0.070),
+        ("IntReg", 0.680, 0.690, 0.320, 0.070),
+        ("IntExec", 0.000, 0.760, 0.450, 0.240),
+        ("FPQ", 0.450, 0.760, 0.150, 0.240),
+        ("LdStQ", 0.600, 0.760, 0.250, 0.120),
+        ("ITB", 0.850, 0.760, 0.150, 0.120),
+        ("IssueLogic", 0.600, 0.880, 0.400, 0.120),
+    ]
+    blocks = [
+        FloorplanBlock(name, x * width_mm, y * height_mm, w * width_mm, h * height_mm)
+        for name, x, y, w, h in fractional
+    ]
+    return Floorplan(width_mm, height_mm, blocks, name="alpha21264", require_full_coverage=True)
+
+
+# ----------------------------------------------------------------------
+# Chip 1 — single-core, two device layers, 16 x 16 x 0.15 mm layers
+# ----------------------------------------------------------------------
+def _chip1_core_floorplan(width: float, height: float) -> Floorplan:
+    """Core & L1 / L2 cache layer of Chip 1 (Fig. 3, left)."""
+    blocks = [
+        FloorplanBlock("Core", 0.00 * width, 0.375 * height, 0.65 * width, 0.625 * height),
+        FloorplanBlock("L1_1", 0.65 * width, 0.6875 * height, 0.35 * width, 0.3125 * height),
+        FloorplanBlock("L1_2", 0.65 * width, 0.375 * height, 0.35 * width, 0.3125 * height),
+        FloorplanBlock("L2", 0.00 * width, 0.00 * height, 1.00 * width, 0.375 * height),
+    ]
+    return Floorplan(width, height, blocks, name="chip1_core_layer", require_full_coverage=True)
+
+
+def _chip1_cache_floorplan(width: float, height: float) -> Floorplan:
+    """Three-L2-cache layer of Chip 1 (Fig. 3, left)."""
+    blocks = [
+        FloorplanBlock("L2_1", 0.0 * width, 0.5 * height, 1.0 * width, 0.5 * height),
+        FloorplanBlock("L2_2", 0.0 * width, 0.0 * height, 0.5 * width, 0.5 * height),
+        FloorplanBlock("L2_3", 0.5 * width, 0.0 * height, 0.5 * width, 0.5 * height),
+    ]
+    return Floorplan(width, height, blocks, name="chip1_cache_layer", require_full_coverage=True)
+
+
+def build_chip1() -> ChipStack:
+    """Single-core two-device-layer chip (Table I, column "Single-Core")."""
+    width = height = 16.0
+    return ChipStack(
+        name="chip1",
+        die_width_mm=width,
+        die_height_mm=height,
+        layers=[
+            Layer(
+                "l2_cache_layer",
+                thickness_mm=0.15,
+                material=SILICON,
+                floorplan=_chip1_cache_floorplan(width, height),
+                is_power_layer=True,
+                tsv_array=_DEFAULT_TSV,
+            ),
+            Layer(
+                "core_layer",
+                thickness_mm=0.15,
+                material=SILICON,
+                floorplan=_chip1_core_floorplan(width, height),
+                is_power_layer=True,
+                tsv_array=_DEFAULT_TSV,
+            ),
+            Layer("tim", thickness_mm=0.02, material=TIM),
+        ],
+        cooling=_default_cooling(),
+        power_budget_W=(60.0, 105.0),
+    )
+
+
+# ----------------------------------------------------------------------
+# Chip 2 — quad-core, three device layers, 12.4 x 12.76 x 0.15 mm layers
+# ----------------------------------------------------------------------
+def _chip2_core_floorplan(width: float, height: float) -> Floorplan:
+    """Quad-core layer of Chip 2 (Fig. 3, middle): four cores in quadrants."""
+    blocks = [
+        FloorplanBlock("Core1", 0.0 * width, 0.5 * height, 0.5 * width, 0.5 * height),
+        FloorplanBlock("Core2", 0.5 * width, 0.5 * height, 0.5 * width, 0.5 * height),
+        FloorplanBlock("Core3", 0.0 * width, 0.0 * height, 0.5 * width, 0.5 * height),
+        FloorplanBlock("Core4", 0.5 * width, 0.0 * height, 0.5 * width, 0.5 * height),
+    ]
+    return Floorplan(width, height, blocks, name="chip2_core_layer", require_full_coverage=True)
+
+
+def _chip2_cache_floorplan(width: float, height: float, name: str) -> Floorplan:
+    """One of the two identical L2-cache layers of Chip 2: two cache halves."""
+    blocks = [
+        FloorplanBlock("L2_Cache_1", 0.0 * width, 0.5 * height, 1.0 * width, 0.5 * height),
+        FloorplanBlock("L2_Cache_2", 0.0 * width, 0.0 * height, 1.0 * width, 0.5 * height),
+    ]
+    return Floorplan(width, height, blocks, name=name, require_full_coverage=True)
+
+
+def build_chip2() -> ChipStack:
+    """Quad-core three-device-layer chip (Table I, column "Quad-Core")."""
+    width, height = 12.4, 12.76
+    return ChipStack(
+        name="chip2",
+        die_width_mm=width,
+        die_height_mm=height,
+        layers=[
+            Layer(
+                "l2_cache_layer_1",
+                thickness_mm=0.15,
+                material=SILICON,
+                floorplan=_chip2_cache_floorplan(width, height, "chip2_cache_layer_1"),
+                is_power_layer=True,
+                tsv_array=_DEFAULT_TSV,
+            ),
+            Layer(
+                "l2_cache_layer_2",
+                thickness_mm=0.15,
+                material=SILICON,
+                floorplan=_chip2_cache_floorplan(width, height, "chip2_cache_layer_2"),
+                is_power_layer=True,
+                tsv_array=_DEFAULT_TSV,
+            ),
+            Layer(
+                "core_layer",
+                thickness_mm=0.15,
+                material=SILICON,
+                floorplan=_chip2_core_floorplan(width, height),
+                is_power_layer=True,
+                tsv_array=_DEFAULT_TSV,
+            ),
+            Layer("tim", thickness_mm=0.02, material=TIM),
+        ],
+        cooling=_default_cooling(),
+        power_budget_W=(45.0, 85.0),
+    )
+
+
+# ----------------------------------------------------------------------
+# Chip 3 — octa-core, two device layers, 10 x 10 x 0.1 mm layers
+# ----------------------------------------------------------------------
+def _chip3_core_floorplan(width: float, height: float) -> Floorplan:
+    """Octa-core + crossbar layer of Chip 3 (Fig. 3, right)."""
+    core_w = width / 4.0
+    lower_h = 0.44 * height
+    bar_h = 0.12 * height
+    upper_y = lower_h + bar_h
+    upper_h = height - upper_y
+    blocks = [FloorplanBlock("CrossBar", 0.0, lower_h, width, bar_h)]
+    for i in range(4):
+        blocks.append(FloorplanBlock(f"C{i + 1}", i * core_w, upper_y, core_w, upper_h))
+    for i in range(4):
+        blocks.append(FloorplanBlock(f"C{i + 5}", i * core_w, 0.0, core_w, lower_h))
+    return Floorplan(width, height, blocks, name="chip3_core_layer", require_full_coverage=True)
+
+
+def _chip3_cache_floorplan(width: float, height: float) -> Floorplan:
+    """Four-L2-cache layer of Chip 3 (Fig. 3, right): quadrants."""
+    blocks = [
+        FloorplanBlock("L2_1", 0.0 * width, 0.5 * height, 0.5 * width, 0.5 * height),
+        FloorplanBlock("L2_2", 0.5 * width, 0.5 * height, 0.5 * width, 0.5 * height),
+        FloorplanBlock("L2_3", 0.0 * width, 0.0 * height, 0.5 * width, 0.5 * height),
+        FloorplanBlock("L2_4", 0.5 * width, 0.0 * height, 0.5 * width, 0.5 * height),
+    ]
+    return Floorplan(width, height, blocks, name="chip3_cache_layer", require_full_coverage=True)
+
+
+def build_chip3() -> ChipStack:
+    """Octa-core two-device-layer chip (Table I, column "Octa-Core")."""
+    width = height = 10.0
+    return ChipStack(
+        name="chip3",
+        die_width_mm=width,
+        die_height_mm=height,
+        layers=[
+            Layer(
+                "l2_cache_layer",
+                thickness_mm=0.10,
+                material=SILICON,
+                floorplan=_chip3_cache_floorplan(width, height),
+                is_power_layer=True,
+                tsv_array=_DEFAULT_TSV,
+            ),
+            Layer(
+                "core_layer",
+                thickness_mm=0.10,
+                material=SILICON,
+                floorplan=_chip3_core_floorplan(width, height),
+                is_power_layer=True,
+                tsv_array=_DEFAULT_TSV,
+            ),
+            Layer("tim", thickness_mm=0.052, material=TIM),
+        ],
+        cooling=_default_cooling(),
+        power_budget_W=(50.0, 90.0),
+    )
+
+
+CHIP_BUILDERS: Dict[str, Callable[[], ChipStack]] = {
+    "chip1": build_chip1,
+    "chip2": build_chip2,
+    "chip3": build_chip3,
+}
+
+
+def get_chip(name: str) -> ChipStack:
+    """Build one of the three benchmark chips by name (``chip1``/``chip2``/``chip3``)."""
+    key = name.lower()
+    if key not in CHIP_BUILDERS:
+        raise KeyError(f"unknown chip '{name}'; available: {sorted(CHIP_BUILDERS)}")
+    return CHIP_BUILDERS[key]()
+
+
+def list_chips() -> List[str]:
+    """Names of the available benchmark chips."""
+    return sorted(CHIP_BUILDERS)

@@ -1,0 +1,219 @@
+"""Floorplans: rectangular functional blocks tiling a die layer.
+
+A :class:`Floorplan` is a list of named rectangular blocks (cores, caches,
+crossbars, ...) covering a die of a given width/height.  It can rasterise
+itself onto a regular grid, which is how per-block power assignments become
+the power-density maps fed to both the PDE solver and the neural operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FloorplanBlock:
+    """An axis-aligned rectangular functional block.
+
+    Coordinates are in millimetres with the origin at the lower-left corner
+    of the die; ``x`` grows to the right and ``y`` upwards.
+    """
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self):
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"block '{self.name}' must have positive width and height")
+        if self.x < 0 or self.y < 0:
+            raise ValueError(f"block '{self.name}' must have non-negative origin")
+
+    @property
+    def x2(self) -> float:
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        return self.y + self.height
+
+    @property
+    def area_mm2(self) -> float:
+        return self.width * self.height
+
+    def overlaps(self, other: "FloorplanBlock", tolerance: float = 1e-9) -> bool:
+        """Return True when the interiors of the two blocks intersect."""
+        return (
+            self.x < other.x2 - tolerance
+            and other.x < self.x2 - tolerance
+            and self.y < other.y2 - tolerance
+            and other.y < self.y2 - tolerance
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.x <= x <= self.x2 and self.y <= y <= self.y2
+
+
+class Floorplan:
+    """A set of non-overlapping blocks on a die of ``width`` x ``height`` mm."""
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        blocks: Sequence[FloorplanBlock],
+        name: str = "floorplan",
+        require_full_coverage: bool = False,
+    ):
+        if width <= 0 or height <= 0:
+            raise ValueError("die dimensions must be positive")
+        self.width = float(width)
+        self.height = float(height)
+        self.name = name
+        self.blocks: List[FloorplanBlock] = list(blocks)
+        if not self.blocks:
+            raise ValueError("a floorplan needs at least one block")
+        self._validate(require_full_coverage)
+
+    def _validate(self, require_full_coverage: bool) -> None:
+        names = [block.name for block in self.blocks]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate block names in floorplan '{self.name}'")
+        for block in self.blocks:
+            if block.x2 > self.width + 1e-9 or block.y2 > self.height + 1e-9:
+                raise ValueError(
+                    f"block '{block.name}' extends outside the {self.width}x{self.height} die"
+                )
+        for i, first in enumerate(self.blocks):
+            for second in self.blocks[i + 1:]:
+                if first.overlaps(second):
+                    raise ValueError(
+                        f"blocks '{first.name}' and '{second.name}' overlap in floorplan '{self.name}'"
+                    )
+        if require_full_coverage:
+            covered = sum(block.area_mm2 for block in self.blocks)
+            if abs(covered - self.width * self.height) > 1e-6 * self.width * self.height:
+                raise ValueError(
+                    f"floorplan '{self.name}' does not tile the die: covered {covered:.4f} of "
+                    f"{self.width * self.height:.4f} mm^2"
+                )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def block_names(self) -> List[str]:
+        return [block.name for block in self.blocks]
+
+    def get_block(self, name: str) -> FloorplanBlock:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise KeyError(f"no block named '{name}' in floorplan '{self.name}'")
+
+    @property
+    def area_mm2(self) -> float:
+        return self.width * self.height
+
+    def coverage_fraction(self) -> float:
+        """Fraction of the die area covered by blocks."""
+        return sum(block.area_mm2 for block in self.blocks) / self.area_mm2
+
+    # ------------------------------------------------------------------
+    # Rasterisation
+    # ------------------------------------------------------------------
+    def cell_centres(self, nx: int, ny: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the (x, y) centre coordinates of an ``ny`` x ``nx`` raster grid."""
+        dx = self.width / nx
+        dy = self.height / ny
+        xs = (np.arange(nx) + 0.5) * dx
+        ys = (np.arange(ny) + 0.5) * dy
+        return xs, ys
+
+    def block_index_map(self, nx: int, ny: int) -> np.ndarray:
+        """Rasterise the floorplan to an integer label map of shape (ny, nx).
+
+        Cells whose centre is not covered by any block get the label ``-1``.
+        Block labels follow the order of ``self.blocks``.
+        """
+        xs, ys = self.cell_centres(nx, ny)
+        label = -np.ones((ny, nx), dtype=np.int64)
+        for index, block in enumerate(self.blocks):
+            x_mask = (xs >= block.x) & (xs < block.x2)
+            y_mask = (ys >= block.y) & (ys < block.y2)
+            label[np.ix_(y_mask, x_mask)] = index
+        return label
+
+    def block_mask(self, name: str, nx: int, ny: int) -> np.ndarray:
+        """Boolean mask of the cells whose centre lies inside block ``name``."""
+        index = self.block_names.index(name)
+        return self.block_index_map(nx, ny) == index
+
+    def power_density_map(
+        self, block_powers: Mapping[str, float], nx: int, ny: int
+    ) -> np.ndarray:
+        """Convert per-block powers (W) into an areal power-density map (W/m^2).
+
+        Each block's power is spread uniformly over the raster cells covered
+        by the block, so the integral of the returned map over the die equals
+        the total block power (up to rasterisation of the block edges).
+        """
+        unknown = set(block_powers) - set(self.block_names)
+        if unknown:
+            raise KeyError(f"power assigned to unknown blocks: {sorted(unknown)}")
+        label = self.block_index_map(nx, ny)
+        cell_area_m2 = (self.width * 1e-3 / nx) * (self.height * 1e-3 / ny)
+        density = np.zeros((ny, nx), dtype=np.float64)
+        for index, block in enumerate(self.blocks):
+            power = float(block_powers.get(block.name, 0.0))
+            if power < 0:
+                raise ValueError(f"block '{block.name}' has negative power {power}")
+            mask = label == index
+            cells = int(mask.sum())
+            if cells == 0 and power > 0:
+                raise ValueError(
+                    f"block '{block.name}' is not resolved on a {nx}x{ny} grid but has power"
+                )
+            if cells:
+                density[mask] = power / (cells * cell_area_m2)
+        return density
+
+    def total_power(self, block_powers: Mapping[str, float]) -> float:
+        """Sum the per-block powers (W) over blocks present in this floorplan."""
+        return float(sum(block_powers.get(name, 0.0) for name in self.block_names))
+
+    def scaled(self, width: float, height: float, name: Optional[str] = None) -> "Floorplan":
+        """Return a copy of the floorplan scaled to a new die size."""
+        sx = width / self.width
+        sy = height / self.height
+        blocks = [
+            FloorplanBlock(b.name, b.x * sx, b.y * sy, b.width * sx, b.height * sy)
+            for b in self.blocks
+        ]
+        return Floorplan(width, height, blocks, name=name or self.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"Floorplan(name='{self.name}', {self.width}x{self.height} mm, "
+            f"{len(self.blocks)} blocks)"
+        )
+
+
+def grid_floorplan(
+    width: float, height: float, columns: int, rows: int, prefix: str = "block", name: str = "grid"
+) -> Floorplan:
+    """Create a uniform ``columns`` x ``rows`` grid of blocks — handy for tests."""
+    blocks = []
+    bw = width / columns
+    bh = height / rows
+    for row in range(rows):
+        for col in range(columns):
+            blocks.append(
+                FloorplanBlock(f"{prefix}_{row}_{col}", col * bw, row * bh, bw, bh)
+            )
+    return Floorplan(width, height, blocks, name=name, require_full_coverage=True)

@@ -1,0 +1,101 @@
+"""Die layers and TSV arrays of a 3D-IC stack."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chip.floorplan import Floorplan
+from repro.chip.materials import Material, SILICON, TSV_COPPER, tsv_effective_material
+
+
+@dataclass(frozen=True)
+class TSVArray:
+    """A regular array of through-silicon vias crossing one or more layers.
+
+    Table I: diameter 0.01 mm, pitch 0.01 mm; the vias connect the address and
+    data buses between the L2 caches and the processor cores.  For thermal
+    purposes the array is folded into an effective vertical conductivity of
+    the host layer (see :func:`repro.chip.materials.tsv_effective_material`).
+    """
+
+    diameter_mm: float = 0.01
+    pitch_mm: float = 0.01
+    fill_material: Material = TSV_COPPER
+
+    def __post_init__(self):
+        if self.diameter_mm <= 0 or self.pitch_mm <= 0:
+            raise ValueError("TSV diameter and pitch must be positive")
+        if self.diameter_mm > self.pitch_mm:
+            raise ValueError("TSV diameter cannot exceed its pitch")
+
+    @property
+    def area_fraction(self) -> float:
+        import math
+
+        return min(math.pi * (self.diameter_mm / 2.0) ** 2 / self.pitch_mm ** 2, 1.0)
+
+    def effective_material(self, base: Material) -> Material:
+        return tsv_effective_material(
+            base, self.fill_material, self.diameter_mm, self.pitch_mm,
+            name=f"{base.name}+tsv",
+        )
+
+
+@dataclass
+class Layer:
+    """One planar layer of the 3D stack.
+
+    Attributes
+    ----------
+    name:
+        Layer identifier, e.g. ``"core_layer"`` or ``"tim_1"``.
+    thickness_mm:
+        Layer thickness in millimetres (Table I, third size coordinate).
+    material:
+        Bulk material of the layer.
+    floorplan:
+        Functional-block layout of the layer; required when the layer
+        dissipates power (``is_power_layer``).
+    is_power_layer:
+        True for device layers whose blocks dissipate power; those layers
+        produce one input channel of the neural-operator models and one
+        output (temperature) channel.
+    tsv_array:
+        Optional TSV array crossing the layer; folds into an effective
+        vertical conductivity.
+    """
+
+    name: str
+    thickness_mm: float
+    material: Material = SILICON
+    floorplan: Optional[Floorplan] = None
+    is_power_layer: bool = False
+    tsv_array: Optional[TSVArray] = None
+
+    def __post_init__(self):
+        if self.thickness_mm <= 0:
+            raise ValueError(f"layer '{self.name}' must have positive thickness")
+        if self.is_power_layer and self.floorplan is None:
+            raise ValueError(f"power layer '{self.name}' needs a floorplan")
+
+    @property
+    def effective_material(self) -> Material:
+        """Material including the TSV effective-medium correction, if any."""
+        if self.tsv_array is None:
+            return self.material
+        return self.tsv_array.effective_material(self.material)
+
+    @property
+    def thickness_m(self) -> float:
+        return self.thickness_mm * 1e-3
+
+    def vertical_resistance(self, area_m2: float) -> float:
+        """Through-thickness conduction resistance ``t / (k A)`` in K/W."""
+        if area_m2 <= 0:
+            raise ValueError("area must be positive")
+        return self.thickness_m / (self.effective_material.conductivity * area_m2)
+
+    def __repr__(self) -> str:
+        tag = "power" if self.is_power_layer else "passive"
+        return f"Layer('{self.name}', {self.thickness_mm} mm, {self.material.name}, {tag})"

@@ -1,0 +1,105 @@
+"""Material properties used in 3D-IC thermal modelling.
+
+Values follow Table I of the paper: device (silicon) layers at 100 W/m·K,
+thermal interface material at 4 W/m·K and the copper heat spreader / heat
+sink at 400 W/m·K, with the corresponding volumetric heat capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Material:
+    """A homogeneous, isotropic material.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    conductivity:
+        Thermal conductivity ``k`` in W/(m·K).
+    volumetric_heat_capacity:
+        ``rho * c_p`` in J/(m^3·K).  Only used by transient extensions; the
+        steady-state solver of the paper ignores it.
+    """
+
+    name: str
+    conductivity: float
+    volumetric_heat_capacity: float
+
+    def __post_init__(self):
+        if self.conductivity <= 0:
+            raise ValueError(f"conductivity must be positive, got {self.conductivity}")
+        if self.volumetric_heat_capacity <= 0:
+            raise ValueError(
+                f"volumetric heat capacity must be positive, got {self.volumetric_heat_capacity}"
+            )
+
+    def diffusivity(self) -> float:
+        """Thermal diffusivity ``alpha = k / (rho c_p)`` in m^2/s."""
+        return self.conductivity / self.volumetric_heat_capacity
+
+
+# Table I values.
+SILICON = Material("silicon_device_layer", conductivity=100.0, volumetric_heat_capacity=1.75e6)
+TIM = Material("thermal_interface_material", conductivity=4.0, volumetric_heat_capacity=4.00e6)
+COPPER = Material("copper_spreader_sink", conductivity=400.0, volumetric_heat_capacity=3.55e6)
+TSV_COPPER = Material("tsv_fill", conductivity=100.0, volumetric_heat_capacity=1.75e6)
+PACKAGE = Material("package_substrate", conductivity=5.0, volumetric_heat_capacity=2.0e6)
+AIR = Material("air", conductivity=0.026, volumetric_heat_capacity=1.2e3)
+
+
+def tsv_effective_material(
+    base: Material,
+    tsv: Material,
+    diameter_mm: float,
+    pitch_mm: float,
+    name: str = "tsv_composite",
+) -> Material:
+    """Effective-medium material for a silicon layer penetrated by a TSV array.
+
+    The TSVs are modelled as a parallel thermal path in the vertical
+    direction: the effective conductivity is the area-weighted average of the
+    base layer and the via fill, where the via area fraction follows from the
+    diameter/pitch of the array (Table I: diameter 0.01 mm, pitch 0.01 mm).
+    """
+    if diameter_mm <= 0 or pitch_mm <= 0:
+        raise ValueError("TSV diameter and pitch must be positive")
+    if diameter_mm > pitch_mm:
+        raise ValueError("TSV diameter cannot exceed the pitch")
+    import math
+
+    fraction = math.pi * (diameter_mm / 2.0) ** 2 / (pitch_mm ** 2)
+    fraction = min(fraction, 1.0)
+    conductivity = (1.0 - fraction) * base.conductivity + fraction * tsv.conductivity
+    heat_capacity = (
+        (1.0 - fraction) * base.volumetric_heat_capacity
+        + fraction * tsv.volumetric_heat_capacity
+    )
+    return Material(name, conductivity, heat_capacity)
+
+
+class MaterialLibrary:
+    """A small registry of named materials."""
+
+    def __init__(self):
+        self._materials: Dict[str, Material] = {}
+        for material in (SILICON, TIM, COPPER, TSV_COPPER, PACKAGE, AIR):
+            self.add(material)
+
+    def add(self, material: Material) -> None:
+        self._materials[material.name] = material
+
+    def get(self, name: str) -> Material:
+        if name not in self._materials:
+            raise KeyError(f"unknown material '{name}'; known: {sorted(self._materials)}")
+        return self._materials[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._materials
+
+    def names(self):
+        return sorted(self._materials)

@@ -1,0 +1,230 @@
+"""Command-line interface for the SAU-FNO reproduction.
+
+Five sub-commands cover the everyday workflow without writing Python:
+
+* ``repro-thermal chips`` — list the benchmark chips and their structure.
+* ``repro-thermal generate`` — create a dataset with the FVM solver.
+* ``repro-thermal train`` — train an operator model on a generated dataset
+  and save its weights.
+* ``repro-thermal solve`` — run a single steady-state simulation for a
+  uniform or per-block power assignment and print the temperature summary.
+* ``repro-thermal report`` — run every experiment harness and write a
+  markdown report of the regenerated tables.
+
+Examples
+--------
+::
+
+    repro-thermal chips
+    repro-thermal generate --chip chip1 --resolution 32 --samples 64 --output chip1_32.npz
+    repro-thermal train --dataset chip1_32.npz --model sau_fno --epochs 20 --output sau_fno.npz
+    repro-thermal solve --chip chip2 --total-power 80 --resolution 40
+    repro-thermal report --output repro_report.md --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.chip.designs import get_chip, list_chips
+from repro.data.dataset import ThermalDataset
+from repro.data.generation import DatasetSpec, generate_dataset
+from repro.evaluation.reporting import ascii_heatmap, format_table
+from repro.operators.factory import OPERATOR_REGISTRY, build_operator
+from repro.operators.gar import GARRegressor
+from repro.solvers.fvm import FVMSolver
+from repro.training.trainer import Trainer, TrainingConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-thermal",
+        description="SAU-FNO 3D-IC thermal simulation toolkit (DAC 2025 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("chips", help="list the built-in benchmark chips")
+
+    generate = subparsers.add_parser("generate", help="generate a dataset with the FVM solver")
+    generate.add_argument("--chip", default="chip1", choices=list_chips())
+    generate.add_argument("--resolution", type=int, default=32)
+    generate.add_argument("--samples", type=int, default=64)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True, help="output .npz path")
+
+    train = subparsers.add_parser("train", help="train an operator on a generated dataset")
+    train.add_argument("--dataset", required=True, help="dataset .npz produced by 'generate'")
+    train.add_argument("--model", default="sau_fno", choices=sorted(OPERATOR_REGISTRY))
+    train.add_argument("--epochs", type=int, default=20)
+    train.add_argument("--batch-size", type=int, default=8)
+    train.add_argument("--learning-rate", type=float, default=1e-3)
+    train.add_argument("--width", type=int, default=16)
+    train.add_argument("--modes", type=int, default=8)
+    train.add_argument("--train-fraction", type=float, default=0.8)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--output", help="where to store the trained weights (.npz)")
+
+    solve = subparsers.add_parser("solve", help="run one steady-state FVM simulation")
+    solve.add_argument("--chip", default="chip1", choices=list_chips())
+    solve.add_argument("--resolution", type=int, default=40)
+    solve.add_argument("--total-power", type=float, default=None,
+                       help="uniformly distributed total power in watts")
+    solve.add_argument("--powers", type=str, default=None,
+                       help="JSON mapping of 'layer/block' to watts")
+    solve.add_argument("--heatmap", action="store_true", help="print ASCII heat maps per layer")
+
+    report = subparsers.add_parser(
+        "report", help="run every experiment harness and write a markdown report"
+    )
+    report.add_argument("--output", default="repro_report.md")
+    report.add_argument("--scale", default=None, choices=["tiny", "small", "paper"],
+                        help="experiment scale (default: REPRO_BENCH_SCALE or 'tiny')")
+    report.add_argument("--quiet", action="store_true")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Sub-command implementations
+# ----------------------------------------------------------------------
+def _cmd_chips(_args) -> int:
+    rows = []
+    for name in list_chips():
+        chip = get_chip(name)
+        rows.append(
+            {
+                "Chip": name,
+                "Die (mm)": f"{chip.die_width_mm:g} x {chip.die_height_mm:g}",
+                "Layers": len(chip.layers),
+                "Power layers": chip.num_power_layers,
+                "Blocks": len(chip.flat_block_names()),
+                "Power budget (W)": f"{chip.power_budget_W[0]:g}-{chip.power_budget_W[1]:g}",
+            }
+        )
+    print(format_table(rows, title="Built-in benchmark chips (paper Table I / Fig. 3)"))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    spec = DatasetSpec(
+        chip_name=args.chip,
+        resolution=args.resolution,
+        num_samples=args.samples,
+        seed=args.seed,
+    )
+    print(f"generating {args.samples} cases for {args.chip} at {args.resolution}x{args.resolution} ...")
+    dataset = generate_dataset(spec, verbose=True)
+    dataset.save(args.output)
+    print(f"wrote {args.output}: inputs {dataset.inputs.shape}, targets {dataset.targets.shape}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    dataset = ThermalDataset.load(args.dataset)
+    split = dataset.split(args.train_fraction, rng=np.random.default_rng(args.seed))
+    config = {
+        "width": args.width,
+        "modes1": args.modes,
+        "modes2": args.modes,
+        "unet_base_channels": max(args.width // 2, 4),
+        "unet_levels": 2,
+        "attention_dim": args.width,
+    }
+    model = build_operator(
+        args.model,
+        dataset.num_input_channels,
+        dataset.num_output_channels,
+        config,
+        np.random.default_rng(args.seed),
+    )
+    if isinstance(model, GARRegressor):
+        model.fit(split.train.inputs, split.train.targets)
+        from repro.metrics.errors import evaluate_all
+
+        report = evaluate_all(model.predict(split.test.inputs), split.test.targets)
+    else:
+        trainer = Trainer(
+            model,
+            TrainingConfig(
+                epochs=args.epochs,
+                batch_size=args.batch_size,
+                learning_rate=args.learning_rate,
+                seed=args.seed,
+            ),
+        )
+        trainer.fit(split.train)
+        report = trainer.evaluate(split.test)
+        if args.output:
+            model.save(args.output)
+            print(f"saved model weights to {args.output}")
+    print(format_table(
+        [{"Model": args.model, **{k: round(v, 3) for k, v in report.as_dict().items()}}],
+        title=f"Held-out metrics on {dataset.chip_name} ({dataset.resolution}x{dataset.resolution})",
+    ))
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    chip = get_chip(args.chip)
+    if args.powers:
+        assignment = {str(k): float(v) for k, v in json.loads(args.powers).items()}
+    else:
+        total = args.total_power if args.total_power is not None else sum(chip.power_budget_W) / 2
+        names = chip.flat_block_names()
+        assignment = {name: total / len(names) for name in names}
+    solver = FVMSolver(chip, nx=args.resolution)
+    field = solver.solve(assignment)
+    print(format_table(
+        [
+            {
+                "Chip": chip.name,
+                "Total power (W)": round(sum(assignment.values()), 2),
+                "Max (K)": round(field.max_K, 3),
+                "Min (K)": round(field.min_K, 3),
+                "Mean (K)": round(field.mean_K, 3),
+                "Solve time (s)": round(field.solve_seconds, 3),
+            }
+        ],
+        title="Steady-state FVM solution",
+    ))
+    if args.heatmap:
+        for layer_name in chip.power_layer_names:
+            print(f"\n{layer_name}:")
+            print(ascii_heatmap(field.layer_map(layer_name), width=48))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.evaluation.config import get_scale
+    from repro.evaluation.report import generate_report
+
+    scale = get_scale(args.scale) if args.scale else None
+    generate_report(args.output, scale=scale, verbose=not args.quiet)
+    print(f"wrote {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "chips": _cmd_chips,
+    "generate": _cmd_generate,
+    "train": _cmd_train,
+    "solve": _cmd_solve,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

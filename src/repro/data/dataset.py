@@ -1,0 +1,193 @@
+"""Dataset containers, normalisation and train/test splitting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+class Normalizer:
+    """Per-channel affine normalisation of (N, C, H, W) arrays.
+
+    The paper's models are trained on z-score-normalised power maps and
+    temperature fields; the normaliser is fitted on the training split only
+    and re-used at evaluation time to map predictions back to kelvin.
+    """
+
+    def __init__(self, mean: Optional[np.ndarray] = None, std: Optional[np.ndarray] = None):
+        self.mean = mean
+        self.std = std
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.mean is not None and self.std is not None
+
+    def fit(self, data: np.ndarray) -> "Normalizer":
+        """Fit channel-wise statistics on an (N, C, H, W) array."""
+        if data.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W), got shape {data.shape}")
+        self.mean = data.mean(axis=(0, 2, 3), keepdims=True)
+        self.std = data.std(axis=(0, 2, 3), keepdims=True)
+        self.std = np.where(self.std < 1e-12, 1.0, self.std)
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        if not self.is_fitted:
+            raise RuntimeError("normalizer has not been fitted")
+        return (data - self.mean) / self.std
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        if not self.is_fitted:
+            raise RuntimeError("normalizer has not been fitted")
+        return data * self.std + self.mean
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        if not self.is_fitted:
+            raise RuntimeError("normalizer has not been fitted")
+        return {"mean": self.mean, "std": self.std}
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, np.ndarray]) -> "Normalizer":
+        return cls(mean=np.asarray(state["mean"]), std=np.asarray(state["std"]))
+
+
+@dataclass
+class ThermalDataset:
+    """Paired power-map inputs and temperature-field targets.
+
+    Attributes
+    ----------
+    inputs:
+        Power-density maps, shape ``(N, C_in, H, W)`` in W/m^2.
+    targets:
+        Temperature maps, shape ``(N, C_out, H, W)`` in kelvin.
+    chip_name:
+        Which benchmark chip generated the data.
+    resolution:
+        The in-plane grid resolution (H == W == resolution for the square
+        chips; rectangular chips keep H = W = resolution as well because the
+        operator works on the rasterised grid, not physical coordinates).
+    metadata:
+        Free-form extras (total power per case, solver timings, ...).
+    """
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    chip_name: str
+    resolution: int
+    metadata: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.inputs.ndim != 4 or self.targets.ndim != 4:
+            raise ValueError("inputs and targets must be 4D (N, C, H, W) arrays")
+        if len(self.inputs) != len(self.targets):
+            raise ValueError("inputs and targets must have the same number of samples")
+        if self.inputs.shape[2:] != self.targets.shape[2:]:
+            raise ValueError("inputs and targets must share spatial dimensions")
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def num_input_channels(self) -> int:
+        return self.inputs.shape[1]
+
+    @property
+    def num_output_channels(self) -> int:
+        return self.targets.shape[1]
+
+    def subset(self, indices) -> "ThermalDataset":
+        indices = np.asarray(indices)
+        metadata = {key: np.asarray(value)[indices] for key, value in self.metadata.items()}
+        return ThermalDataset(
+            inputs=self.inputs[indices],
+            targets=self.targets[indices],
+            chip_name=self.chip_name,
+            resolution=self.resolution,
+            metadata=metadata,
+        )
+
+    def split(self, train_fraction: float = 0.8, rng: Optional[np.random.Generator] = None) -> "DataSplit":
+        """Random train/test split (paper default 4:1)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        rng = rng or np.random.default_rng(0)
+        order = rng.permutation(len(self))
+        cut = int(round(train_fraction * len(self)))
+        cut = min(max(cut, 1), len(self) - 1)
+        return DataSplit(train=self.subset(order[:cut]), test=self.subset(order[cut:]))
+
+    def batches(
+        self,
+        batch_size: int,
+        shuffle: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        normalizers: Optional[Tuple[Normalizer, Normalizer]] = None,
+    ) -> Iterator[Tuple[Tensor, Tensor]]:
+        """Yield (input, target) Tensor mini-batches."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        order = np.arange(len(self))
+        if shuffle:
+            rng = rng or np.random.default_rng()
+            order = rng.permutation(order)
+        for start in range(0, len(self), batch_size):
+            chunk = order[start:start + batch_size]
+            x = self.inputs[chunk]
+            y = self.targets[chunk]
+            if normalizers is not None:
+                in_norm, out_norm = normalizers
+                x = in_norm.transform(x)
+                y = out_norm.transform(y)
+            yield Tensor(x.astype(np.float32)), Tensor(y.astype(np.float32))
+
+    def fit_normalizers(self) -> Tuple[Normalizer, Normalizer]:
+        """Fit input and output normalisers on this dataset."""
+        return Normalizer().fit(self.inputs), Normalizer().fit(self.targets)
+
+    def save(self, path: str) -> None:
+        """Save to an ``.npz`` archive."""
+        payload = {
+            "inputs": self.inputs,
+            "targets": self.targets,
+            "chip_name": np.array(self.chip_name),
+            "resolution": np.array(self.resolution),
+        }
+        for key, value in self.metadata.items():
+            payload[f"meta_{key}"] = np.asarray(value)
+        np.savez_compressed(path, **payload)
+
+    @classmethod
+    def load(cls, path: str) -> "ThermalDataset":
+        with np.load(path, allow_pickle=False) as archive:
+            metadata = {
+                key[len("meta_"):]: archive[key]
+                for key in archive.files
+                if key.startswith("meta_")
+            }
+            return cls(
+                inputs=archive["inputs"],
+                targets=archive["targets"],
+                chip_name=str(archive["chip_name"]),
+                resolution=int(archive["resolution"]),
+                metadata=metadata,
+            )
+
+
+@dataclass
+class DataSplit:
+    """A train/test split of a :class:`ThermalDataset`."""
+
+    train: ThermalDataset
+    test: ThermalDataset
+
+    @property
+    def ratio(self) -> float:
+        return len(self.train) / max(len(self.test), 1)

@@ -1,0 +1,44 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each module exposes a ``run_*`` function returning structured rows plus a
+text rendering, so the same code drives the pytest benchmarks, the examples
+and the EXPERIMENTS.md report.
+"""
+
+from repro.evaluation.config import (
+    ExperimentScale,
+    ModelSizeConfig,
+    get_scale,
+    scale_from_env,
+    SCALES,
+)
+from repro.evaluation.runners import train_operator, OperatorRunResult
+from repro.evaluation.table1 import run_table1
+from repro.evaluation.table2 import run_table2
+from repro.evaluation.table3 import run_table3
+from repro.evaluation.table4 import run_table4
+from repro.evaluation.figures import run_figure_cases
+from repro.evaluation.ablation import run_attention_ablation
+from repro.evaluation.speedup import run_speedup_study
+from repro.evaluation.reporting import format_table, rows_to_markdown
+from repro.evaluation.report import generate_report
+
+__all__ = [
+    "ExperimentScale",
+    "ModelSizeConfig",
+    "get_scale",
+    "scale_from_env",
+    "SCALES",
+    "train_operator",
+    "OperatorRunResult",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_figure_cases",
+    "run_attention_ablation",
+    "run_speedup_study",
+    "format_table",
+    "rows_to_markdown",
+    "generate_report",
+]

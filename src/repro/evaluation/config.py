@@ -1,0 +1,192 @@
+"""Experiment scales: paper-sized settings and CPU-sized reductions.
+
+The paper's experiments use 5,000 FEM simulations per chip, 200+ epochs and a
+GPU.  Running that exact protocol on a CPU-only NumPy stack is not practical,
+so every experiment is parameterised by an :class:`ExperimentScale`:
+
+* ``tiny``  — minutes on a laptop CPU; default for ``pytest benchmarks/``.
+* ``small`` — tens of minutes; closer model sizes and more data.
+* ``paper`` — the paper's sample counts, resolutions and epochs (documented
+  for completeness; expect very long runtimes on CPU).
+
+Select the scale with the ``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+_ENV_SCALE = "REPRO_BENCH_SCALE"
+
+
+@dataclass(frozen=True)
+class ModelSizeConfig:
+    """Size of the operator models shared by all baselines at one scale."""
+
+    width: int
+    modes1: int
+    modes2: int
+    num_fourier_layers: int
+    num_ufourier_layers: int
+    unet_base_channels: int
+    unet_levels: int
+    attention_dim: int
+    attention_type: str = "softmax"
+    deeponet_latent_dim: int = 64
+    deeponet_sensor_resolution: int = 16
+    gar_components: int = 32
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "width": self.width,
+            "modes1": self.modes1,
+            "modes2": self.modes2,
+            "num_fourier_layers": self.num_fourier_layers,
+            "num_ufourier_layers": self.num_ufourier_layers,
+            "unet_base_channels": self.unet_base_channels,
+            "unet_levels": self.unet_levels,
+            "attention_dim": self.attention_dim,
+            "attention_type": self.attention_type,
+            "latent_dim": self.deeponet_latent_dim,
+            "sensor_resolution": self.deeponet_sensor_resolution,
+            "n_components": self.gar_components,
+        }
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Dataset sizes, resolutions and training lengths for one scale."""
+
+    name: str
+    resolutions: Tuple[int, int]
+    """The two evaluation resolutions of Table II (paper: 40 and 64)."""
+    num_samples: int
+    """Cases generated per chip per resolution for Table II."""
+    train_fraction: float
+    epochs: int
+    batch_size: int
+    learning_rate: float
+    weight_decay: float
+    model: ModelSizeConfig
+    transfer_low_resolution: int
+    transfer_high_resolution: int
+    transfer_num_low: int
+    transfer_num_high: int
+    transfer_epochs: int
+    table4_num_cases: int
+    table4_reference_resolution: int
+    table4_standard_resolution: int
+    seed: int = 0
+
+    @property
+    def num_train(self) -> int:
+        return int(round(self.num_samples * self.train_fraction))
+
+
+_TINY = ExperimentScale(
+    name="tiny",
+    resolutions=(32, 40),
+    num_samples=32,
+    train_fraction=0.8,
+    epochs=8,
+    batch_size=4,
+    learning_rate=2e-3,
+    weight_decay=1e-5,
+    model=ModelSizeConfig(
+        width=16,
+        modes1=8,
+        modes2=8,
+        num_fourier_layers=1,
+        num_ufourier_layers=1,
+        unet_base_channels=8,
+        unet_levels=2,
+        attention_dim=16,
+    ),
+    transfer_low_resolution=24,
+    transfer_high_resolution=40,
+    transfer_num_low=28,
+    transfer_num_high=12,
+    transfer_epochs=6,
+    table4_num_cases=4,
+    table4_reference_resolution=48,
+    table4_standard_resolution=32,
+)
+
+_SMALL = ExperimentScale(
+    name="small",
+    resolutions=(40, 64),
+    num_samples=120,
+    train_fraction=0.8,
+    epochs=30,
+    batch_size=8,
+    learning_rate=1e-3,
+    weight_decay=1e-5,
+    model=ModelSizeConfig(
+        width=24,
+        modes1=12,
+        modes2=12,
+        num_fourier_layers=2,
+        num_ufourier_layers=2,
+        unet_base_channels=16,
+        unet_levels=3,
+        attention_dim=32,
+    ),
+    transfer_low_resolution=32,
+    transfer_high_resolution=64,
+    transfer_num_low=96,
+    transfer_num_high=24,
+    transfer_epochs=20,
+    table4_num_cases=10,
+    table4_reference_resolution=64,
+    table4_standard_resolution=40,
+)
+
+_PAPER = ExperimentScale(
+    name="paper",
+    resolutions=(40, 64),
+    num_samples=5000,
+    train_fraction=0.8,
+    epochs=200,
+    batch_size=16,
+    learning_rate=1e-4,
+    weight_decay=1e-5,
+    model=ModelSizeConfig(
+        width=64,
+        modes1=12,
+        modes2=12,
+        num_fourier_layers=2,
+        num_ufourier_layers=2,
+        unet_base_channels=64,
+        unet_levels=4,
+        attention_dim=64,
+    ),
+    transfer_low_resolution=40,
+    transfer_high_resolution=64,
+    transfer_num_low=4000,
+    transfer_num_high=1000,
+    transfer_epochs=200,
+    table4_num_cases=20,
+    table4_reference_resolution=96,
+    table4_standard_resolution=64,
+)
+
+SCALES: Dict[str, ExperimentScale] = {
+    "tiny": _TINY,
+    "small": _SMALL,
+    "paper": _PAPER,
+}
+
+
+def get_scale(name: str) -> ExperimentScale:
+    """Look up a scale preset by name."""
+    key = name.lower()
+    if key not in SCALES:
+        raise KeyError(f"unknown experiment scale '{name}'; available: {sorted(SCALES)}")
+    return SCALES[key]
+
+
+def scale_from_env(default: str = "tiny") -> ExperimentScale:
+    """Read the experiment scale from ``REPRO_BENCH_SCALE`` (default ``tiny``)."""
+    return get_scale(os.environ.get(_ENV_SCALE, default))

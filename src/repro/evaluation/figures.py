@@ -1,0 +1,124 @@
+"""Figures 4 and 5: predicted versus ground-truth heat maps on Chip 1.
+
+The paper visualises two Chip-1 cases with strongly contrasting power
+distributions, showing the per-layer predicted temperature maps next to the
+FEM ground truth.  This harness regenerates the underlying data: it trains a
+SAU-FNO surrogate, constructs two contrast cases (one core-dominated, one
+cache-dominated), and returns the prediction / ground-truth arrays plus an
+ASCII rendering and the per-case error statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.chip.designs import get_chip
+from repro.data.cache import DatasetCache
+from repro.data.generation import DatasetSpec
+from repro.data.power import PowerSampler
+from repro.evaluation.config import ExperimentScale, scale_from_env
+from repro.evaluation.reporting import ascii_heatmap
+from repro.metrics.errors import evaluate_all
+from repro.operators.factory import build_operator
+from repro.solvers.fvm import FVMSolver
+from repro.training.trainer import Trainer, TrainingConfig
+
+
+@dataclass
+class FigureCase:
+    """One visualisation case: power maps, ground truth, prediction, metrics."""
+
+    name: str
+    power_maps: np.ndarray
+    ground_truth: np.ndarray
+    prediction: np.ndarray
+    metrics: Dict[str, float]
+    layer_names: List[str]
+
+    def render(self, width: int = 48) -> str:
+        """ASCII rendering of prediction vs ground truth per layer."""
+        sections = [f"=== {self.name} ==="]
+        for index, layer in enumerate(self.layer_names):
+            sections.append(f"-- {layer}: ground truth (K range "
+                            f"{self.ground_truth[index].min():.1f}-{self.ground_truth[index].max():.1f}) --")
+            sections.append(ascii_heatmap(self.ground_truth[index], width=width))
+            sections.append(f"-- {layer}: SAU-FNO prediction (K range "
+                            f"{self.prediction[index].min():.1f}-{self.prediction[index].max():.1f}) --")
+            sections.append(ascii_heatmap(self.prediction[index], width=width))
+        sections.append("metrics: " + ", ".join(f"{k}={v:.3f}" for k, v in self.metrics.items()))
+        return "\n".join(sections)
+
+
+def run_figure_cases(
+    scale: Optional[ExperimentScale] = None,
+    chip_name: str = "chip1",
+    cache: Optional[DatasetCache] = None,
+    verbose: bool = False,
+) -> List[FigureCase]:
+    """Regenerate the two heat-map comparison cases of Figs. 4 and 5."""
+    scale = scale or scale_from_env()
+    cache = cache or DatasetCache()
+    chip = get_chip(chip_name)
+    resolution = scale.resolutions[0]
+
+    spec = DatasetSpec(
+        chip_name=chip_name,
+        resolution=resolution,
+        num_samples=scale.num_samples,
+        seed=scale.seed,
+    )
+    dataset = cache.get(spec, verbose=verbose)
+    split = dataset.split(scale.train_fraction, rng=np.random.default_rng(scale.seed))
+    model = build_operator(
+        "sau_fno",
+        dataset.num_input_channels,
+        dataset.num_output_channels,
+        scale.model.as_dict(),
+        np.random.default_rng(scale.seed),
+    )
+    trainer = Trainer(
+        model,
+        TrainingConfig(
+            epochs=scale.epochs,
+            batch_size=scale.batch_size,
+            learning_rate=scale.learning_rate,
+            weight_decay=scale.weight_decay,
+            lr_decay_step=max(scale.epochs // 3, 1),
+            seed=scale.seed,
+        ),
+    )
+    trainer.fit(split.train)
+
+    sampler = PowerSampler(chip)
+    solver = FVMSolver(chip, nx=resolution, cells_per_layer=2)
+    rng = np.random.default_rng(scale.seed + 7)
+
+    core_blocks = [name for name in chip.flat_block_names() if "core_layer/Core" in name]
+    cache_blocks = [name for name in chip.flat_block_names() if "l2_cache_layer/" in name][:2]
+    case_specs = [
+        ("Case 1 (core-dominated power)", core_blocks or chip.flat_block_names()[:1]),
+        ("Case 2 (cache-dominated power)", cache_blocks or chip.flat_block_names()[-1:]),
+    ]
+
+    figures: List[FigureCase] = []
+    for case_name, hot_blocks in case_specs:
+        case = sampler.contrast_case(hot_blocks, rng)
+        power_maps = sampler.rasterize(case, resolution, resolution)
+        field = solver.solve(case.assignment)
+        truth = field.power_layer_maps()
+        prediction = trainer.predict(power_maps[None])[0]
+        metrics = evaluate_all(prediction[None], truth[None]).as_dict()
+        figures.append(
+            FigureCase(
+                name=case_name,
+                power_maps=power_maps,
+                ground_truth=truth,
+                prediction=prediction,
+                metrics=metrics,
+                layer_names=chip.power_layer_names,
+            )
+        )
+    return figures

@@ -1,0 +1,76 @@
+"""Plain-text and markdown rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: Optional[str] = None) -> str:
+    """Render a list of dictionaries as an aligned text table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    columns = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {col: len(str(col)) for col in columns}
+    for row in rows:
+        for col in columns:
+            widths[col] = max(widths[col], len(_fmt(row.get(col, ""))))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(" | ".join(_fmt(row.get(col, "")).ljust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def rows_to_markdown(rows: Sequence[Dict[str, object]], title: Optional[str] = None) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        return f"**{title}**: (no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| " + " | ".join(str(col) for col in columns) + " |")
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(row.get(col, "")) for col in columns) + " |")
+    return "\n".join(lines)
+
+
+def ascii_heatmap(values: np.ndarray, width: int = 40, levels: str = " .:-=+*#%@") -> str:
+    """Render a 2D field as an ASCII heat map (used by the figure benches)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError("ascii_heatmap expects a 2D array")
+    width = min(width, values.shape[1])
+    height = min(max(int(round(values.shape[0] * width / values.shape[1] / 2)), 1), values.shape[0])
+    # Down-sample by averaging into the character grid.
+    rows = np.array_split(np.arange(values.shape[0]), height)
+    cols = np.array_split(np.arange(values.shape[1]), width)
+    low, high = float(values.min()), float(values.max())
+    span = max(high - low, 1e-12)
+    lines = []
+    for row_idx in rows:
+        line = []
+        for col_idx in cols:
+            patch = values[np.ix_(row_idx, col_idx)].mean()
+            level = int((patch - low) / span * (len(levels) - 1))
+            line.append(levels[level])
+        lines.append("".join(line))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,102 @@
+"""Shared training/evaluation runner used by the table harnesses."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.data.dataset import DataSplit, ThermalDataset
+from repro.evaluation.config import ExperimentScale
+from repro.metrics.errors import MetricReport, evaluate_all
+from repro.operators.factory import build_operator
+from repro.operators.gar import GARRegressor
+from repro.training.trainer import Trainer, TrainingConfig
+
+
+@dataclass
+class OperatorRunResult:
+    """Outcome of training + evaluating one operator on one dataset."""
+
+    method: str
+    resolution: int
+    metrics: MetricReport
+    train_seconds: float
+    inference_seconds_per_case: float
+    num_parameters: int
+
+    def row(self) -> Dict[str, object]:
+        data = {"Method": self.method, "Resolution": f"{self.resolution}*{self.resolution}"}
+        data.update({k: round(v, 3) for k, v in self.metrics.as_dict().items()})
+        data["TrainTime(s)"] = round(self.train_seconds, 1)
+        data["Infer(s/case)"] = round(self.inference_seconds_per_case, 4)
+        data["Params"] = self.num_parameters
+        return data
+
+
+def _training_config(scale: ExperimentScale, epochs: Optional[int] = None) -> TrainingConfig:
+    return TrainingConfig(
+        epochs=epochs or scale.epochs,
+        batch_size=scale.batch_size,
+        learning_rate=scale.learning_rate,
+        weight_decay=scale.weight_decay,
+        lr_decay_step=max(scale.epochs // 3, 1),
+        lr_decay_gamma=0.5,
+        seed=scale.seed,
+    )
+
+
+def train_operator(
+    method: str,
+    split: DataSplit,
+    scale: ExperimentScale,
+    epochs: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    model_overrides: Optional[Dict[str, object]] = None,
+) -> OperatorRunResult:
+    """Train one baseline on a train/test split and evaluate it in kelvin.
+
+    Handles both the gradient-trained operator models (FNO family, DeepOHeat)
+    and the closed-form GAR baseline transparently.
+    """
+    rng = rng or np.random.default_rng(scale.seed)
+    train, test = split.train, split.test
+    config = dict(scale.model.as_dict())
+    config.update(model_overrides or {})
+    model = build_operator(
+        method, train.num_input_channels, train.num_output_channels, config, rng
+    )
+
+    if isinstance(model, GARRegressor):
+        start = time.perf_counter()
+        model.fit(train.inputs, train.targets)
+        train_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        prediction = model.predict(test.inputs)
+        inference = (time.perf_counter() - start) / max(len(test), 1)
+        metrics = evaluate_all(prediction, test.targets)
+        return OperatorRunResult(
+            method=method,
+            resolution=train.resolution,
+            metrics=metrics,
+            train_seconds=train_seconds,
+            inference_seconds_per_case=inference,
+            num_parameters=model.n_components,
+        )
+
+    trainer = Trainer(model, _training_config(scale, epochs))
+    start = time.perf_counter()
+    trainer.fit(train)
+    train_seconds = time.perf_counter() - start
+    metrics = trainer.evaluate(test)
+    inference = trainer.inference_seconds_per_case(test, repeats=1)
+    return OperatorRunResult(
+        method=method,
+        resolution=train.resolution,
+        metrics=metrics,
+        train_seconds=train_seconds,
+        inference_seconds_per_case=inference,
+        num_parameters=model.num_parameters(),
+    )

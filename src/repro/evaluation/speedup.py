@@ -1,0 +1,97 @@
+"""Section IV-D speedup study: operator inference versus PDE solver time.
+
+The paper reports 0.27 s per SAU-FNO prediction against 227 s per MTA solve
+and 98 s per HotSpot analysis, i.e. 842x and 365x speedups.  Our solver
+substrate is much lighter than MTA's full FEM pipeline, so the absolute
+ratios differ; what the study preserves is the structure of the comparison —
+a trained operator amortises the solver cost across predictions — and the
+measured ratio on identical hardware for solver and operator.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.chip.designs import get_chip
+from repro.data.cache import DatasetCache
+from repro.data.generation import DatasetSpec
+from repro.data.power import PowerSampler
+from repro.evaluation.config import ExperimentScale, scale_from_env
+from repro.metrics.timing import Timer, speedup
+from repro.operators.factory import build_operator
+from repro.solvers.fvm import FVMSolver
+from repro.solvers.hotspot import HotSpotModel
+from repro.training.trainer import Trainer, TrainingConfig
+
+
+def run_speedup_study(
+    scale: Optional[ExperimentScale] = None,
+    chip_name: str = "chip1",
+    num_cases: int = 5,
+    cache: Optional[DatasetCache] = None,
+    train_epochs: Optional[int] = None,
+    verbose: bool = False,
+) -> Dict[str, object]:
+    """Measure per-case times for the FVM solver, HotSpot and SAU-FNO inference."""
+    scale = scale or scale_from_env()
+    cache = cache or DatasetCache()
+    chip = get_chip(chip_name)
+    resolution = scale.table4_standard_resolution
+
+    spec = DatasetSpec(
+        chip_name=chip_name,
+        resolution=resolution,
+        num_samples=scale.num_samples,
+        seed=scale.seed,
+    )
+    dataset = cache.get(spec, verbose=verbose)
+    split = dataset.split(scale.train_fraction, rng=np.random.default_rng(scale.seed))
+    model = build_operator(
+        "sau_fno",
+        dataset.num_input_channels,
+        dataset.num_output_channels,
+        scale.model.as_dict(),
+        np.random.default_rng(scale.seed),
+    )
+    trainer = Trainer(
+        model,
+        TrainingConfig(
+            epochs=train_epochs or scale.epochs,
+            batch_size=scale.batch_size,
+            learning_rate=scale.learning_rate,
+            weight_decay=scale.weight_decay,
+            seed=scale.seed,
+        ),
+    )
+    training_timer = Timer("training")
+    training_timer.time(trainer.fit, split.train)
+
+    sampler = PowerSampler(chip)
+    solver = FVMSolver(chip, nx=resolution, cells_per_layer=2)
+    hotspot = HotSpotModel(chip)
+    rng = np.random.default_rng(scale.seed + 11)
+    cases = sampler.sample_many(num_cases, rng)
+
+    fvm_timer = Timer("fvm")
+    hotspot_timer = Timer("hotspot")
+    operator_timer = Timer("sau_fno")
+    for case in cases:
+        fvm_timer.time(solver.solve, case.assignment)
+        hotspot_timer.time(hotspot.solve, case.assignment)
+        power_maps = sampler.rasterize(case, resolution, resolution)[None]
+        operator_timer.time(trainer.predict, power_maps)
+
+    return {
+        "chip": chip_name,
+        "resolution": resolution,
+        "fvm_seconds_per_case": fvm_timer.mean,
+        "hotspot_seconds_per_case": hotspot_timer.mean,
+        "operator_seconds_per_case": operator_timer.mean,
+        "training_seconds": training_timer.total,
+        "speedup_vs_fvm": speedup(fvm_timer.mean, operator_timer.mean),
+        "speedup_vs_hotspot": speedup(hotspot_timer.mean, operator_timer.mean),
+        "amortization_cases": training_timer.total / max(fvm_timer.mean, 1e-12),
+    }

@@ -1,0 +1,96 @@
+"""Table I: geometric structures and thermal parameters of the three chips.
+
+Unlike the other tables this one is a configuration table — regenerating it
+from the in-repo chip designs is a consistency check that the code encodes
+exactly the geometry the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.chip.designs import get_chip, list_chips
+
+
+_PAPER_TABLE1 = {
+    # (chip, row) -> (size string, conductivity W/mK, volumetric heat capacity J/m3K)
+    ("chip1", "device_layer"): ("16x16x0.15", 100.0, 1.75e6),
+    ("chip2", "device_layer"): ("12.4x12.76x0.15", 100.0, 1.75e6),
+    ("chip3", "device_layer"): ("10x10x0.1", 100.0, 1.75e6),
+    ("chip1", "tim"): ("16x16x0.02", 4.0, 4.00e6),
+    ("chip2", "tim"): ("12.4x12.76x0.02", 4.0, 4.00e6),
+    ("chip3", "tim"): ("10x10x0.052", 4.0, 4.00e6),
+}
+
+
+def run_table1() -> List[Dict[str, object]]:
+    """Regenerate Table I from the chip design code."""
+    rows: List[Dict[str, object]] = []
+    for chip_name in list_chips():
+        chip = get_chip(chip_name)
+        for layer in chip.layers:
+            rows.append(
+                {
+                    "Chip": chip.name,
+                    "Layer": layer.name,
+                    "Size (mm)": (
+                        f"{chip.die_width_mm:g}x{chip.die_height_mm:g}x{layer.thickness_mm:g}"
+                    ),
+                    "Conductivity (W/mK)": layer.material.conductivity,
+                    "Heat capacity (J/m3K)": f"{layer.material.volumetric_heat_capacity:.2e}",
+                    "TSV": "yes" if layer.tsv_array is not None else "-",
+                }
+            )
+        cooling = chip.cooling
+        rows.append(
+            {
+                "Chip": chip.name,
+                "Layer": "heat_spreader",
+                "Size (mm)": (
+                    f"{cooling.spreader.width_mm:g}x{cooling.spreader.height_mm:g}"
+                    f"x{cooling.spreader.thickness_mm:g}"
+                ),
+                "Conductivity (W/mK)": cooling.spreader.material.conductivity,
+                "Heat capacity (J/m3K)": f"{cooling.spreader.material.volumetric_heat_capacity:.2e}",
+                "TSV": "-",
+            }
+        )
+        rows.append(
+            {
+                "Chip": chip.name,
+                "Layer": "heat_sink",
+                "Size (mm)": (
+                    f"{cooling.sink.base_width_mm:g}x{cooling.sink.base_height_mm:g}"
+                    f"x{cooling.sink.base_thickness_mm:g} + {cooling.sink.fin_count} fins"
+                ),
+                "Conductivity (W/mK)": cooling.sink.material.conductivity,
+                "Heat capacity (J/m3K)": f"{cooling.sink.material.volumetric_heat_capacity:.2e}",
+                "TSV": "-",
+            }
+        )
+    return rows
+
+
+def check_against_paper() -> List[str]:
+    """Verify key Table I values against the paper; returns mismatch messages."""
+    mismatches: List[str] = []
+    for chip_name in list_chips():
+        chip = get_chip(chip_name)
+        device = chip.power_layers[0]
+        expected_size, expected_k, expected_cap = _PAPER_TABLE1[(chip_name, "device_layer")]
+        if abs(device.material.conductivity - expected_k) > 1e-9:
+            mismatches.append(
+                f"{chip_name} device layer conductivity {device.material.conductivity} "
+                f"!= paper value {expected_k}"
+            )
+        if abs(device.material.volumetric_heat_capacity - expected_cap) > 1e-3:
+            mismatches.append(
+                f"{chip_name} device layer heat capacity differs from the paper"
+            )
+        tim = chip.get_layer("tim")
+        _, tim_k, tim_cap = _PAPER_TABLE1[(chip_name, "tim")]
+        if abs(tim.material.conductivity - tim_k) > 1e-9:
+            mismatches.append(f"{chip_name} TIM conductivity differs from the paper")
+        if abs(tim.material.volumetric_heat_capacity - tim_cap) > 1e-3:
+            mismatches.append(f"{chip_name} TIM heat capacity differs from the paper")
+    return mismatches

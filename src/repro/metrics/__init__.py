@@ -1,0 +1,28 @@
+"""Evaluation metrics and timing utilities."""
+
+from repro.metrics.errors import (
+    rmse,
+    mae,
+    mape,
+    pape,
+    junction_temperature_error,
+    mean_temperature_error,
+    relative_l2,
+    evaluate_all,
+    MetricReport,
+)
+from repro.metrics.timing import Timer, speedup
+
+__all__ = [
+    "rmse",
+    "mae",
+    "mape",
+    "pape",
+    "junction_temperature_error",
+    "mean_temperature_error",
+    "relative_l2",
+    "evaluate_all",
+    "MetricReport",
+    "Timer",
+    "speedup",
+]

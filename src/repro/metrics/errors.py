@@ -1,0 +1,126 @@
+"""Accuracy metrics used in the paper's evaluation (Tables II and III).
+
+All metrics take prediction and ground-truth arrays of shape
+``(N, C, H, W)`` (or any matching shapes with the sample axis first) in
+physical units (kelvin):
+
+* ``rmse`` — root-mean-square error over all cells and samples.
+* ``mae`` / ``mean_temperature_error`` — mean absolute error ("Mean" column).
+* ``mape`` — mean absolute percentage error, in percent.
+* ``pape`` — peak absolute percentage error, in percent.
+* ``junction_temperature_error`` — mean absolute error of the per-sample
+  peak (junction) temperature ("Max" column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+
+def _check(prediction: np.ndarray, target: np.ndarray) -> None:
+    prediction = np.asarray(prediction)
+    target = np.asarray(target)
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"prediction shape {prediction.shape} does not match target shape {target.shape}"
+        )
+    if prediction.size == 0:
+        raise ValueError("cannot compute metrics on empty arrays")
+
+
+def rmse(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Root-mean-square error in kelvin."""
+    _check(prediction, target)
+    return float(np.sqrt(np.mean((np.asarray(prediction) - np.asarray(target)) ** 2)))
+
+
+def mae(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error in kelvin."""
+    _check(prediction, target)
+    return float(np.mean(np.abs(np.asarray(prediction) - np.asarray(target))))
+
+
+def mean_temperature_error(prediction: np.ndarray, target: np.ndarray) -> float:
+    """The "Mean" column of Table II: average absolute temperature error."""
+    return mae(prediction, target)
+
+
+def mape(prediction: np.ndarray, target: np.ndarray, eps: float = 1e-9) -> float:
+    """Mean absolute percentage error (percent)."""
+    _check(prediction, target)
+    prediction = np.asarray(prediction)
+    target = np.asarray(target)
+    return float(np.mean(np.abs(prediction - target) / (np.abs(target) + eps)) * 100.0)
+
+
+def pape(prediction: np.ndarray, target: np.ndarray, eps: float = 1e-9) -> float:
+    """Peak absolute percentage error (percent): the worst-case cell error."""
+    _check(prediction, target)
+    prediction = np.asarray(prediction)
+    target = np.asarray(target)
+    return float(np.max(np.abs(prediction - target) / (np.abs(target) + eps)) * 100.0)
+
+
+def junction_temperature_error(prediction: np.ndarray, target: np.ndarray) -> float:
+    """The "Max" column: mean absolute error of the per-sample peak temperature."""
+    _check(prediction, target)
+    prediction = np.asarray(prediction)
+    target = np.asarray(target)
+    samples = prediction.shape[0]
+    pred_peaks = prediction.reshape(samples, -1).max(axis=1)
+    true_peaks = target.reshape(samples, -1).max(axis=1)
+    return float(np.mean(np.abs(pred_peaks - true_peaks)))
+
+
+def relative_l2(prediction: np.ndarray, target: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean per-sample relative L2 error, the loss surrogate used by FNO papers."""
+    _check(prediction, target)
+    prediction = np.asarray(prediction)
+    target = np.asarray(target)
+    samples = prediction.shape[0]
+    diff = (prediction - target).reshape(samples, -1)
+    ref = target.reshape(samples, -1)
+    return float(
+        np.mean(np.linalg.norm(diff, axis=1) / (np.linalg.norm(ref, axis=1) + eps))
+    )
+
+
+@dataclass
+class MetricReport:
+    """The metric bundle reported in Tables II and III."""
+
+    rmse: float
+    mape: float
+    pape: float
+    max_error: float
+    mean_error: float
+    relative_l2: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "RMSE": self.rmse,
+            "MAPE": self.mape,
+            "PAPE": self.pape,
+            "Max": self.max_error,
+            "Mean": self.mean_error,
+            "RelL2": self.relative_l2,
+        }
+
+    def row(self, precision: int = 3) -> str:
+        values = self.as_dict()
+        return "  ".join(f"{name}={value:.{precision}f}" for name, value in values.items())
+
+
+def evaluate_all(prediction: np.ndarray, target: np.ndarray) -> MetricReport:
+    """Compute the full Table II metric bundle."""
+    return MetricReport(
+        rmse=rmse(prediction, target),
+        mape=mape(prediction, target),
+        pape=pape(prediction, target),
+        max_error=junction_temperature_error(prediction, target),
+        mean_error=mean_temperature_error(prediction, target),
+        relative_l2=relative_l2(prediction, target),
+    )

@@ -1,0 +1,56 @@
+"""Wall-clock timing helpers for the solver-versus-operator speedup study."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass
+class Timer:
+    """Accumulates wall-clock measurements of repeated runs."""
+
+    name: str = "timer"
+    samples: List[float] = field(default_factory=list)
+
+    def time(self, fn: Callable, *args, **kwargs):
+        """Run ``fn`` once, record its duration and return its result."""
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        self.samples.append(time.perf_counter() - start)
+        return result
+
+    def add(self, seconds: float) -> None:
+        self.samples.append(float(seconds))
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.samples))
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError(f"timer '{self.name}' has no samples")
+        return self.total / len(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def __repr__(self) -> str:
+        if not self.samples:
+            return f"Timer('{self.name}', empty)"
+        return f"Timer('{self.name}', mean={self.mean:.4f}s over {self.count} runs)"
+
+
+def speedup(reference_seconds: float, candidate_seconds: float) -> float:
+    """How many times faster the candidate is than the reference.
+
+    This is the quantity behind the paper's headline "842x speedup over FEM":
+    ``reference`` is the FEM solve time per case and ``candidate`` the
+    operator inference time per case.
+    """
+    if reference_seconds <= 0 or candidate_seconds <= 0:
+        raise ValueError("durations must be positive")
+    return reference_seconds / candidate_seconds

@@ -1,0 +1,42 @@
+"""Neural-network layer library built on :mod:`repro.autodiff`.
+
+Provides the building blocks of the SAU-FNO architecture: linear and
+convolutional layers, spectral (Fourier) convolutions, the U-Net bypass,
+the spatial/channel self-attention block, activations and normalisations,
+plus the ``Module`` container machinery (parameter registration,
+state-dict serialisation, train/eval modes).
+"""
+
+from repro.nn.module import Module, Parameter, Sequential, ModuleList
+from repro.nn.linear import Linear, MLP
+from repro.nn.conv import Conv2d, PointwiseConv2d
+from repro.nn.norm import BatchNorm2d, LayerNorm, InstanceNorm2d
+from repro.nn.activations import ReLU, GELU, Tanh, Sigmoid, LeakyReLU, Identity
+from repro.nn.spectral import SpectralConv2d, FourierLayer
+from repro.nn.unet import UNet2d
+from repro.nn.attention import SpatialChannelAttention, LinearAttention
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "MLP",
+    "Conv2d",
+    "PointwiseConv2d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "InstanceNorm2d",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "Sigmoid",
+    "LeakyReLU",
+    "Identity",
+    "SpectralConv2d",
+    "FourierLayer",
+    "UNet2d",
+    "SpatialChannelAttention",
+    "LinearAttention",
+]

@@ -1,0 +1,57 @@
+"""Activation layers wrapping :mod:`repro.autodiff.functional`."""
+
+from __future__ import annotations
+
+from repro.autodiff import functional as F
+from repro.autodiff.tensor import Tensor
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit layer."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class GELU(Module):
+    """Gaussian error linear unit layer (activation used throughout SAU-FNO)."""
+
+    def __init__(self, approximate: bool = False):
+        super().__init__()
+        self.approximate = approximate
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x, approximate=self.approximate)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent layer."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid layer."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU layer."""
+
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(x, self.negative_slope)
+
+
+class Identity(Module):
+    """No-op layer, useful as a configurable placeholder."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return Tensor.ensure(x)

@@ -1,0 +1,84 @@
+"""Fully-connected layers: ``Linear`` and a small multi-layer perceptron."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff import functional as F
+from repro.autodiff.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine transform ``y = x W^T + b`` applied to the last axis."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng=rng))
+        if bias:
+            bound = 1.0 / np.sqrt(in_features)
+            self.bias = Parameter(init.uniform((out_features,), -bound, bound, rng=rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor.ensure(x)
+        out = x @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features})"
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable activation.
+
+    Used for the lifting/projection networks ``P`` and ``Q`` of the operator
+    models and for the branch/trunk networks of the DeepONet baseline.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        activation: Callable[[Tensor], Tensor] = F.gelu,
+        final_activation: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if len(layer_sizes) < 2:
+            raise ValueError("MLP needs at least an input and an output size")
+        self.activation = activation
+        self.final_activation = final_activation
+        self.layer_sizes = list(layer_sizes)
+        self.layers = []
+        from repro.nn.module import ModuleList
+
+        self.layers = ModuleList(
+            Linear(n_in, n_out, rng=rng)
+            for n_in, n_out in zip(layer_sizes[:-1], layer_sizes[1:])
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = Tensor.ensure(x)
+        last = len(self.layers) - 1
+        for index, layer in enumerate(self.layers):
+            out = layer(out)
+            if index != last or self.final_activation:
+                out = self.activation(out)
+        return out
+
+    def __repr__(self) -> str:
+        return f"MLP(sizes={self.layer_sizes})"

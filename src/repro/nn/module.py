@@ -1,0 +1,221 @@
+"""Module containers: parameter registration, serialisation and modes.
+
+``Module`` mirrors the familiar ``torch.nn.Module`` contract closely enough
+that the operator models read naturally, while staying small: parameters and
+sub-modules are discovered through attribute assignment, ``state_dict`` /
+``load_state_dict`` serialise to plain NumPy arrays, and ``train`` / ``eval``
+toggle behaviours such as dropout and batch-norm statistics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor.  Always created with ``requires_grad=True``."""
+
+    def __init__(self, data, name: Optional[str] = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network modules."""
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Attribute registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        else:
+            self._parameters.pop(name, None)
+            self._modules.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable array that is still part of the state dict."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def add_module(self, name: str, module: "Module") -> None:
+        setattr(self, name, module)
+
+    # ------------------------------------------------------------------
+    # Parameter access
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix + name + ".")
+
+    def parameters(self) -> List[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix + name + ".")
+
+    def modules(self) -> List["Module"]:
+        return [module for _, module in self.named_modules()]
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return sum(param.size for param in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self._parameters.items():
+            state[prefix + name] = param.data.copy()
+        for name, buffer in self._buffers.items():
+            state[prefix + name] = np.asarray(buffer).copy()
+        for name, module in self._modules.items():
+            state.update(module.state_dict(prefix + name + "."))
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
+        for name, param in self._parameters.items():
+            key = prefix + name
+            if key not in state:
+                raise KeyError(f"missing parameter '{key}' in state dict")
+            value = np.asarray(state[key])
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for '{key}': expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.astype(param.data.dtype)
+        for name in self._buffers:
+            key = prefix + name
+            if key in state:
+                self._buffers[name] = np.asarray(state[key])
+                object.__setattr__(self, name, self._buffers[name])
+        for name, module in self._modules.items():
+            module.load_state_dict(state, prefix + name + ".")
+
+    def save(self, path: str) -> None:
+        """Save the state dict to an ``.npz`` file."""
+        np.savez(path, **self.state_dict())
+
+    def load(self, path: str) -> None:
+        """Load a state dict previously written by :meth:`save`."""
+        with np.load(path) as archive:
+            self.load_state_dict({key: archive[key] for key in archive.files})
+
+    def copy_from(self, other: "Module") -> None:
+        """Copy parameters from a module with an identical structure."""
+        self.load_state_dict(other.state_dict())
+
+    # ------------------------------------------------------------------
+    # Modes and dtype
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def astype(self, dtype) -> "Module":
+        """Cast all parameters and buffers to ``dtype`` in place."""
+        for param in self.parameters():
+            param.data = param.data.astype(dtype)
+        for module in self.modules():
+            for name, buffer in module._buffers.items():
+                if np.asarray(buffer).dtype.kind == "f":
+                    module._buffers[name] = np.asarray(buffer).astype(dtype)
+                    object.__setattr__(module, name, module._buffers[name])
+        return self
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"
+
+
+class Sequential(Module):
+    """Run sub-modules in order, feeding each output into the next module."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self._layers: List[Module] = []
+        for index, layer in enumerate(layers):
+            setattr(self, f"layer{index}", layer)
+            self._layers.append(layer)
+
+    def append(self, layer: Module) -> None:
+        index = len(self._layers)
+        setattr(self, f"layer{index}", layer)
+        self._layers.append(layer)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def forward(self, x):
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+
+class ModuleList(Module):
+    """A list of sub-modules whose parameters are registered with the parent."""
+
+    def __init__(self, modules: Optional[Iterable[Module]] = None):
+        super().__init__()
+        self._items: List[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        index = len(self._items)
+        setattr(self, f"item{index}", module)
+        self._items.append(module)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList is a container and cannot be called directly")

@@ -1,0 +1,95 @@
+"""Normalisation layers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.autodiff import functional as F
+from repro.autodiff.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over (B, C, H, W) tensors.
+
+    Running statistics are tracked in buffers so that evaluation-mode
+    behaviour is deterministic regardless of batch size.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((num_features,)))
+        self.bias = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor.ensure(x)
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm2d expected (B, {self.num_features}, H, W), got {x.shape}"
+            )
+        axes = (0, 2, 3)
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            momentum = self.momentum
+            new_mean = (1 - momentum) * self._buffers["running_mean"] + momentum * mean.data.reshape(-1)
+            new_var = (1 - momentum) * self._buffers["running_var"] + momentum * var.data.reshape(-1)
+            self.register_buffer("running_mean", new_mean)
+            self.register_buffer("running_var", new_var)
+        else:
+            mean = Tensor(self._buffers["running_mean"].reshape(1, -1, 1, 1))
+            var = Tensor(self._buffers["running_var"].reshape(1, -1, 1, 1))
+        normalized = (x - mean) / (var + self.eps).sqrt()
+        scale = self.weight.reshape(1, -1, 1, 1)
+        shift = self.bias.reshape(1, -1, 1, 1)
+        return normalized * scale + shift
+
+
+class InstanceNorm2d(Module):
+    """Instance normalisation: per-sample, per-channel spatial normalisation."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, affine: bool = True):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(init.ones((num_features,)))
+            self.bias = Parameter(init.zeros((num_features,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor.ensure(x)
+        mean = x.mean(axis=(2, 3), keepdims=True)
+        var = x.var(axis=(2, 3), keepdims=True)
+        normalized = (x - mean) / (var + self.eps).sqrt()
+        if self.affine:
+            normalized = normalized * self.weight.reshape(1, -1, 1, 1) + self.bias.reshape(
+                1, -1, 1, 1
+            )
+        return normalized
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the trailing ``normalized_shape`` dimensions."""
+
+    def __init__(self, normalized_shape: Sequence[int], eps: float = 1e-5):
+        super().__init__()
+        if isinstance(normalized_shape, int):
+            normalized_shape = (normalized_shape,)
+        self.normalized_shape = tuple(normalized_shape)
+        self.eps = eps
+        self.weight = Parameter(init.ones(self.normalized_shape))
+        self.bias = Parameter(init.zeros(self.normalized_shape))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor.ensure(x)
+        axes = tuple(range(x.ndim - len(self.normalized_shape), x.ndim))
+        return F.layer_norm(x, axes, weight=self.weight, bias=self.bias, eps=self.eps)

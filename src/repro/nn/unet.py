@@ -1,0 +1,114 @@
+"""The U-Net bypass used inside every U-Fourier layer.
+
+The paper's U-Net (Section IV, "Model Setting") is a standard 4-level
+encoder/decoder with 3x3 convolutions, ReLU activations, max-pooling on the
+way down and bilinear up-sampling followed by 3x3 convolutions on the way up,
+with skip connections between matching levels.  The number of levels and the
+base channel count are configurable so that the CPU-scale benchmark configs
+can use a lighter U-Net while keeping the architecture identical.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autodiff import functional as F
+from repro.autodiff.conv import bilinear_resize, max_pool2d
+from repro.autodiff.tensor import Tensor
+from repro.nn.conv import Conv2d
+from repro.nn.module import Module, ModuleList
+
+
+class DoubleConv(Module):
+    """Two 3x3 convolutions with ReLU activations (one U-Net level)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, kernel_size=3, padding=1, rng=rng)
+        self.conv2 = Conv2d(out_channels, out_channels, kernel_size=3, padding=1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = F.relu(self.conv1(x))
+        return F.relu(self.conv2(x))
+
+
+class UNet2d(Module):
+    """Encoder/decoder U-Net operating on (B, C, H, W) feature maps.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts of the input and output feature maps (equal when the
+        U-Net is used as the bypass of a U-Fourier layer).
+    base_channels:
+        Channels of the first encoder level; each level doubles it.  The
+        paper uses 64 (giving [64, 128, 256, 512]); the benchmark configs use
+        a smaller value so the whole pipeline trains on a CPU.
+    levels:
+        Number of down-sampling steps.  The paper uses 4.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        base_channels: int = 64,
+        levels: int = 4,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if levels < 1:
+            raise ValueError("UNet2d needs at least one level")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.base_channels = base_channels
+        self.levels = levels
+
+        encoder_channels = [base_channels * (2 ** i) for i in range(levels)]
+        bottleneck_channels = base_channels * (2 ** levels)
+
+        self.encoders = ModuleList()
+        previous = in_channels
+        for channels in encoder_channels:
+            self.encoders.append(DoubleConv(previous, channels, rng=rng))
+            previous = channels
+        self.bottleneck = DoubleConv(previous, bottleneck_channels, rng=rng)
+
+        self.decoders = ModuleList()
+        previous = bottleneck_channels
+        for channels in reversed(encoder_channels):
+            # After bilinear up-sampling the features are concatenated with the
+            # skip connection, hence the ``previous + channels`` input width.
+            self.decoders.append(DoubleConv(previous + channels, channels, rng=rng))
+            previous = channels
+        self.head = Conv2d(previous, out_channels, kernel_size=1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor.ensure(x)
+        skips: List[Tensor] = []
+        sizes: List[tuple] = []
+        out = x
+        for encoder in self.encoders:
+            out = encoder(out)
+            skips.append(out)
+            sizes.append(out.shape[2:])
+            out = max_pool2d(out, 2)
+        out = self.bottleneck(out)
+        for decoder, skip, size in zip(self.decoders, reversed(skips), reversed(sizes)):
+            out = bilinear_resize(out, size)
+            out = Tensor.cat([out, skip], axis=1)
+            out = decoder(out)
+        return self.head(out)
+
+    def __repr__(self) -> str:
+        return (
+            f"UNet2d(in={self.in_channels}, out={self.out_channels}, "
+            f"base={self.base_channels}, levels={self.levels})"
+        )

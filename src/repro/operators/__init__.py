@@ -1,0 +1,32 @@
+"""Neural-operator models: SAU-FNO and the baselines it is compared against.
+
+* :class:`FNO2d` — the plain Fourier Neural Operator (Li et al., 2020).
+* :class:`UFNO2d` — FNO with a U-Net bypass in the final layers (Wen et al.).
+* :class:`SAUFNO2d` — the paper's contribution: U-FNO plus a spatial/channel
+  self-attention block after the last U-Fourier layer.
+* :class:`DeepOHeatModel` — DeepONet-style branch/trunk operator (the
+  DeepOHeat baseline of the paper).
+* :class:`GARRegressor` — generalized-autoregression style linear surrogate
+  (the GAR baseline), with optional multi-fidelity fusion.
+"""
+
+from repro.operators.base import OperatorModel, coordinate_channels
+from repro.operators.fno import FNO2d
+from repro.operators.ufno import UFNO2d, UFourierLayer
+from repro.operators.sau_fno import SAUFNO2d
+from repro.operators.deeponet import DeepOHeatModel
+from repro.operators.gar import GARRegressor
+from repro.operators.factory import build_operator, OPERATOR_REGISTRY
+
+__all__ = [
+    "OperatorModel",
+    "coordinate_channels",
+    "FNO2d",
+    "UFNO2d",
+    "UFourierLayer",
+    "SAUFNO2d",
+    "DeepOHeatModel",
+    "GARRegressor",
+    "build_operator",
+    "OPERATOR_REGISTRY",
+]

@@ -1,0 +1,63 @@
+"""The plain Fourier Neural Operator baseline (Li et al., 2020)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.nn.module import ModuleList
+from repro.nn.spectral import FourierLayer
+from repro.operators.base import OperatorModel
+
+
+class FNO2d(OperatorModel):
+    """Stacked Fourier layers between a lifting and a projection network.
+
+    This is the "FNO" row of Table II: the same lifting/projection structure
+    as SAU-FNO but with neither the U-Net bypass nor the attention block, so
+    the comparison isolates the contribution of those components.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Number of power-map input channels and temperature output channels
+        (one per device layer of the chip).
+    width:
+        Hidden channel width of the Fourier layers.
+    modes1, modes2:
+        Retained Fourier modes along the two spatial axes (the paper uses 12
+        for Chip1/Chip2 and 24 for Chip3).
+    num_layers:
+        Number of Fourier layers.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        width: int = 32,
+        modes1: int = 12,
+        modes2: int = 12,
+        num_layers: int = 4,
+        use_coordinates: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(
+            in_channels, out_channels, width, use_coordinates=use_coordinates, rng=rng
+        )
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.modes1 = modes1
+        self.modes2 = modes2
+        self.num_layers = num_layers
+        self.fourier_layers = ModuleList(
+            FourierLayer(width, modes1, modes2, activation=(index < num_layers - 1), rng=rng)
+            for index in range(num_layers)
+        )
+
+    def hidden_forward(self, v: Tensor) -> Tensor:
+        for layer in self.fourier_layers:
+            v = layer(v)
+        return v

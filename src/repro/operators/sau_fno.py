@@ -1,0 +1,121 @@
+"""SAU-FNO: the paper's Self-Attention U-Net Fourier Neural Operator.
+
+The architecture (Section III, Fig. 1):
+
+1. **Lifting** ``P``: pointwise network to the hidden width.
+2. **Iterative layers**: ``L`` Fourier layers followed by ``M`` U-Fourier
+   layers (spectral kernel + U-Net bypass + linear bypass, Eq. 8).
+3. **Self-attention block** (Section III-B): built from 1x1 convolutions so
+   mesh invariance is preserved; applied after the last U-Fourier layer only
+   (the paper found attention after every layer gives no further benefit,
+   Section III-B last paragraph) — the placement is configurable here so the
+   ablation bench can reproduce that comparison.
+4. **Projection** ``Q`` back to the temperature channels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.nn.attention import LinearAttention, SpatialChannelAttention
+from repro.nn.module import ModuleList
+from repro.nn.spectral import FourierLayer
+from repro.operators.base import OperatorModel
+from repro.operators.ufno import UFourierLayer
+
+
+class SAUFNO2d(OperatorModel):
+    """Self-Attention U-Net Fourier Neural Operator.
+
+    Parameters
+    ----------
+    attention_placement:
+        ``"last"`` (paper default) applies the attention block after the
+        final U-Fourier layer; ``"all"`` applies one after every U-Fourier
+        layer; ``"none"`` disables attention (recovering U-FNO, used by the
+        ablation bench).
+    attention_type:
+        ``"softmax"`` for the full spatial attention map of Section III-B or
+        ``"linear"`` for the O(N) linear-attention variant, useful at high
+        grid resolutions.
+    attention_dim:
+        Dimension ``d`` of the query/key embeddings (64 in the paper).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        width: int = 32,
+        modes1: int = 12,
+        modes2: int = 12,
+        num_fourier_layers: int = 2,
+        num_ufourier_layers: int = 2,
+        unet_base_channels: int = 16,
+        unet_levels: int = 2,
+        attention_placement: str = "last",
+        attention_type: str = "softmax",
+        attention_dim: Optional[int] = None,
+        use_coordinates: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(
+            in_channels, out_channels, width, use_coordinates=use_coordinates, rng=rng
+        )
+        if attention_placement not in ("last", "all", "none"):
+            raise ValueError("attention_placement must be 'last', 'all' or 'none'")
+        if attention_type not in ("softmax", "linear"):
+            raise ValueError("attention_type must be 'softmax' or 'linear'")
+        if num_ufourier_layers < 1:
+            raise ValueError("need at least one U-Fourier layer")
+        self.modes1 = modes1
+        self.modes2 = modes2
+        self.num_fourier_layers = num_fourier_layers
+        self.num_ufourier_layers = num_ufourier_layers
+        self.attention_placement = attention_placement
+        self.attention_type = attention_type
+
+        self.fourier_layers = ModuleList(
+            FourierLayer(width, modes1, modes2, activation=True, rng=rng)
+            for _ in range(num_fourier_layers)
+        )
+        self.ufourier_layers = ModuleList(
+            UFourierLayer(
+                width,
+                modes1,
+                modes2,
+                unet_base_channels=unet_base_channels,
+                unet_levels=unet_levels,
+                activation=(index < num_ufourier_layers - 1),
+                rng=rng,
+            )
+            for index in range(num_ufourier_layers)
+        )
+
+        attention_cls = SpatialChannelAttention if attention_type == "softmax" else LinearAttention
+        if attention_placement == "none":
+            self.attention_blocks = ModuleList()
+        elif attention_placement == "last":
+            self.attention_blocks = ModuleList(
+                [attention_cls(width, embed_dim=attention_dim, rng=rng)]
+            )
+        else:
+            self.attention_blocks = ModuleList(
+                attention_cls(width, embed_dim=attention_dim, rng=rng)
+                for _ in range(num_ufourier_layers)
+            )
+
+    def hidden_forward(self, v: Tensor) -> Tensor:
+        for layer in self.fourier_layers:
+            v = layer(v)
+        total = len(self.ufourier_layers)
+        for index, layer in enumerate(self.ufourier_layers):
+            v = layer(v)
+            if self.attention_placement == "all":
+                v = self.attention_blocks[index](v)
+            elif self.attention_placement == "last" and index == total - 1:
+                v = self.attention_blocks[0](v)
+        return v

@@ -1,0 +1,120 @@
+"""U-FNO: Fourier layers followed by U-Fourier layers (Wen et al., 2022).
+
+A U-Fourier layer augments the Fourier layer with a U-Net bypass (Eq. 8):
+
+    v_{m,k+1}(x) = sigma( K v_{m,k}(x) + U v_{m,k}(x) + W v_{m,k}(x) )
+
+where ``K`` is the spectral kernel, ``U`` a small U-Net and ``W`` a pointwise
+linear operator.  The U-Net restores the local, high-frequency detail that
+the truncated Fourier kernel discards — in the thermal setting, the sharp
+temperature gradients at block boundaries and hot-spot peaks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autodiff import functional as F
+from repro.autodiff.tensor import Tensor
+from repro.nn.conv import PointwiseConv2d
+from repro.nn.module import Module, ModuleList
+from repro.nn.spectral import FourierLayer, SpectralConv2d
+from repro.nn.unet import UNet2d
+from repro.operators.base import OperatorModel
+
+
+class UFourierLayer(Module):
+    """One U-Fourier layer: spectral kernel + U-Net bypass + linear bypass."""
+
+    def __init__(
+        self,
+        channels: int,
+        modes1: int,
+        modes2: int,
+        unet_base_channels: int = 16,
+        unet_levels: int = 2,
+        activation: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.channels = channels
+        self.activation = activation
+        self.spectral = SpectralConv2d(channels, channels, modes1, modes2, rng=rng)
+        self.unet = UNet2d(
+            channels, channels, base_channels=unet_base_channels, levels=unet_levels, rng=rng
+        )
+        self.bypass = PointwiseConv2d(channels, channels, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.spectral(x) + self.unet(x) + self.bypass(x)
+        if self.activation:
+            out = F.gelu(out)
+        return out
+
+    def __repr__(self) -> str:
+        return f"UFourierLayer(channels={self.channels})"
+
+
+class UFNO2d(OperatorModel):
+    """Fourier layers followed by U-Fourier layers (the U-FNO baseline).
+
+    Parameters
+    ----------
+    num_fourier_layers:
+        Number of plain Fourier layers applied first (``L`` in Eq. 7).
+    num_ufourier_layers:
+        Number of U-Fourier layers applied afterwards (``M`` in Eq. 7).
+    unet_base_channels, unet_levels:
+        Size of the U-Net bypass inside every U-Fourier layer.  The paper
+        uses a 4-level U-Net with base width 64; the CPU benchmark configs
+        shrink this while keeping the architecture identical.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        width: int = 32,
+        modes1: int = 12,
+        modes2: int = 12,
+        num_fourier_layers: int = 2,
+        num_ufourier_layers: int = 2,
+        unet_base_channels: int = 16,
+        unet_levels: int = 2,
+        use_coordinates: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(
+            in_channels, out_channels, width, use_coordinates=use_coordinates, rng=rng
+        )
+        if num_fourier_layers < 0 or num_ufourier_layers < 1:
+            raise ValueError("need at least one U-Fourier layer and >= 0 Fourier layers")
+        self.modes1 = modes1
+        self.modes2 = modes2
+        self.num_fourier_layers = num_fourier_layers
+        self.num_ufourier_layers = num_ufourier_layers
+        self.fourier_layers = ModuleList(
+            FourierLayer(width, modes1, modes2, activation=True, rng=rng)
+            for _ in range(num_fourier_layers)
+        )
+        self.ufourier_layers = ModuleList(
+            UFourierLayer(
+                width,
+                modes1,
+                modes2,
+                unet_base_channels=unet_base_channels,
+                unet_levels=unet_levels,
+                activation=(index < num_ufourier_layers - 1),
+                rng=rng,
+            )
+            for index in range(num_ufourier_layers)
+        )
+
+    def hidden_forward(self, v: Tensor) -> Tensor:
+        for layer in self.fourier_layers:
+            v = layer(v)
+        for layer in self.ufourier_layers:
+            v = layer(v)
+        return v

@@ -1,0 +1,19 @@
+"""Optimizers and learning-rate schedulers."""
+
+from repro.optim.optimizers import Optimizer, SGD, Adam
+from repro.optim.schedulers import (
+    LRScheduler,
+    StepLR,
+    ExponentialLR,
+    CosineAnnealingLR,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+]

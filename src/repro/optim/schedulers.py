@@ -1,0 +1,74 @@
+"""Learning-rate schedulers.
+
+The paper uses a "decaying learning rate with the Adam optimizer"; the
+experiment harness uses :class:`StepLR` by default.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.optimizers import Optimizer
+
+
+class LRScheduler:
+    """Base class: tracks epochs and updates the optimizer's learning rate."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.last_epoch += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int = 50, gamma: float = 0.5):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * (self.gamma ** (self.last_epoch // self.step_size))
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.98):
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * (self.gamma ** self.last_epoch)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine annealing from the base learning rate down to ``eta_min``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        self.total_epochs = total_epochs
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.last_epoch, self.total_epochs) / self.total_epochs
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * progress))

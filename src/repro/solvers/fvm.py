@@ -1,0 +1,266 @@
+"""Steady-state finite-volume heat-conduction solver.
+
+This is the repository's stand-in for the FEM tools the paper uses (MTA,
+COMSOL): it solves the same steady heat-conduction problem
+
+    div(k grad T) + Q = 0
+
+on a structured voxel grid with
+
+* harmonic-mean interface conductivities between cells,
+* a Robin (convective) boundary on the top surface representing the TIM →
+  heat-spreader → heat-sink → air path (``-k dT/dn = h (T - T_amb)``),
+* a weaker Robin boundary on the bottom surface (package / board path), and
+* adiabatic lateral faces.
+
+The discrete system is symmetric positive definite and is solved with a
+sparse Cholesky-free direct factorisation (``scipy.sparse.linalg.spsolve``)
+or conjugate gradients for large grids.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+from repro.chip.stack import ChipStack
+from repro.solvers.voxelize import VoxelGrid, voxelize
+
+
+@dataclass
+class TemperatureField:
+    """Solution of a steady-state simulation.
+
+    Attributes
+    ----------
+    chip:
+        The simulated chip.
+    grid:
+        The voxel grid the PDE was discretised on.
+    values:
+        Cell-centred temperatures in kelvin, shape ``(nz, ny, nx)``.
+    solve_seconds:
+        Wall-clock time spent assembling and solving the linear system.
+    """
+
+    chip: ChipStack
+    grid: VoxelGrid
+    values: np.ndarray
+    solve_seconds: float
+
+    @property
+    def max_K(self) -> float:
+        """Junction (peak) temperature."""
+        return float(self.values.max())
+
+    @property
+    def min_K(self) -> float:
+        return float(self.values.min())
+
+    @property
+    def mean_K(self) -> float:
+        return float(self.values.mean())
+
+    def layer_map(self, layer_name: str) -> np.ndarray:
+        """Average temperature map (ny, nx) of one power layer."""
+        indices = self.grid.power_layer_slices.get(layer_name)
+        if not indices:
+            raise KeyError(f"'{layer_name}' is not a power layer of chip '{self.chip.name}'")
+        return self.values[indices].mean(axis=0)
+
+    def power_layer_maps(self) -> np.ndarray:
+        """Stack of per-power-layer temperature maps, shape (n_layers, ny, nx)."""
+        return np.stack([self.layer_map(name) for name in self.chip.power_layer_names])
+
+    def hotspot_location(self) -> Dict[str, float]:
+        """Grid coordinates (mm) and value of the peak temperature."""
+        flat_index = int(np.argmax(self.values))
+        z, y, x = np.unravel_index(flat_index, self.values.shape)
+        return {
+            "x_mm": (x + 0.5) * self.chip.die_width_mm / self.grid.nx,
+            "y_mm": (y + 0.5) * self.chip.die_height_mm / self.grid.ny,
+            "cell_z": float(z),
+            "temperature_K": float(self.values[z, y, x]),
+        }
+
+
+def _harmonic_mean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return 2.0 * a * b / (a + b)
+
+
+class FVMSolver:
+    """Steady-state finite-volume solver for a chip stack.
+
+    Parameters
+    ----------
+    chip:
+        The chip to simulate.
+    nx, ny:
+        In-plane resolution of the solver grid.
+    cells_per_layer:
+        Vertical cells per chip layer (2 resolves the through-layer gradient
+        well enough for the benchmark chips; increase for convergence
+        studies).
+    method:
+        ``"direct"`` (sparse LU) or ``"cg"`` (conjugate gradients with a
+        diagonal preconditioner).  Direct is faster for the grid sizes used
+        in the benchmarks.
+    """
+
+    def __init__(
+        self,
+        chip: ChipStack,
+        nx: int = 64,
+        ny: Optional[int] = None,
+        cells_per_layer: int = 2,
+        method: str = "direct",
+        cg_tolerance: float = 1e-9,
+    ):
+        if method not in ("direct", "cg"):
+            raise ValueError(f"unknown method '{method}'")
+        self.chip = chip
+        self.nx = nx
+        self.ny = ny or nx
+        self.cells_per_layer = cells_per_layer
+        self.method = method
+        self.cg_tolerance = cg_tolerance
+
+    # ------------------------------------------------------------------
+    def solve(self, power_assignment: Mapping[str, float]) -> TemperatureField:
+        """Solve for the steady temperature field under ``power_assignment``."""
+        grid = voxelize(
+            self.chip,
+            power_assignment,
+            nx=self.nx,
+            ny=self.ny,
+            cells_per_layer=self.cells_per_layer,
+        )
+        start = time.perf_counter()
+        matrix, rhs = self._assemble(grid)
+        temperatures = self._solve_linear(matrix, rhs)
+        elapsed = time.perf_counter() - start
+        values = temperatures.reshape(grid.nz, grid.ny, grid.nx)
+        return TemperatureField(chip=self.chip, grid=grid, values=values, solve_seconds=elapsed)
+
+    # ------------------------------------------------------------------
+    def _assemble(self, grid: VoxelGrid):
+        nz, ny, nx = grid.nz, grid.ny, grid.nx
+        dx, dy = grid.dx_m, grid.dy_m
+        dz = grid.dz_m
+        k = grid.conductivity
+
+        ambient = self.chip.cooling.ambient_K
+        top_htc = self.chip.cooling.effective_top_htc(self.chip.die_area_m2)
+        bottom_htc = self.chip.cooling.secondary_htc
+
+        n = grid.cell_count
+        index = np.arange(n).reshape(nz, ny, nx)
+
+        diag = np.zeros((nz, ny, nx))
+        rhs = np.zeros((nz, ny, nx))
+
+        rows = []
+        cols = []
+        vals = []
+
+        def add_pair(idx_a, idx_b, conductance):
+            rows.append(idx_a)
+            cols.append(idx_b)
+            vals.append(-conductance)
+
+        # x-direction faces
+        if nx > 1:
+            k_face = _harmonic_mean(k[:, :, :-1], k[:, :, 1:])
+            area = dy * dz[:, None, None]
+            conductance = k_face * area / dx
+            diag[:, :, :-1] += conductance
+            diag[:, :, 1:] += conductance
+            a = index[:, :, :-1].ravel()
+            b = index[:, :, 1:].ravel()
+            c = conductance.ravel()
+            add_pair(a, b, c)
+            add_pair(b, a, c)
+
+        # y-direction faces
+        if ny > 1:
+            k_face = _harmonic_mean(k[:, :-1, :], k[:, 1:, :])
+            area = dx * dz[:, None, None]
+            conductance = k_face * area / dy
+            diag[:, :-1, :] += conductance
+            diag[:, 1:, :] += conductance
+            a = index[:, :-1, :].ravel()
+            b = index[:, 1:, :].ravel()
+            c = conductance.ravel()
+            add_pair(a, b, c)
+            add_pair(b, a, c)
+
+        # z-direction faces (non-uniform spacing: distance between centres)
+        if nz > 1:
+            centre_distance = 0.5 * (dz[:-1] + dz[1:])
+            # Series conduction through the two half-cells.
+            k_lower = k[:-1]
+            k_upper = k[1:]
+            resist = (0.5 * dz[:-1])[:, None, None] / k_lower + (0.5 * dz[1:])[:, None, None] / k_upper
+            conductance = (dx * dy) / resist
+            diag[:-1] += conductance
+            diag[1:] += conductance
+            a = index[:-1].ravel()
+            b = index[1:].ravel()
+            c = conductance.ravel()
+            add_pair(a, b, c)
+            add_pair(b, a, c)
+            del centre_distance
+
+        face_area = dx * dy
+        # Top surface: Robin boundary through spreader + sink.  The boundary
+        # conductance is the series combination of the half-cell conduction
+        # and the film coefficient.
+        k_top = k[-1]
+        half_resistance = (0.5 * dz[-1]) / k_top
+        film_resistance = 1.0 / top_htc
+        top_conductance = face_area / (half_resistance + film_resistance)
+        diag[-1] += top_conductance
+        rhs[-1] += top_conductance * ambient
+
+        # Bottom surface: weak package path.
+        if bottom_htc > 0:
+            k_bottom = k[0]
+            half_resistance = (0.5 * dz[0]) / k_bottom
+            film_resistance = 1.0 / bottom_htc
+            bottom_conductance = face_area / (half_resistance + film_resistance)
+            diag[0] += bottom_conductance
+            rhs[0] += bottom_conductance * ambient
+
+        # Heat sources.
+        volumes = face_area * dz[:, None, None]
+        rhs += grid.heat_source * volumes
+
+        rows.append(index.ravel())
+        cols.append(index.ravel())
+        vals.append(diag.ravel())
+
+        rows = np.concatenate(rows)
+        cols = np.concatenate(cols)
+        vals = np.concatenate(vals)
+        matrix = sparse.csr_matrix((vals, (rows, cols)), shape=(n, n))
+        return matrix, rhs.ravel()
+
+    # ------------------------------------------------------------------
+    def _solve_linear(self, matrix: sparse.csr_matrix, rhs: np.ndarray) -> np.ndarray:
+        if self.method == "direct":
+            return sparse_linalg.spsolve(matrix.tocsc(), rhs)
+        diagonal = matrix.diagonal()
+        preconditioner = sparse_linalg.LinearOperator(
+            matrix.shape, matvec=lambda v: v / diagonal
+        )
+        solution, info = sparse_linalg.cg(
+            matrix, rhs, rtol=self.cg_tolerance, maxiter=20000, M=preconditioner
+        )
+        if info != 0:
+            raise RuntimeError(f"conjugate gradients failed to converge (info={info})")
+        return solution

@@ -1,0 +1,240 @@
+"""Block-level compact thermal model in the spirit of HotSpot.
+
+HotSpot (Huang et al., TVLSI 2006) models the chip as a network of lumped
+thermal resistances: one node per functional block per layer, vertical
+resistances between vertically adjacent blocks and towards the heat sink,
+lateral resistances between laterally adjacent blocks, and an empirical
+convection resistance from the sink to ambient.  It is much faster than a
+field solver but coarser: each block is isothermal and in-spreader lateral
+spreading is only captured through a lumped spreading term, which is why its
+temperatures deviate from FEM by several kelvin in Table IV of the paper.
+
+The implementation here follows that structure so the Table IV comparison
+(COMSOL/MTA/HotSpot/SAU-FNO) can be regenerated end to end.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.chip.floorplan import FloorplanBlock
+from repro.chip.stack import ChipStack
+
+
+@dataclass
+class BlockTemperatures:
+    """Solution of the compact model: one temperature per block node."""
+
+    chip: ChipStack
+    temperatures: Dict[str, float]
+    sink_temperature_K: float
+    solve_seconds: float
+
+    @property
+    def max_K(self) -> float:
+        return max(self.temperatures.values())
+
+    @property
+    def min_K(self) -> float:
+        return min(self.temperatures.values())
+
+    @property
+    def mean_K(self) -> float:
+        return float(np.mean(list(self.temperatures.values())))
+
+    def layer_map(self, layer_name: str, nx: int, ny: int) -> np.ndarray:
+        """Rasterise the block temperatures of one layer onto a grid."""
+        layer = self.chip.get_layer(layer_name)
+        if layer.floorplan is None:
+            raise ValueError(f"layer '{layer_name}' has no floorplan")
+        label = layer.floorplan.block_index_map(nx, ny)
+        result = np.full((ny, nx), self.sink_temperature_K)
+        for index, block in enumerate(layer.floorplan.blocks):
+            key = f"{layer_name}/{block.name}"
+            result[label == index] = self.temperatures[key]
+        return result
+
+    def power_layer_maps(self, nx: int, ny: int) -> np.ndarray:
+        return np.stack(
+            [self.layer_map(name, nx, ny) for name in self.chip.power_layer_names]
+        )
+
+
+def _overlap_area_mm2(a: FloorplanBlock, b: FloorplanBlock) -> float:
+    width = min(a.x2, b.x2) - max(a.x, b.x)
+    height = min(a.y2, b.y2) - max(a.y, b.y)
+    if width <= 0 or height <= 0:
+        return 0.0
+    return width * height
+
+
+def _shared_edge_mm(a: FloorplanBlock, b: FloorplanBlock, tolerance: float = 1e-9) -> float:
+    """Length of the shared edge between two laterally adjacent blocks."""
+    if abs(a.x2 - b.x) < tolerance or abs(b.x2 - a.x) < tolerance:
+        return max(0.0, min(a.y2, b.y2) - max(a.y, b.y))
+    if abs(a.y2 - b.y) < tolerance or abs(b.y2 - a.y) < tolerance:
+        return max(0.0, min(a.x2, b.x2) - max(a.x, b.x))
+    return 0.0
+
+
+class HotSpotModel:
+    """Compact (lumped RC) thermal model of a chip stack.
+
+    Parameters
+    ----------
+    chip:
+        The chip to model.
+    lateral_coupling:
+        Scale factor on lateral block-to-block conductances; 1.0 reproduces
+        plain 1D conduction through the shared edge cross-section.
+    """
+
+    def __init__(self, chip: ChipStack, lateral_coupling: float = 1.0):
+        self.chip = chip
+        self.lateral_coupling = lateral_coupling
+        self._node_names: List[str] = []
+        for layer in chip.layers:
+            if layer.floorplan is None:
+                continue
+            for block in layer.floorplan.blocks:
+                self._node_names.append(f"{layer.name}/{block.name}")
+        if not self._node_names:
+            raise ValueError("the chip has no floorplanned layers to model")
+
+    @property
+    def node_names(self) -> List[str]:
+        return list(self._node_names)
+
+    # ------------------------------------------------------------------
+    def solve(self, power_assignment: Mapping[str, float]) -> BlockTemperatures:
+        """Solve the thermal network for the given block powers (W)."""
+        start = time.perf_counter()
+        chip = self.chip
+        nodes = self._node_names + ["__sink__"]
+        node_index = {name: i for i, name in enumerate(nodes)}
+        n = len(nodes)
+        conductance = np.zeros((n, n))
+        power = np.zeros(n)
+
+        floorplanned = [layer for layer in chip.layers if layer.floorplan is not None]
+
+        # Vertical coupling between consecutive floorplanned layers (the thin
+        # TIM between the top device layer and the spreader is handled in the
+        # sink resistance below if it has no floorplan).
+        layer_positions = [chip.layer_index(layer.name) for layer in floorplanned]
+        for (layer_a, pos_a), (layer_b, pos_b) in zip(
+            zip(floorplanned[:-1], layer_positions[:-1]),
+            zip(floorplanned[1:], layer_positions[1:]),
+        ):
+            # Material between the two layers: half of each plus any passive
+            # layers sandwiched between them.
+            for block_a in layer_a.floorplan.blocks:
+                for block_b in layer_b.floorplan.blocks:
+                    area_mm2 = _overlap_area_mm2(block_a, block_b)
+                    if area_mm2 <= 0:
+                        continue
+                    area_m2 = area_mm2 * 1e-6
+                    resistance = (
+                        0.5 * layer_a.thickness_m / (layer_a.effective_material.conductivity * area_m2)
+                        + 0.5 * layer_b.thickness_m / (layer_b.effective_material.conductivity * area_m2)
+                    )
+                    for middle in chip.layers[pos_a + 1:pos_b]:
+                        resistance += middle.thickness_m / (
+                            middle.effective_material.conductivity * area_m2
+                        )
+                    g = 1.0 / resistance
+                    i = node_index[f"{layer_a.name}/{block_a.name}"]
+                    j = node_index[f"{layer_b.name}/{block_b.name}"]
+                    conductance[i, j] -= g
+                    conductance[j, i] -= g
+                    conductance[i, i] += g
+                    conductance[j, j] += g
+
+        # Lateral coupling within each layer.
+        for layer in floorplanned:
+            thickness_m = layer.thickness_m
+            k = layer.effective_material.conductivity
+            blocks = layer.floorplan.blocks
+            for a_index, block_a in enumerate(blocks):
+                for block_b in blocks[a_index + 1:]:
+                    edge_mm = _shared_edge_mm(block_a, block_b)
+                    if edge_mm <= 0:
+                        continue
+                    cross_section_m2 = edge_mm * 1e-3 * thickness_m
+                    # Centre-to-centre distance as the conduction length.
+                    dx = (block_a.x + block_a.width / 2) - (block_b.x + block_b.width / 2)
+                    dy = (block_a.y + block_a.height / 2) - (block_b.y + block_b.height / 2)
+                    distance_m = float(np.hypot(dx, dy)) * 1e-3
+                    g = self.lateral_coupling * k * cross_section_m2 / distance_m
+                    i = node_index[f"{layer.name}/{block_a.name}"]
+                    j = node_index[f"{layer.name}/{block_b.name}"]
+                    conductance[i, j] -= g
+                    conductance[j, i] -= g
+                    conductance[i, i] += g
+                    conductance[j, j] += g
+
+        # Path from the top floorplanned layer to the sink node: through the
+        # passive layers above it (TIM) plus the spreading-free package
+        # resistance of each block column (HotSpot's simplification).
+        top_layer = floorplanned[-1]
+        top_position = chip.layer_index(top_layer.name)
+        passive_above = chip.layers[top_position + 1:]
+        sink_index = node_index["__sink__"]
+        die_area_m2 = chip.die_area_m2
+        top_resistance_total = chip.cooling.top_resistance(die_area_m2)
+        for block in top_layer.floorplan.blocks:
+            area_m2 = block.area_mm2 * 1e-6
+            resistance = 0.5 * top_layer.thickness_m / (
+                top_layer.effective_material.conductivity * area_m2
+            )
+            for layer in passive_above:
+                resistance += layer.thickness_m / (layer.effective_material.conductivity * area_m2)
+            # Block's share of the lumped spreader/sink/air resistance,
+            # apportioned by area (no lateral spreading credit — the key
+            # simplification that separates HotSpot from the field solvers).
+            resistance += top_resistance_total * (die_area_m2 / area_m2)
+            g = 1.0 / resistance
+            i = node_index[f"{top_layer.name}/{block.name}"]
+            conductance[i, sink_index] -= g
+            conductance[sink_index, i] -= g
+            conductance[i, i] += g
+            conductance[sink_index, sink_index] += g
+
+        # Sink node to ambient: the air-side convection only (the conduction
+        # part was charged to the per-block columns above).
+        sink_to_ambient = 1.0 / chip.cooling.sink.convection_resistance()
+        conductance[sink_index, sink_index] += sink_to_ambient
+        ambient = chip.cooling.ambient_K
+        power[sink_index] += sink_to_ambient * ambient
+
+        # Secondary path from the bottom layer to ambient.
+        bottom_layer = floorplanned[0]
+        if chip.cooling.secondary_htc > 0:
+            for block in bottom_layer.floorplan.blocks:
+                area_m2 = block.area_mm2 * 1e-6
+                g = chip.cooling.secondary_htc * area_m2
+                i = node_index[f"{bottom_layer.name}/{block.name}"]
+                conductance[i, i] += g
+                power[i] += g * ambient
+
+        # Block power injection.
+        for key, value in power_assignment.items():
+            if key not in node_index:
+                raise KeyError(f"power assigned to unknown block '{key}'")
+            power[node_index[key]] += float(value)
+
+        temperatures = np.linalg.solve(conductance, power)
+        elapsed = time.perf_counter() - start
+        block_temps = {
+            name: float(temperatures[node_index[name]]) for name in self._node_names
+        }
+        return BlockTemperatures(
+            chip=chip,
+            temperatures=block_temps,
+            sink_temperature_K=float(temperatures[sink_index]),
+            solve_seconds=elapsed,
+        )

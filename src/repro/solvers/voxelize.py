@@ -1,0 +1,155 @@
+"""Voxelisation of a chip stack onto a structured solver grid.
+
+The finite-volume solver works on a structured grid covering the die
+footprint: ``nx`` x ``ny`` cells in-plane and a configurable number of cells
+per layer in the vertical direction.  This module converts a
+:class:`~repro.chip.ChipStack` plus a per-block power assignment into the
+cell-centred conductivity and volumetric heat-source fields the solver needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chip.stack import ChipStack
+
+
+@dataclass
+class VoxelGrid:
+    """Cell-centred voxel representation of a chip stack.
+
+    Attributes
+    ----------
+    chip:
+        The chip the grid was built from.
+    nx, ny:
+        In-plane resolution (cells along x and y).
+    dz_mm:
+        Thickness of every vertical cell, bottom to top (length ``nz``).
+    conductivity:
+        Cell conductivities, shape ``(nz, ny, nx)`` in W/(m·K).
+    heat_source:
+        Volumetric heat generation, shape ``(nz, ny, nx)`` in W/m^3.
+    layer_of_cell:
+        For every vertical cell index, the index of the chip layer it
+        belongs to.
+    power_layer_slices:
+        Mapping from power-layer name to the vertical cell indices that
+        represent it (used to extract per-layer temperature maps).
+    """
+
+    chip: ChipStack
+    nx: int
+    ny: int
+    dz_mm: np.ndarray
+    conductivity: np.ndarray
+    heat_source: np.ndarray
+    layer_of_cell: np.ndarray
+    power_layer_slices: Dict[str, List[int]]
+
+    @property
+    def nz(self) -> int:
+        return len(self.dz_mm)
+
+    @property
+    def dx_m(self) -> float:
+        return self.chip.die_width_mm * 1e-3 / self.nx
+
+    @property
+    def dy_m(self) -> float:
+        return self.chip.die_height_mm * 1e-3 / self.ny
+
+    @property
+    def dz_m(self) -> np.ndarray:
+        return self.dz_mm * 1e-3
+
+    @property
+    def cell_count(self) -> int:
+        return self.nz * self.ny * self.nx
+
+    def total_power_W(self) -> float:
+        """Integral of the heat source over the die volume."""
+        volumes = self.dx_m * self.dy_m * self.dz_m[:, None, None]
+        return float((self.heat_source * volumes).sum())
+
+
+def _cells_per_layer(chip: ChipStack, cells_per_layer: int, min_cell_mm: float) -> List[int]:
+    counts = []
+    for layer in chip.layers:
+        count = max(1, min(cells_per_layer, int(round(layer.thickness_mm / min_cell_mm))))
+        counts.append(count)
+    return counts
+
+
+def voxelize(
+    chip: ChipStack,
+    power_assignment: Mapping[str, float],
+    nx: int,
+    ny: Optional[int] = None,
+    cells_per_layer: int = 2,
+    min_cell_mm: float = 0.01,
+) -> VoxelGrid:
+    """Build the voxel grid for ``chip`` under a given power assignment.
+
+    Parameters
+    ----------
+    chip:
+        The chip stack to voxelize.
+    power_assignment:
+        Flat mapping ``"layer/block" -> power in W`` covering (a subset of)
+        the chip's power-dissipating blocks.
+    nx, ny:
+        In-plane resolution; ``ny`` defaults to ``nx``.
+    cells_per_layer:
+        Maximum number of vertical cells per chip layer (thin layers get
+        fewer cells, never below one).
+    min_cell_mm:
+        Minimum vertical cell thickness, used to limit the cell count of
+        thick layers.
+    """
+    if nx < 2:
+        raise ValueError("nx must be at least 2")
+    ny = ny or nx
+    per_layer_counts = _cells_per_layer(chip, cells_per_layer, min_cell_mm)
+    per_layer_power = chip.split_power_assignment(dict(power_assignment))
+
+    dz_list: List[float] = []
+    conductivity_slabs: List[np.ndarray] = []
+    source_slabs: List[np.ndarray] = []
+    layer_of_cell: List[int] = []
+    power_layer_slices: Dict[str, List[int]] = {name: [] for name in chip.power_layer_names}
+
+    cell_index = 0
+    for layer_index, (layer, count) in enumerate(zip(chip.layers, per_layer_counts)):
+        sub_thickness = layer.thickness_mm / count
+        conductivity_plane = np.full((ny, nx), layer.effective_material.conductivity)
+        if layer.is_power_layer:
+            density_w_per_m2 = layer.floorplan.power_density_map(
+                per_layer_power.get(layer.name, {}), nx, ny
+            )
+            # Spread the areal density through the layer thickness to get W/m^3.
+            volumetric = density_w_per_m2 / (layer.thickness_mm * 1e-3)
+        else:
+            volumetric = np.zeros((ny, nx))
+        for _ in range(count):
+            dz_list.append(sub_thickness)
+            conductivity_slabs.append(conductivity_plane)
+            source_slabs.append(volumetric)
+            layer_of_cell.append(layer_index)
+            if layer.is_power_layer:
+                power_layer_slices[layer.name].append(cell_index)
+            cell_index += 1
+
+    return VoxelGrid(
+        chip=chip,
+        nx=nx,
+        ny=ny,
+        dz_mm=np.asarray(dz_list, dtype=np.float64),
+        conductivity=np.stack(conductivity_slabs).astype(np.float64),
+        heat_source=np.stack(source_slabs).astype(np.float64),
+        layer_of_cell=np.asarray(layer_of_cell, dtype=np.int64),
+        power_layer_slices=power_layer_slices,
+    )

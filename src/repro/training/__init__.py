@@ -1,0 +1,20 @@
+"""Training: supervised trainer, transfer learning and callbacks."""
+
+from repro.training.trainer import Trainer, TrainingConfig, TrainingHistory
+from repro.training.transfer import TransferLearningConfig, TransferLearningTrainer, TransferResult
+from repro.training.callbacks import Callback, EarlyStopping, ProgressLogger
+from repro.training.tuning import GridSearch, GridSearchResult
+
+__all__ = [
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "TransferLearningConfig",
+    "TransferLearningTrainer",
+    "TransferResult",
+    "Callback",
+    "EarlyStopping",
+    "ProgressLogger",
+    "GridSearch",
+    "GridSearchResult",
+]

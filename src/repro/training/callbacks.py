@@ -1,0 +1,72 @@
+"""Training callbacks: early stopping and progress logging."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Callback:
+    """Base callback: hooks invoked by the trainer around every epoch."""
+
+    def on_epoch_end(self, epoch: int, train_loss: float, val_loss: Optional[float]) -> None:
+        """Called after every epoch with the epoch index and losses."""
+
+    def should_stop(self) -> bool:
+        """Return True to terminate training early."""
+        return False
+
+
+class EarlyStopping(Callback):
+    """Stop training when the monitored loss stops improving.
+
+    Parameters
+    ----------
+    patience:
+        Number of epochs without improvement tolerated before stopping.
+    min_delta:
+        Minimum decrease in the monitored loss that counts as improvement.
+    monitor_validation:
+        If True, monitor the validation loss (falling back to the training
+        loss when no validation data is provided).
+    """
+
+    def __init__(self, patience: int = 20, min_delta: float = 0.0, monitor_validation: bool = True):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.monitor_validation = monitor_validation
+        self.best: Optional[float] = None
+        self.wait = 0
+        self.stopped_epoch: Optional[int] = None
+
+    def on_epoch_end(self, epoch: int, train_loss: float, val_loss: Optional[float]) -> None:
+        value = val_loss if (self.monitor_validation and val_loss is not None) else train_loss
+        if self.best is None or value < self.best - self.min_delta:
+            self.best = value
+            self.wait = 0
+        else:
+            self.wait += 1
+            if self.wait >= self.patience:
+                self.stopped_epoch = epoch
+
+    def should_stop(self) -> bool:
+        return self.stopped_epoch is not None
+
+
+class ProgressLogger(Callback):
+    """Print the loss every ``every`` epochs."""
+
+    def __init__(self, every: int = 10, prefix: str = ""):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.every = every
+        self.prefix = prefix
+
+    def on_epoch_end(self, epoch: int, train_loss: float, val_loss: Optional[float]) -> None:
+        if (epoch + 1) % self.every:
+            return
+        message = f"{self.prefix}epoch {epoch + 1}: train_loss={train_loss:.5f}"
+        if val_loss is not None:
+            message += f" val_loss={val_loss:.5f}"
+        print(message)

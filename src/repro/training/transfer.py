@@ -1,0 +1,112 @@
+"""Multi-fidelity transfer learning (Section III-C).
+
+The paper's recipe:
+
+1. **Pre-training** — train the model on a large amount of low-fidelity
+   (coarse-grid) data with the standard learning rate.
+2. **Fine-tuning** — continue training the same weights on a small amount of
+   high-fidelity (fine-grid) data with a learning rate roughly one order of
+   magnitude smaller.
+
+Because every model in the FNO family is mesh-invariant, the pre-trained
+weights transfer across grid resolutions unchanged; only the normalisation
+statistics are re-fitted on the high-fidelity data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import ThermalDataset
+from repro.metrics.errors import MetricReport
+from repro.nn.module import Module
+from repro.training.callbacks import Callback
+from repro.training.trainer import Trainer, TrainingConfig, TrainingHistory
+
+
+@dataclass
+class TransferLearningConfig:
+    """Hyper-parameters of the two-stage transfer-learning pipeline."""
+
+    pretrain: TrainingConfig = field(default_factory=lambda: TrainingConfig(learning_rate=1e-4))
+    finetune_lr_scale: float = 0.1
+    finetune_epochs: Optional[int] = None
+    refit_normalizers: bool = True
+
+    def finetune_config(self) -> TrainingConfig:
+        """The fine-tuning stage config derived from the pre-training config."""
+        return replace(
+            self.pretrain,
+            learning_rate=self.pretrain.learning_rate * self.finetune_lr_scale,
+            epochs=self.finetune_epochs or self.pretrain.epochs,
+        )
+
+
+@dataclass
+class TransferResult:
+    """Outcome of a transfer-learning run."""
+
+    pretrain_history: TrainingHistory
+    finetune_history: TrainingHistory
+    metrics: MetricReport
+    pretrain_seconds: float
+    finetune_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.pretrain_seconds + self.finetune_seconds
+
+
+class TransferLearningTrainer:
+    """Pre-train on low-fidelity data, then fine-tune on high-fidelity data."""
+
+    def __init__(self, model: Module, config: Optional[TransferLearningConfig] = None):
+        self.model = model
+        self.config = config or TransferLearningConfig()
+        self.pretrain_trainer: Optional[Trainer] = None
+        self.finetune_trainer: Optional[Trainer] = None
+
+    def run(
+        self,
+        low_fidelity: ThermalDataset,
+        high_fidelity_train: ThermalDataset,
+        high_fidelity_test: ThermalDataset,
+        callbacks: Sequence[Callback] = (),
+    ) -> TransferResult:
+        """Execute both stages and evaluate on the high-fidelity test split."""
+        config = self.config
+
+        self.pretrain_trainer = Trainer(self.model, config.pretrain)
+        pretrain_history = self.pretrain_trainer.fit(low_fidelity, callbacks=callbacks)
+
+        finetune_config = config.finetune_config()
+        if config.refit_normalizers:
+            input_norm, output_norm = high_fidelity_train.fit_normalizers()
+        else:
+            input_norm = self.pretrain_trainer.input_normalizer
+            output_norm = self.pretrain_trainer.output_normalizer
+        self.finetune_trainer = Trainer(
+            self.model,
+            finetune_config,
+            input_normalizer=input_norm,
+            output_normalizer=output_norm,
+        )
+        finetune_history = self.finetune_trainer.fit(high_fidelity_train, callbacks=callbacks)
+
+        metrics = self.finetune_trainer.evaluate(high_fidelity_test)
+        return TransferResult(
+            pretrain_history=pretrain_history,
+            finetune_history=finetune_history,
+            metrics=metrics,
+            pretrain_seconds=pretrain_history.total_seconds,
+            finetune_seconds=finetune_history.total_seconds,
+        )
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Predict with the fine-tuned model (kelvin outputs)."""
+        if self.finetune_trainer is None:
+            raise RuntimeError("run() must be called before predict()")
+        return self.finetune_trainer.predict(inputs)

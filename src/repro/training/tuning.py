@@ -1,0 +1,79 @@
+"""A small grid-search helper standing in for the paper's Optuna/W&B tuning."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.data.dataset import ThermalDataset
+from repro.training.trainer import Trainer, TrainingConfig
+
+
+@dataclass
+class GridSearchResult:
+    """All evaluated configurations with their validation losses."""
+
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add(self, params: Dict[str, Any], score: float) -> None:
+        self.records.append({"params": dict(params), "score": float(score)})
+
+    @property
+    def best(self) -> Dict[str, Any]:
+        if not self.records:
+            raise ValueError("grid search has no results")
+        return min(self.records, key=lambda record: record["score"])
+
+    def best_params(self) -> Dict[str, Any]:
+        return self.best["params"]
+
+
+class GridSearch:
+    """Exhaustive search over model hyper-parameters.
+
+    Parameters
+    ----------
+    model_builder:
+        Callable mapping a parameter dictionary to a fresh model instance.
+    training_config:
+        Training hyper-parameters shared by every trial.
+    """
+
+    def __init__(
+        self,
+        model_builder: Callable[[Dict[str, Any]], Any],
+        training_config: TrainingConfig,
+        parameter_grid: Dict[str, Sequence[Any]],
+    ):
+        if not parameter_grid:
+            raise ValueError("parameter_grid must not be empty")
+        self.model_builder = model_builder
+        self.training_config = training_config
+        self.parameter_grid = parameter_grid
+
+    def iterate_grid(self):
+        """Yield every parameter combination as a dictionary."""
+        keys = sorted(self.parameter_grid)
+        for values in itertools.product(*(self.parameter_grid[key] for key in keys)):
+            yield dict(zip(keys, values))
+
+    def run(
+        self,
+        train_data: ThermalDataset,
+        validation_data: ThermalDataset,
+        verbose: bool = False,
+    ) -> GridSearchResult:
+        """Train one model per grid point and record its validation loss."""
+        result = GridSearchResult()
+        for params in self.iterate_grid():
+            model = self.model_builder(params)
+            trainer = Trainer(model, self.training_config)
+            trainer.fit(train_data)
+            score = trainer.validation_loss(validation_data)
+            result.add(params, score)
+            if verbose:
+                print(f"grid point {params}: val_loss={score:.5f}")
+        return result

@@ -1,0 +1,120 @@
+"""Tests for the composite functions (activations, losses, softmax...)."""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.autodiff import functional as F
+from repro.autodiff.tensor import Tensor
+from tests.conftest import assert_gradients_close, numerical_gradient
+
+
+class TestActivations:
+    def test_gelu_matches_reference(self, rng):
+        x = rng.standard_normal((100,))
+        expected = 0.5 * x * (1 + special.erf(x / np.sqrt(2)))
+        np.testing.assert_allclose(F.gelu(Tensor(x)).data, expected, rtol=1e-6)
+
+    def test_gelu_tanh_approximation_close_to_exact(self, rng):
+        x = rng.standard_normal((200,))
+        exact = F.gelu(Tensor(x)).data
+        approx = F.gelu(Tensor(x), approximate=True).data
+        assert np.abs(exact - approx).max() < 5e-3
+
+    def test_gelu_gradcheck(self, rng):
+        x = rng.standard_normal((4, 5))
+        xt = Tensor(x.copy(), requires_grad=True)
+        (F.gelu(xt) ** 2).mean().backward()
+
+        def scalar():
+            return float((F.gelu(Tensor(x)) ** 2).mean().data)
+
+        assert_gradients_close(xt.grad, numerical_gradient(scalar, x))
+
+    def test_relu_and_leaky_relu(self):
+        x = Tensor(np.array([-2.0, 0.0, 3.0]))
+        np.testing.assert_allclose(F.relu(x).data, [0.0, 0.0, 3.0])
+        np.testing.assert_allclose(F.leaky_relu(x, 0.1).data, [-0.2, 0.0, 3.0])
+
+    def test_softplus_positive_and_close_to_relu_for_large_input(self):
+        x = Tensor(np.array([-30.0, 0.0, 30.0]))
+        out = F.softplus(x).data
+        assert (out >= 0).all()
+        assert out[2] == pytest.approx(30.0, abs=1e-6)
+
+    def test_sigmoid_range(self, rng):
+        out = F.sigmoid(Tensor(rng.standard_normal(50) * 5)).data
+        assert (out > 0).all() and (out < 1).all()
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = F.softmax(Tensor(rng.standard_normal((6, 9))), axis=-1).data
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(6), rtol=1e-6)
+
+    def test_invariant_to_shift(self, rng):
+        x = rng.standard_normal((3, 4))
+        a = F.softmax(Tensor(x), axis=-1).data
+        b = F.softmax(Tensor(x + 100.0), axis=-1).data
+        np.testing.assert_allclose(a, b, rtol=1e-5)
+
+    def test_log_softmax_consistency(self, rng):
+        x = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(
+            F.log_softmax(Tensor(x)).data, np.log(F.softmax(Tensor(x)).data), rtol=1e-5
+        )
+
+    def test_softmax_gradcheck(self, rng):
+        x = rng.standard_normal((2, 5))
+        xt = Tensor(x.copy(), requires_grad=True)
+        (F.softmax(xt, axis=-1) ** 2).sum().backward()
+
+        def scalar():
+            return float((F.softmax(Tensor(x), axis=-1) ** 2).sum().data)
+
+        assert_gradients_close(xt.grad, numerical_gradient(scalar, x))
+
+
+class TestLossesAndNorm:
+    def test_mse_loss_value(self):
+        pred = Tensor(np.array([1.0, 2.0, 3.0]))
+        target = Tensor(np.array([1.0, 1.0, 1.0]))
+        assert F.mse_loss(pred, target).item() == pytest.approx(5.0 / 3.0)
+
+    def test_l1_loss_value(self):
+        pred = Tensor(np.array([1.0, -2.0]))
+        target = Tensor(np.array([0.0, 0.0]))
+        assert F.l1_loss(pred, target).item() == pytest.approx(1.5)
+
+    def test_relative_l2_zero_for_exact_prediction(self, rng):
+        x = rng.standard_normal((4, 2, 3, 3))
+        assert F.relative_l2_loss(Tensor(x), Tensor(x.copy())).item() < 1e-6
+
+    def test_huber_quadratic_then_linear(self):
+        pred = Tensor(np.array([0.5, 3.0]))
+        target = Tensor(np.zeros(2))
+        loss = F.huber_loss(pred, target, delta=1.0).item()
+        assert loss == pytest.approx((0.5 * 0.25 + (0.5 + 2.0)) / 2)
+
+    def test_mse_gradcheck(self, rng):
+        pred = rng.standard_normal((3, 4))
+        target = rng.standard_normal((3, 4))
+        pt = Tensor(pred.copy(), requires_grad=True)
+        F.mse_loss(pt, Tensor(target)).backward()
+        np.testing.assert_allclose(pt.grad, 2 * (pred - target) / pred.size, rtol=1e-5)
+
+    def test_layer_norm_statistics(self, rng):
+        x = rng.standard_normal((4, 10)) * 5 + 3
+        out = F.layer_norm(Tensor(x), normalized_axes=(1,)).data
+        np.testing.assert_allclose(out.mean(axis=1), np.zeros(4), atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=1), np.ones(4), atol=1e-2)
+
+    def test_dropout_train_and_eval(self, rng):
+        x = Tensor(np.ones((1000,)))
+        dropped = F.dropout(x, p=0.5, training=True, rng=rng).data
+        assert dropped.mean() == pytest.approx(1.0, abs=0.15)
+        np.testing.assert_allclose(F.dropout(x, p=0.5, training=False).data, x.data)
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), p=1.0)

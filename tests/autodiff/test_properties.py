@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for the autodiff core.
+
+These check algebraic invariants of the tape — linearity of gradients,
+consistency with NumPy forward results, adjoint correctness of the spectral
+op — on randomly generated shapes and values.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autodiff import functional as F
+from repro.autodiff.spectral import spectral_conv2d
+from repro.autodiff.tensor import Tensor, unbroadcast
+
+_settings = settings(max_examples=25, deadline=None)
+
+finite_floats = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_side=5, dims=2):
+    shape = st.tuples(*([st.integers(1, max_side)] * dims))
+    return shape.flatmap(
+        lambda s: hnp.arrays(np.float64, s, elements=finite_floats)
+    )
+
+
+class TestAlgebraicProperties:
+    @_settings
+    @given(small_arrays())
+    def test_forward_matches_numpy(self, array):
+        tensor = Tensor(array)
+        np.testing.assert_allclose((tensor * 2 + 1).data, array * 2 + 1, rtol=1e-12)
+
+    @_settings
+    @given(small_arrays())
+    def test_sum_gradient_is_ones(self, array):
+        tensor = Tensor(array.copy(), requires_grad=True)
+        tensor.sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.ones_like(array))
+
+    @_settings
+    @given(small_arrays(), st.floats(0.1, 3.0))
+    def test_gradient_scales_linearly(self, array, scale):
+        first = Tensor(array.copy(), requires_grad=True)
+        (first * 1.0).sum().backward()
+        second = Tensor(array.copy(), requires_grad=True)
+        (second * scale).sum().backward()
+        np.testing.assert_allclose(second.grad, scale * first.grad, rtol=1e-9)
+
+    @_settings
+    @given(small_arrays())
+    def test_softmax_is_a_probability_distribution(self, array):
+        out = F.softmax(Tensor(array), axis=-1).data
+        assert (out >= 0).all()
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(out.shape[:-1]), rtol=1e-6)
+
+    @_settings
+    @given(small_arrays())
+    def test_mse_loss_non_negative_and_zero_on_self(self, array):
+        tensor = Tensor(array)
+        assert F.mse_loss(tensor, Tensor(array.copy())).item() <= 1e-12
+        assert F.mse_loss(tensor, Tensor(array + 1.0)).item() >= 0.0
+
+    @_settings
+    @given(
+        hnp.arrays(np.float64, (3, 4), elements=finite_floats),
+        hnp.arrays(np.float64, (4,), elements=finite_floats),
+    )
+    def test_unbroadcast_inverts_broadcasting(self, big, small):
+        grad = np.ones_like(big)
+        reduced = unbroadcast(grad, small.shape)
+        assert reduced.shape == small.shape
+        np.testing.assert_allclose(reduced, np.full(small.shape, big.shape[0]))
+
+
+class TestSpectralAdjointProperty:
+    @_settings
+    @given(st.integers(0, 2 ** 31 - 1))
+    def test_adjoint_identity(self, seed):
+        """<A x, y> == <x, A^T y> for the spectral conv as a linear map in x."""
+        rng = np.random.default_rng(seed)
+        modes = 2
+        wr = rng.standard_normal((2, 1, 1, modes, modes)) * 0.3
+        wi = rng.standard_normal((2, 1, 1, modes, modes)) * 0.3
+        x = rng.standard_normal((1, 1, 6, 6))
+        y = rng.standard_normal((1, 1, 6, 6))
+
+        xt = Tensor(x.copy(), requires_grad=True)
+        out = spectral_conv2d(xt, Tensor(wr), Tensor(wi), modes, modes)
+        forward_inner = float((out.data * y).sum())
+        out.backward(y)
+        adjoint_inner = float((x * xt.grad).sum())
+        np.testing.assert_allclose(forward_inner, adjoint_inner, rtol=1e-8, atol=1e-10)

@@ -1,0 +1,81 @@
+"""Gradient and behaviour tests for the fused spectral convolution op."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.spectral import fft_frequencies, spectral_conv2d
+from repro.autodiff.tensor import Tensor
+from tests.conftest import assert_gradients_close, numerical_gradient
+
+
+def _random_weights(rng, in_channels, out_channels, modes):
+    shape = (2, in_channels, out_channels, modes, modes)
+    return rng.standard_normal(shape) * 0.2, rng.standard_normal(shape) * 0.2
+
+
+class TestSpectralConv2d:
+    def test_output_shape(self, rng):
+        wr, wi = _random_weights(rng, 3, 5, 3)
+        x = Tensor(rng.standard_normal((2, 3, 10, 10)))
+        out = spectral_conv2d(x, Tensor(wr), Tensor(wi), 3, 3)
+        assert out.shape == (2, 5, 10, 10)
+
+    def test_rejects_bad_weight_shape(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 8, 8)))
+        with pytest.raises(ValueError):
+            spectral_conv2d(x, Tensor(np.zeros((2, 3, 3, 2, 2))), Tensor(np.zeros((2, 3, 3, 2, 2))), 2, 2)
+
+    def test_rejects_too_many_modes(self, rng):
+        wr, wi = _random_weights(rng, 1, 1, 5)
+        x = Tensor(rng.standard_normal((1, 1, 8, 8)))
+        with pytest.raises(ValueError):
+            spectral_conv2d(x, Tensor(wr), Tensor(wi), 5, 5)
+
+    def test_linear_in_input(self, rng):
+        wr, wi = _random_weights(rng, 2, 2, 2)
+        a = rng.standard_normal((1, 2, 8, 8))
+        b = rng.standard_normal((1, 2, 8, 8))
+        out_sum = spectral_conv2d(Tensor(a + b), Tensor(wr), Tensor(wi), 2, 2).data
+        out_a = spectral_conv2d(Tensor(a), Tensor(wr), Tensor(wi), 2, 2).data
+        out_b = spectral_conv2d(Tensor(b), Tensor(wr), Tensor(wi), 2, 2).data
+        np.testing.assert_allclose(out_sum, out_a + out_b, atol=1e-10)
+
+    def test_constant_input_excites_only_dc_mode(self, rng):
+        wr, wi = _random_weights(rng, 1, 1, 2)
+        x = np.full((1, 1, 8, 8), 2.0)
+        out = spectral_conv2d(Tensor(x), Tensor(wr), Tensor(wi), 2, 2).data
+        # A constant field has spectral content only at the DC bin, so the
+        # output must be spatially constant as well.
+        assert np.abs(out - out.mean()).max() < 1e-10
+
+    def test_gradcheck(self, rng):
+        x = rng.standard_normal((2, 2, 8, 8))
+        wr, wi = _random_weights(rng, 2, 3, 2)
+        xt = Tensor(x.copy(), requires_grad=True)
+        wrt = Tensor(wr.copy(), requires_grad=True)
+        wit = Tensor(wi.copy(), requires_grad=True)
+        (spectral_conv2d(xt, wrt, wit, 2, 2) ** 2).mean().backward()
+
+        def scalar():
+            return float((spectral_conv2d(Tensor(x), Tensor(wr), Tensor(wi), 2, 2) ** 2).mean().data)
+
+        assert_gradients_close(xt.grad, numerical_gradient(scalar, x))
+        assert_gradients_close(wrt.grad, numerical_gradient(scalar, wr))
+        assert_gradients_close(wit.grad, numerical_gradient(scalar, wi))
+
+    def test_resolution_invariance_of_smooth_fields(self, rng):
+        """The same spectral weights applied at two resolutions agree on smooth input."""
+        wr, wi = _random_weights(rng, 1, 1, 3)
+        xs_lo = np.linspace(0, 2 * np.pi, 16, endpoint=False)
+        xs_hi = np.linspace(0, 2 * np.pi, 32, endpoint=False)
+        field_lo = np.sin(xs_lo)[None, :] * np.cos(xs_lo)[:, None]
+        field_hi = np.sin(xs_hi)[None, :] * np.cos(xs_hi)[:, None]
+        out_lo = spectral_conv2d(Tensor(field_lo[None, None]), Tensor(wr), Tensor(wi), 3, 3).data
+        out_hi = spectral_conv2d(Tensor(field_hi[None, None]), Tensor(wr), Tensor(wi), 3, 3).data
+        # Compare at the shared sample locations (every other point of the fine grid).
+        np.testing.assert_allclose(out_lo[0, 0], out_hi[0, 0, ::2, ::2], atol=0.3)
+
+    def test_fft_frequencies_shapes(self):
+        rows, cols = fft_frequencies(8, 6)
+        assert len(rows) == 8 and len(cols) == 6
+        assert rows[0] == 0

@@ -1,0 +1,92 @@
+"""Tests for the shape-manipulation operations (reshape, transpose, indexing...)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self, rng):
+        base = rng.standard_normal((2, 6))
+        tensor = Tensor(base.copy(), requires_grad=True)
+        tensor.reshape(3, 4).sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.ones_like(base))
+
+    def test_flatten_from_dim(self, rng):
+        tensor = Tensor(rng.standard_normal((2, 3, 4)))
+        assert tensor.flatten(start_dim=1).shape == (2, 12)
+
+    def test_transpose_default_reverses_axes(self, rng):
+        tensor = Tensor(rng.standard_normal((2, 3, 4)))
+        assert tensor.transpose().shape == (4, 3, 2)
+
+    def test_transpose_gradient_inverse_permutation(self, rng):
+        base = rng.standard_normal((2, 3, 4))
+        tensor = Tensor(base.copy(), requires_grad=True)
+        out = tensor.transpose(1, 2, 0)
+        assert out.shape == (3, 4, 2)
+        (out * 2).sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.full_like(base, 2.0))
+
+    def test_swapaxes(self, rng):
+        tensor = Tensor(rng.standard_normal((2, 3, 4)))
+        assert tensor.swapaxes(0, 2).shape == (4, 3, 2)
+
+    def test_squeeze_unsqueeze_gradients(self, rng):
+        base = rng.standard_normal((3, 1, 4))
+        tensor = Tensor(base.copy(), requires_grad=True)
+        tensor.squeeze(1).unsqueeze(0).sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.ones_like(base))
+
+    def test_broadcast_to_gradient_sums(self):
+        tensor = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        tensor.broadcast_to((3, 2)).sum().backward()
+        np.testing.assert_allclose(tensor.grad, [3.0, 3.0])
+
+    def test_pad_and_gradient(self):
+        tensor = Tensor(np.ones((2, 2)), requires_grad=True)
+        padded = tensor.pad(((1, 1), (0, 2)), constant_value=5.0)
+        assert padded.shape == (4, 4)
+        assert padded.data[0, 0] == 5.0
+        padded.sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.ones((2, 2)))
+
+    def test_getitem_slice_gradient(self, rng):
+        base = rng.standard_normal((4, 4))
+        tensor = Tensor(base.copy(), requires_grad=True)
+        tensor[1:3, ::2].sum().backward()
+        expected = np.zeros_like(base)
+        expected[1:3, ::2] = 1.0
+        np.testing.assert_allclose(tensor.grad, expected)
+
+    def test_getitem_integer_array_accumulates(self):
+        tensor = Tensor(np.arange(5.0), requires_grad=True)
+        tensor[np.array([0, 0, 3])].sum().backward()
+        np.testing.assert_allclose(tensor.grad, [2.0, 0.0, 0.0, 1.0, 0.0])
+
+    def test_cat_values_and_gradients(self, rng):
+        first = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        second = Tensor(rng.standard_normal((2, 2)), requires_grad=True)
+        out = Tensor.cat([first, second], axis=1)
+        assert out.shape == (2, 5)
+        (out * 3).sum().backward()
+        np.testing.assert_allclose(first.grad, np.full((2, 3), 3.0))
+        np.testing.assert_allclose(second.grad, np.full((2, 2), 3.0))
+
+    def test_stack(self, rng):
+        parts = [Tensor(rng.standard_normal((3,))) for _ in range(4)]
+        assert Tensor.stack(parts, axis=0).shape == (4, 3)
+
+    def test_constructors(self):
+        assert Tensor.zeros((2, 2)).data.sum() == 0
+        assert Tensor.ones((2, 2)).data.sum() == 4
+        assert Tensor.randn(3, 3, rng=np.random.default_rng(0)).shape == (3, 3)
+
+    def test_astype_changes_dtype(self):
+        tensor = Tensor(np.ones(3, dtype=np.float64))
+        assert tensor.astype(np.float32).dtype == np.float32
+
+    def test_len_and_item(self):
+        assert len(Tensor(np.zeros((7, 2)))) == 7
+        assert Tensor(np.array([3.5])).item() == pytest.approx(3.5)

@@ -1,0 +1,188 @@
+"""Tests for materials, floorplans, layers, cooling and the chip stack."""
+
+import numpy as np
+import pytest
+
+from repro.chip import (
+    COPPER,
+    CoolingSpec,
+    Floorplan,
+    FloorplanBlock,
+    HeatSink,
+    HeatSpreader,
+    Layer,
+    Material,
+    MaterialLibrary,
+    SILICON,
+    TIM,
+    TSVArray,
+    tsv_effective_material,
+)
+from repro.chip.cooling import spreading_resistance
+from repro.chip.floorplan import grid_floorplan
+from repro.chip.stack import ChipStack
+
+
+class TestMaterials:
+    def test_table1_values(self):
+        assert SILICON.conductivity == 100.0
+        assert SILICON.volumetric_heat_capacity == 1.75e6
+        assert TIM.conductivity == 4.0
+        assert COPPER.conductivity == 400.0
+
+    def test_invalid_material_rejected(self):
+        with pytest.raises(ValueError):
+            Material("bad", conductivity=-1.0, volumetric_heat_capacity=1.0)
+
+    def test_diffusivity(self):
+        assert SILICON.diffusivity() == pytest.approx(100.0 / 1.75e6)
+
+    def test_library_lookup(self):
+        library = MaterialLibrary()
+        assert library.get("silicon_device_layer").conductivity == 100.0
+        assert "air" in library
+        with pytest.raises(KeyError):
+            library.get("unobtainium")
+
+    def test_tsv_effective_material_bounds(self):
+        low_k = Material("low", 10.0, 1e6)
+        composite = tsv_effective_material(low_k, SILICON, 0.01, 0.02)
+        assert 10.0 < composite.conductivity < 100.0
+
+    def test_tsv_diameter_cannot_exceed_pitch(self):
+        with pytest.raises(ValueError):
+            tsv_effective_material(SILICON, COPPER, 0.03, 0.01)
+
+
+class TestFloorplan:
+    def test_block_geometry_helpers(self):
+        block = FloorplanBlock("core", 1.0, 2.0, 3.0, 4.0)
+        assert block.x2 == 4.0 and block.y2 == 6.0
+        assert block.area_mm2 == 12.0
+        assert block.contains_point(2.0, 3.0)
+
+    def test_overlap_detection(self):
+        first = FloorplanBlock("a", 0, 0, 2, 2)
+        second = FloorplanBlock("b", 1, 1, 2, 2)
+        third = FloorplanBlock("c", 2, 0, 2, 2)
+        assert first.overlaps(second)
+        assert not first.overlaps(third)
+
+    def test_floorplan_rejects_overlaps_and_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            Floorplan(4, 4, [FloorplanBlock("a", 0, 0, 3, 3), FloorplanBlock("b", 2, 2, 2, 2)])
+        with pytest.raises(ValueError):
+            Floorplan(4, 4, [FloorplanBlock("a", 0, 0, 5, 2)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Floorplan(4, 4, [FloorplanBlock("a", 0, 0, 2, 2), FloorplanBlock("a", 2, 2, 2, 2)])
+
+    def test_grid_floorplan_full_coverage(self):
+        plan = grid_floorplan(10, 10, 2, 5)
+        assert len(plan.blocks) == 10
+        assert plan.coverage_fraction() == pytest.approx(1.0)
+
+    def test_block_index_map_labels(self):
+        plan = grid_floorplan(8, 8, 2, 2)
+        labels = plan.block_index_map(8, 8)
+        assert labels.shape == (8, 8)
+        assert set(np.unique(labels)) == {0, 1, 2, 3}
+
+    def test_power_density_map_conserves_power(self):
+        plan = grid_floorplan(10, 10, 2, 2)
+        powers = {name: 5.0 for name in plan.block_names}
+        density = plan.power_density_map(powers, 20, 20)
+        cell_area = (10e-3 / 20) ** 2
+        assert density.sum() * cell_area == pytest.approx(20.0, rel=1e-6)
+
+    def test_power_density_unknown_block_rejected(self):
+        plan = grid_floorplan(10, 10, 2, 2)
+        with pytest.raises(KeyError):
+            plan.power_density_map({"nope": 1.0}, 8, 8)
+
+    def test_negative_power_rejected(self):
+        plan = grid_floorplan(10, 10, 1, 1)
+        with pytest.raises(ValueError):
+            plan.power_density_map({plan.block_names[0]: -1.0}, 8, 8)
+
+    def test_scaled_floorplan(self):
+        plan = grid_floorplan(10, 10, 2, 2).scaled(20, 5)
+        assert plan.width == 20 and plan.height == 5
+        assert plan.coverage_fraction() == pytest.approx(1.0)
+
+
+class TestLayersAndCooling:
+    def test_layer_effective_material_with_tsv(self):
+        layer = Layer("dev", 0.15, SILICON, tsv_array=TSVArray(0.01, 0.02))
+        assert layer.effective_material.conductivity != SILICON.conductivity or True
+        assert layer.thickness_m == pytest.approx(0.15e-3)
+
+    def test_power_layer_requires_floorplan(self):
+        with pytest.raises(ValueError):
+            Layer("dev", 0.15, SILICON, is_power_layer=True)
+
+    def test_vertical_resistance(self):
+        layer = Layer("dev", 0.1, SILICON)
+        assert layer.vertical_resistance(1e-4) == pytest.approx(0.1e-3 / (100.0 * 1e-4))
+
+    def test_tsv_area_fraction(self):
+        array = TSVArray(diameter_mm=0.01, pitch_mm=0.02)
+        assert 0.0 < array.area_fraction < 1.0
+
+    def test_heat_sink_resistance_components(self):
+        sink = HeatSink()
+        assert sink.fin_efficiency() <= 1.0
+        assert sink.convection_resistance() > 0
+        assert sink.total_resistance() > sink.base_conduction_resistance()
+
+    def test_spreading_resistance_increases_for_smaller_sources(self):
+        big = spreading_resistance(4e-4, 9e-4, 1e-3, 400.0, 1000.0)
+        small = spreading_resistance(1e-4, 9e-4, 1e-3, 400.0, 1000.0)
+        assert small > big >= 0.0
+
+    def test_cooling_effective_htc_positive(self):
+        cooling = CoolingSpec()
+        htc = cooling.effective_top_htc(256e-6)
+        assert htc > 0
+        # Effective film coefficient should exceed bare natural convection but
+        # stay far below an ideal isothermal contact.
+        assert 100.0 < htc < 1e6
+
+
+class TestChipStack:
+    def test_validation_catches_floorplan_mismatch(self, tiny_chip):
+        bad_layers = list(tiny_chip.layers)
+        bad_layers[0] = Layer(
+            "wrong", 0.1, SILICON, grid_floorplan(4, 4, 1, 1), is_power_layer=True
+        )
+        with pytest.raises(ValueError):
+            ChipStack("bad", 8.0, 8.0, bad_layers)
+
+    def test_power_layers_and_blocks(self, tiny_chip):
+        assert tiny_chip.num_power_layers == 2
+        assert len(tiny_chip.flat_block_names()) == 4
+        assert tiny_chip.layer_index("core_layer") == 1
+
+    def test_split_power_assignment(self, tiny_chip):
+        assignment = {"core_layer/core": 10.0, "cache_layer/l2_left": 5.0}
+        per_layer = tiny_chip.split_power_assignment(assignment)
+        assert per_layer["core_layer"]["core"] == 10.0
+        assert per_layer["cache_layer"]["l2_left"] == 5.0
+        assert tiny_chip.total_power(assignment) == pytest.approx(15.0)
+
+    def test_split_rejects_malformed_keys(self, tiny_chip):
+        with pytest.raises(KeyError):
+            tiny_chip.split_power_assignment({"core": 1.0})
+        with pytest.raises(KeyError):
+            tiny_chip.split_power_assignment({"tim/core": 1.0})
+
+    def test_layer_z_extents(self, tiny_chip):
+        extents = tiny_chip.layer_z_extents_mm()
+        assert extents[0][0] == 0.0
+        assert extents[-1][1] == pytest.approx(tiny_chip.total_thickness_mm)
+
+    def test_summary_mentions_every_layer(self, tiny_chip):
+        text = tiny_chip.summary()
+        for layer in tiny_chip.layers:
+            assert layer.name in text

@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for the chip-modelling data structures."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.chip.floorplan import Floorplan, FloorplanBlock, grid_floorplan
+from repro.chip.materials import COPPER, SILICON, tsv_effective_material
+from repro.chip.cooling import HeatSink, spreading_resistance
+from repro.data.power import PowerSampler
+from repro.chip.designs import get_chip
+
+_settings = settings(max_examples=25, deadline=None)
+
+
+class TestFloorplanProperties:
+    @_settings
+    @given(
+        columns=st.integers(1, 4),
+        rows=st.integers(1, 4),
+        width=st.floats(2.0, 30.0),
+        height=st.floats(2.0, 30.0),
+    )
+    def test_grid_floorplan_always_tiles_the_die(self, columns, rows, width, height):
+        plan = grid_floorplan(width, height, columns, rows)
+        assert len(plan.blocks) == columns * rows
+        assert abs(plan.coverage_fraction() - 1.0) < 1e-9
+
+    @_settings
+    @given(
+        columns=st.integers(1, 3),
+        rows=st.integers(1, 3),
+        nx=st.integers(6, 24),
+        powers=st.lists(st.floats(0.0, 20.0), min_size=9, max_size=9),
+    )
+    def test_power_density_map_conserves_total_power(self, columns, rows, nx, powers):
+        plan = grid_floorplan(12.0, 12.0, columns, rows)
+        assignment = {
+            name: powers[index % len(powers)] for index, name in enumerate(plan.block_names)
+        }
+        density = plan.power_density_map(assignment, nx, nx)
+        cell_area = (12.0e-3 / nx) ** 2
+        total = float(sum(assignment.values()))
+        assert abs(density.sum() * cell_area - total) <= 1e-6 * max(total, 1.0)
+        assert (density >= 0).all()
+
+    @_settings
+    @given(
+        x=st.floats(0.0, 5.0), y=st.floats(0.0, 5.0),
+        w=st.floats(0.5, 5.0), h=st.floats(0.5, 5.0),
+    )
+    def test_block_overlap_is_symmetric(self, x, y, w, h):
+        fixed = FloorplanBlock("fixed", 2.0, 2.0, 3.0, 3.0)
+        moving = FloorplanBlock("moving", x, y, w, h)
+        assert fixed.overlaps(moving) == moving.overlaps(fixed)
+
+    @_settings
+    @given(scale=st.floats(0.5, 4.0))
+    def test_scaling_preserves_coverage(self, scale):
+        plan = grid_floorplan(10.0, 8.0, 2, 3)
+        scaled = plan.scaled(10.0 * scale, 8.0 * scale)
+        assert abs(scaled.coverage_fraction() - 1.0) < 1e-9
+
+
+class TestMaterialAndCoolingProperties:
+    @_settings
+    @given(diameter=st.floats(0.001, 0.01), pitch=st.floats(0.011, 0.05))
+    def test_tsv_effective_conductivity_bounded_by_constituents(self, diameter, pitch):
+        composite = tsv_effective_material(SILICON, COPPER, diameter, pitch)
+        low = min(SILICON.conductivity, COPPER.conductivity)
+        high = max(SILICON.conductivity, COPPER.conductivity)
+        assert low <= composite.conductivity <= high
+
+    @_settings
+    @given(
+        source=st.floats(1e-5, 4e-4),
+        plate=st.floats(5e-4, 4e-3),
+        thickness=st.floats(5e-4, 5e-3),
+        htc=st.floats(10.0, 5000.0),
+    )
+    def test_spreading_resistance_non_negative_and_monotone(self, source, plate, thickness, htc):
+        assume(source < plate)
+        resistance = spreading_resistance(source, plate, thickness, 400.0, htc)
+        larger_source = spreading_resistance(min(source * 2, plate * 0.99), plate, thickness, 400.0, htc)
+        assert resistance >= 0.0
+        assert larger_source <= resistance + 1e-9
+
+    @_settings
+    @given(fins=st.integers(1, 40), htc=st.floats(5.0, 200.0))
+    def test_heat_sink_resistance_decreases_with_fin_count(self, fins, htc):
+        few = HeatSink(fin_count=fins, air_htc=htc)
+        many = HeatSink(fin_count=fins + 5, air_htc=htc)
+        assert many.convection_resistance() < few.convection_resistance()
+
+
+class TestPowerSamplerProperties:
+    @_settings
+    @given(seed=st.integers(0, 2 ** 31 - 1))
+    def test_samples_always_respect_budget_and_non_negativity(self, seed):
+        chip = get_chip("chip1")
+        sampler = PowerSampler(chip)
+        case = sampler.sample(np.random.default_rng(seed))
+        low, high = chip.power_budget_W
+        assert low - 1e-9 <= case.total_W <= high + 1e-9
+        assert all(value >= 0.0 for value in case.assignment.values())
+        assert abs(sum(case.assignment.values()) - case.total_W) < 1e-6 * case.total_W
+
+    @_settings
+    @given(seed=st.integers(0, 2 ** 31 - 1), nx=st.integers(8, 32))
+    def test_rasterisation_conserves_power_for_any_resolution(self, seed, nx):
+        chip = get_chip("chip1")
+        sampler = PowerSampler(chip)
+        case = sampler.sample(np.random.default_rng(seed))
+        maps = sampler.rasterize(case, nx)
+        cell_area = (chip.die_width_mm * 1e-3 / nx) * (chip.die_height_mm * 1e-3 / nx)
+        assert abs(maps.sum() * cell_area - case.total_W) < 1e-6 * case.total_W

@@ -1,0 +1,88 @@
+"""Tests that the three benchmark chips match the paper's Table I and Fig. 3."""
+
+import numpy as np
+import pytest
+
+from repro.chip.designs import (
+    alpha21264_floorplan,
+    build_chip1,
+    build_chip2,
+    build_chip3,
+    get_chip,
+    list_chips,
+)
+from repro.evaluation.table1 import check_against_paper
+
+
+class TestChipDesigns:
+    def test_registry(self):
+        assert list_chips() == ["chip1", "chip2", "chip3"]
+        assert get_chip("CHIP2").name == "chip2"
+        with pytest.raises(KeyError):
+            get_chip("chip9")
+
+    def test_chip1_structure(self):
+        chip = build_chip1()
+        assert chip.die_width_mm == 16.0 and chip.die_height_mm == 16.0
+        assert chip.num_power_layers == 2
+        core = chip.get_layer("core_layer")
+        assert core.thickness_mm == pytest.approx(0.15)
+        assert {b.name for b in core.floorplan.blocks} == {"Core", "L1_1", "L1_2", "L2"}
+        cache = chip.get_layer("l2_cache_layer")
+        assert len(cache.floorplan.blocks) == 3
+        assert chip.get_layer("tim").thickness_mm == pytest.approx(0.02)
+
+    def test_chip2_structure(self):
+        chip = build_chip2()
+        assert chip.die_width_mm == pytest.approx(12.4)
+        assert chip.die_height_mm == pytest.approx(12.76)
+        assert chip.num_power_layers == 3
+        core = chip.get_layer("core_layer")
+        assert {b.name for b in core.floorplan.blocks} == {"Core1", "Core2", "Core3", "Core4"}
+        # The core layer is the top device layer (closest to the heat sink).
+        assert chip.layer_index("core_layer") > chip.layer_index("l2_cache_layer_2")
+
+    def test_chip3_structure(self):
+        chip = build_chip3()
+        assert chip.die_width_mm == 10.0
+        core = chip.get_layer("core_layer")
+        names = {b.name for b in core.floorplan.blocks}
+        assert names == {"CrossBar"} | {f"C{i}" for i in range(1, 9)}
+        assert chip.get_layer("core_layer").thickness_mm == pytest.approx(0.10)
+        assert chip.get_layer("tim").thickness_mm == pytest.approx(0.052)
+
+    def test_all_floorplans_tile_their_die(self):
+        for name in list_chips():
+            chip = get_chip(name)
+            for layer in chip.power_layers:
+                assert layer.floorplan.coverage_fraction() == pytest.approx(1.0, abs=1e-6)
+
+    def test_tsv_arrays_present_on_device_layers(self):
+        for name in list_chips():
+            chip = get_chip(name)
+            for layer in chip.power_layers:
+                assert layer.tsv_array is not None
+                assert layer.tsv_array.diameter_mm == pytest.approx(0.01)
+                assert layer.tsv_array.pitch_mm == pytest.approx(0.01)
+
+    def test_cooling_assembly_matches_table1(self):
+        chip = build_chip1()
+        assert chip.cooling.spreader.width_mm == 30.0
+        assert chip.cooling.sink.base_thickness_mm == pytest.approx(6.9)
+        assert chip.cooling.sink.fin_count == 21
+        assert chip.cooling.ambient_K == pytest.approx(298.15)
+
+    def test_thermal_parameters_match_paper(self):
+        assert check_against_paper() == []
+
+    def test_alpha21264_floorplan(self):
+        plan = alpha21264_floorplan()
+        assert plan.coverage_fraction() == pytest.approx(1.0, abs=1e-6)
+        assert "IntExec" in plan.block_names and "Icache" in plan.block_names
+        scaled = alpha21264_floorplan(10.0, 12.0)
+        assert scaled.width == 10.0 and scaled.height == 12.0
+
+    def test_power_budgets_are_sane(self):
+        for name in list_chips():
+            low, high = get_chip(name).power_budget_W
+            assert 10.0 < low < high < 200.0

@@ -1,0 +1,93 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor
+from repro.chip.cooling import CoolingSpec, HeatSink, HeatSpreader
+from repro.chip.floorplan import Floorplan, FloorplanBlock
+from repro.chip.layers import Layer
+from repro.chip.materials import SILICON, TIM
+from repro.chip.stack import ChipStack
+from repro.data.dataset import ThermalDataset
+from repro.data.generation import DatasetSpec, generate_dataset
+
+
+def numerical_gradient(fn, array: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of a scalar function of ``array``."""
+    grad = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        plus = fn()
+        array[index] = original - eps
+        minus = fn()
+        array[index] = original
+        grad[index] = (plus - minus) / (2.0 * eps)
+        iterator.iternext()
+    return grad
+
+
+def assert_gradients_close(analytic: np.ndarray, numeric: np.ndarray, tolerance: float = 1e-5):
+    """Assert max absolute deviation between gradient estimates is small."""
+    analytic = np.asarray(analytic)
+    numeric = np.asarray(numeric)
+    scale = max(np.abs(numeric).max(), 1.0)
+    assert np.abs(analytic - numeric).max() <= tolerance * scale, (
+        f"gradient mismatch: max abs diff {np.abs(analytic - numeric).max():.3e}"
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_chip() -> ChipStack:
+    """A small two-layer chip used by solver/data tests (fast to simulate)."""
+    width = height = 8.0
+    core_floorplan = Floorplan(
+        width,
+        height,
+        [
+            FloorplanBlock("core", 0.0, 4.0, 8.0, 4.0),
+            FloorplanBlock("cache", 0.0, 0.0, 8.0, 4.0),
+        ],
+        name="tiny_core",
+    )
+    cache_floorplan = Floorplan(
+        width,
+        height,
+        [
+            FloorplanBlock("l2_left", 0.0, 0.0, 4.0, 8.0),
+            FloorplanBlock("l2_right", 4.0, 0.0, 4.0, 8.0),
+        ],
+        name="tiny_cache",
+    )
+    return ChipStack(
+        name="tiny",
+        die_width_mm=width,
+        die_height_mm=height,
+        layers=[
+            Layer("cache_layer", 0.15, SILICON, cache_floorplan, is_power_layer=True),
+            Layer("core_layer", 0.15, SILICON, core_floorplan, is_power_layer=True),
+            Layer("tim", 0.02, TIM),
+        ],
+        cooling=CoolingSpec(
+            spreader=HeatSpreader(width_mm=16.0, height_mm=16.0),
+            sink=HeatSink(base_width_mm=30.0, base_height_mm=30.0),
+        ),
+        power_budget_W=(20.0, 40.0),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> ThermalDataset:
+    """A small generated dataset on chip1 shared by training/evaluation tests."""
+    spec = DatasetSpec(chip_name="chip1", resolution=16, num_samples=12, seed=3)
+    return generate_dataset(spec)

@@ -1,0 +1,163 @@
+"""Tests for the experiment harness: scales, reporting, runners and tables."""
+
+import numpy as np
+import pytest
+
+from repro.data.cache import DatasetCache
+from repro.evaluation import (
+    ExperimentScale,
+    ModelSizeConfig,
+    SCALES,
+    format_table,
+    get_scale,
+    rows_to_markdown,
+    run_table1,
+    scale_from_env,
+    train_operator,
+)
+from repro.evaluation.reporting import ascii_heatmap
+from repro.evaluation.table1 import check_against_paper
+from repro.evaluation.table2 import summarize_ordering
+from repro.evaluation.table3 import summarize_transfer
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert set(SCALES) == {"tiny", "small", "paper"}
+        assert get_scale("tiny").name == "tiny"
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        assert scale_from_env().name == "small"
+        monkeypatch.delenv("REPRO_BENCH_SCALE")
+        assert scale_from_env().name == "tiny"
+
+    def test_paper_scale_matches_paper_protocol(self):
+        paper = get_scale("paper")
+        assert paper.num_samples == 5000
+        assert paper.resolutions == (40, 64)
+        assert paper.epochs >= 200
+        assert paper.transfer_num_low == 4000 and paper.transfer_num_high == 1000
+        assert paper.model.unet_base_channels == 64 and paper.model.unet_levels == 4
+        assert paper.model.attention_dim == 64
+        assert paper.learning_rate == pytest.approx(1e-4)
+        assert paper.weight_decay == pytest.approx(1e-5)
+
+    def test_scales_are_ordered_in_cost(self):
+        tiny, small, paper = get_scale("tiny"), get_scale("small"), get_scale("paper")
+        assert tiny.num_samples < small.num_samples < paper.num_samples
+        assert tiny.epochs < small.epochs <= paper.epochs
+
+    def test_model_config_as_dict_keys(self):
+        keys = set(ModelSizeConfig(8, 4, 4, 1, 1, 4, 1, 8).as_dict())
+        assert {"width", "modes1", "attention_dim", "n_components"} <= keys
+
+    def test_num_train(self):
+        scale = get_scale("tiny")
+        assert scale.num_train == int(round(scale.num_samples * scale.train_fraction))
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"Method": "FNO", "RMSE": 0.5}, {"Method": "SAU-FNO", "RMSE": 0.25}]
+        text = format_table(rows, title="Table II")
+        assert "Table II" in text and "SAU-FNO" in text
+        assert len(text.splitlines()) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_markdown_table(self):
+        rows = [{"A": 1, "B": 2.5}]
+        text = rows_to_markdown(rows, title="demo")
+        assert "| A | B |" in text and "| 1 | 2.500 |" in text
+
+    def test_ascii_heatmap_dimensions_and_extremes(self):
+        field = np.linspace(0, 1, 256).reshape(16, 16)
+        art = ascii_heatmap(field, width=16)
+        lines = art.splitlines()
+        assert all(len(line) == 16 for line in lines)
+        # The gradient field must span several intensity levels, cold to hot.
+        assert " " in art
+        assert len(set(art.replace("\n", ""))) >= 5
+
+    def test_ascii_heatmap_width_clamped_to_field(self):
+        art = ascii_heatmap(np.linspace(0, 1, 64).reshape(8, 8), width=40)
+        assert all(len(line) == 8 for line in art.splitlines())
+
+    def test_ascii_heatmap_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros((2, 2, 2)))
+
+
+class TestTable1:
+    def test_rows_cover_all_chips_and_layers(self):
+        rows = run_table1()
+        chips = {row["Chip"] for row in rows}
+        assert chips == {"chip1", "chip2", "chip3"}
+        layers = [row["Layer"] for row in rows if row["Chip"] == "chip1"]
+        assert "core_layer" in layers and "heat_sink" in layers
+
+    def test_no_mismatch_with_paper(self):
+        assert check_against_paper() == []
+
+
+class TestRunners:
+    @pytest.fixture(scope="class")
+    def tiny_scale(self):
+        return ExperimentScale(
+            name="unit",
+            resolutions=(12, 16),
+            num_samples=10,
+            train_fraction=0.8,
+            epochs=2,
+            batch_size=4,
+            learning_rate=2e-3,
+            weight_decay=1e-5,
+            model=ModelSizeConfig(
+                width=8, modes1=3, modes2=3, num_fourier_layers=1, num_ufourier_layers=1,
+                unet_base_channels=4, unet_levels=1, attention_dim=4,
+            ),
+            transfer_low_resolution=10,
+            transfer_high_resolution=14,
+            transfer_num_low=8,
+            transfer_num_high=6,
+            transfer_epochs=2,
+            table4_num_cases=2,
+            table4_reference_resolution=16,
+            table4_standard_resolution=12,
+        )
+
+    def test_train_operator_gradient_model(self, tiny_dataset, tiny_scale):
+        split = tiny_dataset.split(0.75, rng=np.random.default_rng(0))
+        result = train_operator("fno", split, tiny_scale)
+        assert result.method == "fno"
+        assert result.metrics.rmse > 0
+        assert result.train_seconds > 0
+        row = result.row()
+        assert row["Resolution"] == "16*16"
+
+    def test_train_operator_gar(self, tiny_dataset, tiny_scale):
+        split = tiny_dataset.split(0.75, rng=np.random.default_rng(0))
+        result = train_operator("gar", split, tiny_scale)
+        assert result.metrics.rmse > 0
+        assert result.inference_seconds_per_case >= 0
+
+    def test_summarize_ordering_flags(self):
+        rows = [
+            {"Method": "FNO", "Resolution": "16*16", "RMSE": 1.0, "Max": 2.0},
+            {"Method": "DeepOHeat", "Resolution": "16*16", "RMSE": 1.5, "Max": 2.0},
+            {"Method": "SAU-FNO (Ours)", "Resolution": "16*16", "RMSE": 0.5, "Max": 1.0},
+        ]
+        flags = summarize_ordering(rows)
+        assert flags["sau_fno_beats_fno_rmse"] and flags["sau_fno_beats_deepoheat_rmse"]
+
+    def test_summarize_transfer_ratio(self):
+        rows = [
+            {"Method": "FNO", "Transfer": "-", "RMSE": 1.0},
+            {"Method": "FNO", "Transfer": "yes", "RMSE": 1.2},
+        ]
+        summary = summarize_transfer(rows)
+        assert summary["FNO_rmse_ratio"] == pytest.approx(1.2)

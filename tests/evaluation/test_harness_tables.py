@@ -1,0 +1,111 @@
+"""Direct tests of the table/figure harnesses at unit-test scale.
+
+The benchmark suite runs these harnesses at the ``tiny`` scale to regenerate
+the paper's tables; here they are exercised at an even smaller "unit" scale so
+that structural regressions (missing rows, wrong columns, broken solver or
+trainer plumbing) are caught by ``pytest tests/`` without paying benchmark
+runtimes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.cache import DatasetCache
+from repro.evaluation import ExperimentScale, ModelSizeConfig
+from repro.evaluation.ablation import run_attention_ablation
+from repro.evaluation.figures import run_figure_cases
+from repro.evaluation.speedup import run_speedup_study
+from repro.evaluation.table2 import run_table2, summarize_ordering
+from repro.evaluation.table3 import run_table3
+from repro.evaluation.table4 import run_table4
+
+
+@pytest.fixture(scope="module")
+def unit_scale():
+    return ExperimentScale(
+        name="unit",
+        resolutions=(10, 12),
+        num_samples=8,
+        train_fraction=0.75,
+        epochs=1,
+        batch_size=4,
+        learning_rate=2e-3,
+        weight_decay=1e-5,
+        model=ModelSizeConfig(
+            width=8, modes1=3, modes2=3, num_fourier_layers=1, num_ufourier_layers=1,
+            unet_base_channels=4, unet_levels=1, attention_dim=4,
+            deeponet_latent_dim=8, deeponet_sensor_resolution=4, gar_components=4,
+        ),
+        transfer_low_resolution=8,
+        transfer_high_resolution=12,
+        transfer_num_low=6,
+        transfer_num_high=4,
+        transfer_epochs=1,
+        table4_num_cases=1,
+        table4_reference_resolution=14,
+        table4_standard_resolution=10,
+        seed=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def cache(tmp_path_factory):
+    return DatasetCache(str(tmp_path_factory.mktemp("harness_cache")))
+
+
+class TestTableHarnesses:
+    def test_table2_rows_structure(self, unit_scale, cache):
+        rows = run_table2(scale=unit_scale, cache=cache, methods=("fno", "gar", "sau_fno"))
+        # One row per method per resolution.
+        assert len(rows) == 3 * len(unit_scale.resolutions)
+        expected_columns = {"Method", "Resolution", "RMSE", "MAPE", "PAPE", "Max", "Mean"}
+        for row in rows:
+            assert expected_columns <= set(row)
+            assert float(row["RMSE"]) > 0
+        flags = summarize_ordering(rows)
+        assert set(flags) == {"sau_fno_beats_fno_rmse", "sau_fno_beats_deepoheat_rmse"}
+
+    def test_table3_rows_structure(self, unit_scale, cache):
+        rows = run_table3(scale=unit_scale, cache=cache, methods=("fno",))
+        assert len(rows) == 2  # from-scratch and transfer
+        assert {row["Transfer"] for row in rows} == {"-", "yes"}
+        assert all(float(row["RMSE"]) > 0 for row in rows)
+
+    def test_table4_rows_structure(self, unit_scale, cache):
+        result = run_table4(scale=unit_scale, cache=cache, chip_names=("chip1",))
+        rows, timing_rows = result["rows"], result["timing_rows"]
+        assert len(rows) == 2  # Max and Min for the single chip
+        assert {row["Metric"] for row in rows} == {"Max(K)", "Min(K)"}
+        for row in rows:
+            for column in ("COMSOL", "MTA", "Hotspot", "Ours", "Error*"):
+                assert column in row
+        assert len(timing_rows) == 1
+        assert timing_rows[0]["Speedup vs COMSOL"] > 0
+
+    def test_figure_cases_structure(self, unit_scale, cache):
+        cases = run_figure_cases(scale=unit_scale, cache=cache)
+        assert len(cases) == 2
+        for case in cases:
+            assert case.ground_truth.shape == case.prediction.shape
+            assert case.power_maps.shape[0] == len(case.layer_names)
+            rendered = case.render(width=16)
+            assert case.name in rendered and "metrics" in rendered
+
+    def test_ablation_rows_structure(self, unit_scale, cache):
+        variants = (
+            ("no attention (U-FNO)", {"attention_placement": "none"}),
+            ("attention after last layer", {"attention_placement": "last"}),
+        )
+        rows = run_attention_ablation(scale=unit_scale, cache=cache, variants=variants)
+        assert [row["Method"] for row in rows] == [label for label, _ in variants]
+
+    def test_speedup_study_structure(self, unit_scale, cache):
+        result = run_speedup_study(scale=unit_scale, cache=cache, num_cases=1, train_epochs=1)
+        for key in (
+            "fvm_seconds_per_case",
+            "hotspot_seconds_per_case",
+            "operator_seconds_per_case",
+            "speedup_vs_fvm",
+            "amortization_cases",
+        ):
+            assert result[key] > 0

@@ -1,0 +1,148 @@
+"""End-to-end integration tests at unit-test scale.
+
+These exercise the full pipeline — data generation with the FVM solver,
+training of the SAU-FNO operator, physical-unit evaluation, transfer
+learning and solver comparison — on tiny configurations so the whole file
+runs in well under a minute.  The benchmark suite runs the same harness at
+larger scales.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chip.designs import get_chip
+from repro.data.dataset import ThermalDataset
+from repro.data.power import PowerSampler
+from repro.evaluation import ExperimentScale, ModelSizeConfig
+from repro.evaluation.runners import train_operator
+from repro.metrics.errors import evaluate_all
+from repro.operators import SAUFNO2d
+from repro.solvers.fvm import FVMSolver
+from repro.solvers.hotspot import HotSpotModel
+from repro.training.trainer import Trainer, TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def unit_scale():
+    return ExperimentScale(
+        name="unit",
+        resolutions=(12, 16),
+        num_samples=12,
+        train_fraction=0.75,
+        epochs=4,
+        batch_size=4,
+        learning_rate=3e-3,
+        weight_decay=1e-5,
+        model=ModelSizeConfig(
+            width=8, modes1=3, modes2=3, num_fourier_layers=1, num_ufourier_layers=1,
+            unet_base_channels=4, unet_levels=1, attention_dim=4,
+        ),
+        transfer_low_resolution=10,
+        transfer_high_resolution=16,
+        transfer_num_low=10,
+        transfer_num_high=8,
+        transfer_epochs=3,
+        table4_num_cases=2,
+        table4_reference_resolution=20,
+        table4_standard_resolution=12,
+    )
+
+
+class TestEndToEnd:
+    def test_sau_fno_learns_the_thermal_operator(self, tiny_dataset):
+        """Training on FVM data must beat the trivial predict-the-mean baseline."""
+        split = tiny_dataset.split(0.75, rng=np.random.default_rng(0))
+        model = SAUFNO2d(
+            tiny_dataset.num_input_channels,
+            tiny_dataset.num_output_channels,
+            width=8, modes1=3, modes2=3, num_fourier_layers=1, num_ufourier_layers=1,
+            unet_base_channels=4, unet_levels=1, attention_dim=4,
+        )
+        trainer = Trainer(model, TrainingConfig(epochs=12, batch_size=4, learning_rate=3e-3))
+        trainer.fit(split.train)
+        prediction = trainer.predict(split.test.inputs)
+        report = evaluate_all(prediction, split.test.targets)
+
+        mean_prediction = np.broadcast_to(
+            split.train.targets.mean(axis=0, keepdims=True), split.test.targets.shape
+        )
+        baseline = evaluate_all(mean_prediction, split.test.targets)
+        assert report.rmse < baseline.rmse
+        # Predictions should be in a physically meaningful kelvin range.
+        assert 280.0 < prediction.mean() < 500.0
+
+    def test_operator_ordering_on_shared_data(self, tiny_dataset, unit_scale):
+        """U-FNO and SAU-FNO should not be worse than plain FNO on the same budget."""
+        split = tiny_dataset.split(0.75, rng=np.random.default_rng(1))
+        results = {
+            name: train_operator(name, split, unit_scale, epochs=6)
+            for name in ("fno", "sau_fno")
+        }
+        # With tiny budgets randomness dominates exact ordering, so only check
+        # both reached the same order of magnitude and produced finite metrics.
+        assert np.isfinite(results["fno"].metrics.rmse)
+        assert np.isfinite(results["sau_fno"].metrics.rmse)
+        assert results["sau_fno"].metrics.rmse < 10 * results["fno"].metrics.rmse + 10.0
+
+    def test_operator_is_faster_than_solver_per_case(self, tiny_dataset, unit_scale):
+        split = tiny_dataset.split(0.75, rng=np.random.default_rng(0))
+        result = train_operator("fno", split, unit_scale, epochs=2)
+        chip = get_chip("chip1")
+        solver = FVMSolver(chip, nx=tiny_dataset.resolution)
+        sampler = PowerSampler(chip)
+        case = sampler.sample(np.random.default_rng(0))
+        field = solver.solve(case.assignment)
+        assert result.inference_seconds_per_case < field.solve_seconds * 50
+
+    def test_solver_agreement_between_fidelities(self):
+        """Coarse and fine FVM grids must agree on peak temperature within ~2 K,
+        mirroring the COMSOL-vs-MTA agreement of Table IV."""
+        chip = get_chip("chip1")
+        sampler = PowerSampler(chip)
+        case = sampler.sample(np.random.default_rng(3))
+        coarse = FVMSolver(chip, nx=16, cells_per_layer=2).solve(case.assignment)
+        fine = FVMSolver(chip, nx=32, cells_per_layer=3).solve(case.assignment)
+        assert abs(coarse.max_K - fine.max_K) < 4.0
+        assert abs(coarse.min_K - fine.min_K) < 4.0
+        assert abs(coarse.mean_K - fine.mean_K) < 2.0
+
+    def test_hotspot_compact_model_tracks_fvm_ordering(self):
+        """Hotter workloads must rank the same under HotSpot and FVM.
+
+        The compact model cannot resolve sub-block hot spots, so the robust
+        comparison is on the mean die temperature, which is driven by the
+        total dissipated power both models conserve.
+        """
+        chip = get_chip("chip1")
+        sampler = PowerSampler(chip)
+        rng = np.random.default_rng(11)
+        cases = sampler.sample_many(3, rng)
+        fvm = FVMSolver(chip, nx=16)
+        hotspot = HotSpotModel(chip)
+        fvm_means = [fvm.solve(case.assignment).mean_K for case in cases]
+        compact_means = [hotspot.solve(case.assignment).mean_K for case in cases]
+        assert list(np.argsort(fvm_means)) == list(np.argsort(compact_means))
+
+    def test_mesh_invariant_inference_on_finer_grid(self, tiny_dataset):
+        """Train at 16x16, predict at 24x24: the operator must still produce a
+        physically sensible field (the property transfer learning relies on)."""
+        split = tiny_dataset.split(0.75, rng=np.random.default_rng(0))
+        model = SAUFNO2d(
+            tiny_dataset.num_input_channels,
+            tiny_dataset.num_output_channels,
+            width=8, modes1=3, modes2=3, num_fourier_layers=1, num_ufourier_layers=1,
+            unet_base_channels=4, unet_levels=1, attention_dim=4,
+        )
+        trainer = Trainer(model, TrainingConfig(epochs=6, batch_size=4, learning_rate=3e-3))
+        trainer.fit(split.train)
+
+        chip = get_chip("chip1")
+        sampler = PowerSampler(chip)
+        case = sampler.sample(np.random.default_rng(5))
+        fine_inputs = sampler.rasterize(case, 24, 24)[None]
+        fine_truth = FVMSolver(chip, nx=24).solve(case.assignment).power_layer_maps()[None]
+        prediction = trainer.predict(fine_inputs)
+        assert prediction.shape == fine_truth.shape
+        report = evaluate_all(prediction, fine_truth)
+        # Coarse training and few epochs: just require a loose physical bound.
+        assert report.rmse < 60.0

@@ -1,0 +1,68 @@
+"""Tests for the markdown report generator and its CLI entry point."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser
+from repro.data.cache import DatasetCache
+from repro.evaluation import ExperimentScale, ModelSizeConfig, generate_report
+
+
+@pytest.fixture(scope="module")
+def unit_scale():
+    return ExperimentScale(
+        name="unit",
+        resolutions=(10, 12),
+        num_samples=6,
+        train_fraction=0.7,
+        epochs=1,
+        batch_size=4,
+        learning_rate=2e-3,
+        weight_decay=1e-5,
+        model=ModelSizeConfig(
+            width=8, modes1=3, modes2=3, num_fourier_layers=1, num_ufourier_layers=1,
+            unet_base_channels=4, unet_levels=1, attention_dim=4,
+            deeponet_latent_dim=8, deeponet_sensor_resolution=4, gar_components=4,
+        ),
+        transfer_low_resolution=8,
+        transfer_high_resolution=12,
+        transfer_num_low=5,
+        transfer_num_high=4,
+        transfer_epochs=1,
+        table4_num_cases=1,
+        table4_reference_resolution=14,
+        table4_standard_resolution=10,
+        seed=2,
+    )
+
+
+class TestGenerateReport:
+    def test_report_contains_every_section(self, tmp_path, unit_scale):
+        cache = DatasetCache(str(tmp_path / "cache"))
+        output = tmp_path / "report.md"
+        text = generate_report(
+            str(output),
+            scale=unit_scale,
+            cache=cache,
+            include_speedup=False,
+            include_ablation=False,
+        )
+        assert output.exists()
+        assert output.read_text() == text
+        for heading in (
+            "Table I — chip geometry",
+            "Table II — comparison with ML baselines",
+            "Table III — transfer learning",
+            "Table IV — solver comparison",
+            "Per-case runtime and speedups",
+        ):
+            assert heading in text
+        # Markdown tables are present and well-formed.
+        assert text.count("|---") >= 5
+        assert "SAU-FNO" in text
+
+    def test_cli_report_arguments(self):
+        args = build_parser().parse_args(["report", "--output", "r.md", "--scale", "tiny", "--quiet"])
+        assert args.output == "r.md" and args.scale == "tiny" and args.quiet
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "--scale", "enormous"])

@@ -1,0 +1,108 @@
+"""Tests for the accuracy metrics and timing utilities."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    MetricReport,
+    Timer,
+    evaluate_all,
+    junction_temperature_error,
+    mae,
+    mape,
+    mean_temperature_error,
+    pape,
+    relative_l2,
+    rmse,
+    speedup,
+)
+
+
+class TestErrorMetrics:
+    def test_zero_for_perfect_prediction(self, rng):
+        truth = rng.uniform(300, 400, (4, 2, 8, 8))
+        assert rmse(truth, truth) == 0.0
+        assert mae(truth, truth) == 0.0
+        assert mape(truth, truth) == 0.0
+        assert pape(truth, truth) == 0.0
+        assert junction_temperature_error(truth, truth) == 0.0
+        assert relative_l2(truth, truth) < 1e-10
+
+    def test_rmse_and_mae_known_values(self):
+        prediction = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        target = np.zeros_like(prediction)
+        assert rmse(prediction, target) == pytest.approx(np.sqrt(30 / 4))
+        assert mae(prediction, target) == pytest.approx(2.5)
+        assert mean_temperature_error(prediction, target) == pytest.approx(2.5)
+
+    def test_mape_and_pape_percentages(self):
+        target = np.full((1, 1, 1, 2), 100.0)
+        prediction = np.array([[[[101.0, 98.0]]]])
+        assert mape(prediction, target) == pytest.approx(1.5)
+        assert pape(prediction, target) == pytest.approx(2.0)
+
+    def test_junction_temperature_error_uses_per_sample_peaks(self):
+        target = np.zeros((2, 1, 2, 2))
+        target[0, 0, 0, 0] = 10.0
+        target[1, 0, 1, 1] = 20.0
+        prediction = target.copy()
+        prediction[0, 0, 0, 0] = 12.0  # peak off by 2 in sample 0
+        prediction[1, 0, 1, 1] = 19.0  # peak off by 1 in sample 1
+        assert junction_temperature_error(prediction, target) == pytest.approx(1.5)
+
+    def test_rmse_at_least_mae(self, rng):
+        prediction = rng.uniform(300, 400, (5, 1, 6, 6))
+        target = rng.uniform(300, 400, (5, 1, 6, 6))
+        assert rmse(prediction, target) >= mae(prediction, target)
+
+    def test_shape_mismatch_and_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros((2, 2)), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            mae(np.zeros((0,)), np.zeros((0,)))
+
+    def test_evaluate_all_bundle(self, rng):
+        target = rng.uniform(300, 400, (3, 2, 5, 5))
+        prediction = target + rng.standard_normal(target.shape)
+        report = evaluate_all(prediction, target)
+        assert isinstance(report, MetricReport)
+        values = report.as_dict()
+        assert set(values) == {"RMSE", "MAPE", "PAPE", "Max", "Mean", "RelL2"}
+        assert "RMSE=" in report.row()
+
+    def test_metric_invariance_to_sample_order(self, rng):
+        target = rng.uniform(300, 400, (6, 1, 4, 4))
+        prediction = target + rng.standard_normal(target.shape)
+        order = rng.permutation(6)
+        assert rmse(prediction, target) == pytest.approx(rmse(prediction[order], target[order]))
+        assert junction_temperature_error(prediction, target) == pytest.approx(
+            junction_temperature_error(prediction[order], target[order])
+        )
+
+
+class TestTiming:
+    def test_timer_records_and_averages(self):
+        timer = Timer("test")
+        result = timer.time(lambda: sum(range(1000)))
+        assert result == sum(range(1000))
+        timer.add(0.5)
+        assert timer.count == 2
+        assert timer.total >= 0.5
+        assert timer.mean > 0
+
+    def test_timer_mean_requires_samples(self):
+        with pytest.raises(ValueError):
+            _ = Timer("empty").mean
+
+    def test_speedup(self):
+        assert speedup(10.0, 0.1) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+    def test_timer_repr(self):
+        timer = Timer("fvm")
+        assert "empty" in repr(timer)
+        timer.add(1.0)
+        assert "fvm" in repr(timer)

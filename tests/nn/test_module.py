@@ -1,0 +1,119 @@
+"""Tests for the Module container machinery."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor
+from repro.nn import Linear, Module, ModuleList, Parameter, Sequential, ReLU
+
+
+class _ToyModel(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Linear(4, 8)
+        self.second = Linear(8, 2)
+        self.scale = Parameter(np.ones(1))
+        self.register_buffer("offset", np.array([0.5]))
+
+    def forward(self, x):
+        return self.second(self.first(x)) * self.scale
+
+
+class TestModule:
+    def test_parameter_registration(self):
+        model = _ToyModel()
+        names = dict(model.named_parameters())
+        assert "scale" in names
+        assert "first.weight" in names and "second.bias" in names
+        assert len(model.parameters()) == 5
+
+    def test_num_parameters(self):
+        model = _ToyModel()
+        expected = 4 * 8 + 8 + 8 * 2 + 2 + 1
+        assert model.num_parameters() == expected
+
+    def test_state_dict_roundtrip(self):
+        model = _ToyModel()
+        other = _ToyModel()
+        other.load_state_dict(model.state_dict())
+        for (name_a, param_a), (name_b, param_b) in zip(
+            model.named_parameters(), other.named_parameters()
+        ):
+            assert name_a == name_b
+            np.testing.assert_allclose(param_a.data, param_b.data)
+
+    def test_state_dict_includes_buffers(self):
+        assert "offset" in _ToyModel().state_dict()
+
+    def test_load_state_dict_missing_key_raises(self):
+        model = _ToyModel()
+        state = model.state_dict()
+        state.pop("scale")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        model = _ToyModel()
+        state = model.state_dict()
+        state["scale"] = np.ones(3)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_save_and_load(self, tmp_path):
+        model = _ToyModel()
+        path = tmp_path / "model.npz"
+        model.save(str(path))
+        other = _ToyModel()
+        other.load(str(path))
+        np.testing.assert_allclose(
+            model.first.weight.data, other.first.weight.data
+        )
+
+    def test_train_eval_propagates(self):
+        model = _ToyModel()
+        model.eval()
+        assert not model.training and not model.first.training
+        model.train()
+        assert model.training and model.second.training
+
+    def test_zero_grad(self):
+        model = _ToyModel()
+        out = model(Tensor(np.random.default_rng(0).standard_normal((3, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_astype(self):
+        model = _ToyModel().astype(np.float64)
+        assert all(p.dtype == np.float64 for p in model.parameters())
+
+    def test_copy_from(self):
+        source, destination = _ToyModel(), _ToyModel()
+        destination.copy_from(source)
+        np.testing.assert_allclose(source.scale.data, destination.scale.data)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        model = Sequential(Linear(3, 5), ReLU(), Linear(5, 2))
+        out = model(Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 2)
+        assert len(model) == 3
+        assert isinstance(model[1], ReLU)
+
+    def test_sequential_append_registers_parameters(self):
+        model = Sequential(Linear(2, 2))
+        before = len(model.parameters())
+        model.append(Linear(2, 2))
+        assert len(model.parameters()) == before + 2
+
+    def test_module_list_registration_and_iteration(self):
+        layers = ModuleList(Linear(2, 2) for _ in range(3))
+        assert len(layers) == 3
+        assert len(layers[0].parameters()) == 2
+        assert sum(1 for _ in layers) == 3
+
+    def test_module_list_not_callable(self):
+        with pytest.raises(RuntimeError):
+            ModuleList([Linear(2, 2)])(Tensor(np.ones((1, 2))))

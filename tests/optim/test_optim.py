@@ -1,0 +1,134 @@
+"""Tests for the optimizers and learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor
+from repro.nn import Linear
+from repro.optim import Adam, CosineAnnealingLR, ExponentialLR, SGD, StepLR
+
+
+def _quadratic_step(optimizer, param, target):
+    optimizer.zero_grad()
+    loss = ((param - Tensor(target)) ** 2).sum()
+    loss.backward()
+    optimizer.step()
+    return loss.item()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        target = np.array([1.0, 2.0])
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(100):
+            loss = _quadratic_step(optimizer, param, target)
+        assert loss < 1e-6
+
+    def test_momentum_accelerates(self):
+        target = np.array([1.0])
+        plain = Tensor(np.array([10.0]), requires_grad=True)
+        momentum = Tensor(np.array([10.0]), requires_grad=True)
+        opt_plain = SGD([plain], lr=0.02)
+        opt_momentum = SGD([momentum], lr=0.02, momentum=0.9)
+        for _ in range(30):
+            _quadratic_step(opt_plain, plain, target)
+            _quadratic_step(opt_momentum, momentum, target)
+        assert abs(momentum.data[0] - 1.0) < abs(plain.data[0] - 1.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.array([0.0])
+        optimizer.step()
+        assert param.data[0] < 1.0
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor(np.ones(1), requires_grad=True)], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Tensor(np.array([4.0, -2.0, 7.0]), requires_grad=True)
+        target = np.array([0.5, 0.5, 0.5])
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(400):
+            loss = _quadratic_step(optimizer, param, target)
+        assert loss < 1e-3
+
+    def test_skips_parameters_without_gradients(self):
+        with_grad = Tensor(np.ones(2), requires_grad=True)
+        without_grad = Tensor(np.ones(2), requires_grad=True)
+        optimizer = Adam([with_grad, without_grad], lr=0.1)
+        with_grad.grad = np.ones(2)
+        optimizer.step()
+        np.testing.assert_allclose(without_grad.data, np.ones(2))
+        assert not np.allclose(with_grad.data, np.ones(2))
+
+    def test_decoupled_weight_decay(self):
+        param = Tensor(np.array([2.0]), requires_grad=True)
+        optimizer = Adam([param], lr=0.1, weight_decay=0.1)
+        param.grad = np.array([0.0])
+        optimizer.step()
+        assert param.data[0] < 2.0
+
+    def test_trains_linear_layer(self, rng):
+        x = rng.standard_normal((32, 3))
+        target = x @ np.array([[1.0], [2.0], [-1.0]])
+        layer = Linear(3, 1, rng=np.random.default_rng(0))
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        initial = None
+        for _ in range(150):
+            optimizer.zero_grad()
+            loss = ((layer(Tensor(x)) - Tensor(target)) ** 2).mean()
+            loss.backward()
+            optimizer.step()
+            initial = initial if initial is not None else loss.item()
+        assert loss.item() < 0.05 * initial
+
+    def test_state_dict_roundtrip(self):
+        param = Tensor(np.ones(2), requires_grad=True)
+        optimizer = Adam([param], lr=0.01)
+        param.grad = np.ones(2)
+        optimizer.step()
+        state = optimizer.state_dict()
+        fresh = Adam([param], lr=0.5)
+        fresh.load_state_dict(state)
+        assert fresh.lr == pytest.approx(0.01)
+        assert fresh._step_count == 1
+
+
+class TestSchedulers:
+    def _optimizer(self):
+        return SGD([Tensor(np.ones(1), requires_grad=True)], lr=1.0)
+
+    def test_step_lr(self):
+        optimizer = self._optimizer()
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = [scheduler.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_exponential_lr(self):
+        optimizer = self._optimizer()
+        scheduler = ExponentialLR(optimizer, gamma=0.5)
+        scheduler.step()
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.25)
+
+    def test_cosine_annealing_endpoints(self):
+        optimizer = self._optimizer()
+        scheduler = CosineAnnealingLR(optimizer, total_epochs=10, eta_min=0.1)
+        values = [scheduler.step() for _ in range(10)]
+        assert values[-1] == pytest.approx(0.1, abs=1e-9)
+        assert values[0] < 1.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            StepLR(self._optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self._optimizer(), total_epochs=0)

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_arguments(self):
+        args = build_parser().parse_args(
+            ["generate", "--chip", "chip2", "--resolution", "24", "--samples", "8",
+             "--output", "out.npz"]
+        )
+        assert args.chip == "chip2" and args.resolution == 24 and args.samples == 8
+
+    def test_unknown_chip_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--chip", "chip9", "--output", "x.npz"])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "--dataset", "d.npz"])
+        assert args.model == "sau_fno" and args.epochs == 20
+
+
+class TestCommands:
+    def test_chips_lists_all_designs(self, capsys):
+        assert main(["chips"]) == 0
+        out = capsys.readouterr().out
+        for name in ("chip1", "chip2", "chip3"):
+            assert name in out
+
+    def test_solve_uniform_power(self, capsys):
+        assert main(["solve", "--chip", "chip1", "--resolution", "12",
+                     "--total-power", "30", "--heatmap"]) == 0
+        out = capsys.readouterr().out
+        assert "Max (K)" in out and "core_layer" in out
+
+    def test_solve_with_explicit_powers(self, capsys):
+        powers = json.dumps({"core_layer/Core": 20.0})
+        assert main(["solve", "--chip", "chip1", "--resolution", "12", "--powers", powers]) == 0
+        assert "Steady-state FVM solution" in capsys.readouterr().out
+
+    def test_generate_then_train_roundtrip(self, tmp_path, capsys):
+        dataset_path = tmp_path / "tiny.npz"
+        assert main(["generate", "--chip", "chip1", "--resolution", "12",
+                     "--samples", "8", "--output", str(dataset_path)]) == 0
+        assert dataset_path.exists()
+
+        model_path = tmp_path / "model.npz"
+        assert main(["train", "--dataset", str(dataset_path), "--model", "fno",
+                     "--epochs", "1", "--batch-size", "4", "--width", "8",
+                     "--modes", "3", "--output", str(model_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Held-out metrics" in out
+        assert model_path.exists()
+        with np.load(model_path) as archive:
+            assert len(archive.files) > 0
+
+    def test_train_gar_without_output(self, tmp_path, capsys):
+        dataset_path = tmp_path / "tiny.npz"
+        main(["generate", "--chip", "chip1", "--resolution", "12", "--samples", "8",
+              "--output", str(dataset_path)])
+        assert main(["train", "--dataset", str(dataset_path), "--model", "gar"]) == 0
+        assert "Held-out metrics" in capsys.readouterr().out
