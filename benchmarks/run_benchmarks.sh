@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Run the solver kernel micro-benchmarks and save machine-readable results.
+#
+# Usage:
+#   benchmarks/run_benchmarks.sh [output.json] [extra pytest args...]
+#
+# Results land in .benchmarks/kernels.json by default, so successive PRs can
+# diff the perf trajectory (pytest-benchmark's own --benchmark-compare works
+# on the same files).  GC is disabled during timing for stable numbers.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUTPUT="${1:-.benchmarks/kernels.json}"
+shift || true
+mkdir -p "$(dirname "$OUTPUT")"
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
+    benchmarks/bench_solver_kernels.py \
+    --benchmark-only \
+    --benchmark-disable-gc \
+    --benchmark-json="$OUTPUT" \
+    -q "$@"
+
+echo "benchmark results written to $OUTPUT"

@@ -79,6 +79,8 @@ class Floorplan:
         if not self.blocks:
             raise ValueError("a floorplan needs at least one block")
         self._validate(require_full_coverage)
+        self._label_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self._count_cache: Dict[Tuple[int, int], np.ndarray] = {}
 
     def _validate(self, require_full_coverage: bool) -> None:
         names = [block.name for block in self.blocks]
@@ -139,14 +141,21 @@ class Floorplan:
         """Rasterise the floorplan to an integer label map of shape (ny, nx).
 
         Cells whose centre is not covered by any block get the label ``-1``.
-        Block labels follow the order of ``self.blocks``.
+        Block labels follow the order of ``self.blocks``.  The map is
+        memoised per resolution (the floorplan is immutable after
+        construction); callers must treat the returned array as read-only.
         """
+        key = (nx, ny)
+        cached = self._label_cache.get(key)
+        if cached is not None:
+            return cached
         xs, ys = self.cell_centres(nx, ny)
         label = -np.ones((ny, nx), dtype=np.int64)
         for index, block in enumerate(self.blocks):
             x_mask = (xs >= block.x) & (xs < block.x2)
             y_mask = (ys >= block.y) & (ys < block.y2)
             label[np.ix_(y_mask, x_mask)] = index
+        self._label_cache[key] = label
         return label
 
     def block_mask(self, name: str, nx: int, ny: int) -> np.ndarray:
@@ -167,21 +176,26 @@ class Floorplan:
         if unknown:
             raise KeyError(f"power assigned to unknown blocks: {sorted(unknown)}")
         label = self.block_index_map(nx, ny)
+        counts = self._count_cache.get((nx, ny))
+        if counts is None:
+            counts = np.bincount(label[label >= 0].ravel(), minlength=len(self.blocks))
+            self._count_cache[(nx, ny)] = counts
         cell_area_m2 = (self.width * 1e-3 / nx) * (self.height * 1e-3 / ny)
-        density = np.zeros((ny, nx), dtype=np.float64)
+        # Per-block density lookup; label -1 (uncovered cells) reads the
+        # trailing zero.
+        values = np.zeros(len(self.blocks) + 1, dtype=np.float64)
         for index, block in enumerate(self.blocks):
             power = float(block_powers.get(block.name, 0.0))
             if power < 0:
                 raise ValueError(f"block '{block.name}' has negative power {power}")
-            mask = label == index
-            cells = int(mask.sum())
+            cells = int(counts[index])
             if cells == 0 and power > 0:
                 raise ValueError(
                     f"block '{block.name}' is not resolved on a {nx}x{ny} grid but has power"
                 )
             if cells:
-                density[mask] = power / (cells * cell_area_m2)
-        return density
+                values[index] = power / (cells * cell_area_m2)
+        return values[label]
 
     def total_power(self, block_powers: Mapping[str, float]) -> float:
         """Sum the per-block powers (W) over blocks present in this floorplan."""

@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.chip.designs import get_chip, list_chips
 from repro.data.dataset import ThermalDataset
-from repro.data.generation import DatasetSpec, generate_dataset
+from repro.data.generation import DEFAULT_BATCH_SIZE, DatasetSpec, generate_dataset
 from repro.evaluation.reporting import ascii_heatmap, format_table
 from repro.operators.factory import OPERATOR_REGISTRY, build_operator
 from repro.operators.gar import GARRegressor
@@ -56,6 +56,8 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--resolution", type=int, default=32)
     generate.add_argument("--samples", type=int, default=64)
     generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
+                          help="power cases solved per batched factorization pass")
     generate.add_argument("--output", required=True, help="output .npz path")
 
     train = subparsers.add_parser("train", help="train an operator on a generated dataset")
@@ -119,7 +121,7 @@ def _cmd_generate(args) -> int:
         seed=args.seed,
     )
     print(f"generating {args.samples} cases for {args.chip} at {args.resolution}x{args.resolution} ...")
-    dataset = generate_dataset(spec, verbose=True)
+    dataset = generate_dataset(spec, verbose=True, batch_size=args.batch_size)
     dataset.save(args.output)
     print(f"wrote {args.output}: inputs {dataset.inputs.shape}, targets {dataset.targets.shape}")
     return 0

@@ -5,6 +5,10 @@ part of the experiment pipeline.  The cache stores each generated dataset as
 an ``.npz`` file keyed by the :class:`~repro.data.generation.DatasetSpec`, so
 repeated benchmark runs (and the different benches that share a dataset)
 only pay the solver cost once.
+
+The cache key embeds the solver pipeline version
+(:data:`repro.solvers.fvm.SOLVER_VERSION`), so datasets produced by an older
+solver are regenerated rather than silently reused after a solver change.
 """
 
 from __future__ import annotations

@@ -75,11 +75,16 @@ def run_speedup_study(
     rng = np.random.default_rng(scale.seed + 11)
     cases = sampler.sample_many(num_cases, rng)
 
+    # The FVM cases run through the batched prepare-once path, so the
+    # reported per-case time is the amortised cost a data-generation run
+    # actually pays (factorisation shared across the batch).
     fvm_timer = Timer("fvm")
+    fvm_timer.time(solver.solve_batch, [case.assignment for case in cases])
+    fvm_seconds_per_case = fvm_timer.total / max(len(cases), 1)
+
     hotspot_timer = Timer("hotspot")
     operator_timer = Timer("sau_fno")
     for case in cases:
-        fvm_timer.time(solver.solve, case.assignment)
         hotspot_timer.time(hotspot.solve, case.assignment)
         power_maps = sampler.rasterize(case, resolution, resolution)[None]
         operator_timer.time(trainer.predict, power_maps)
@@ -87,11 +92,11 @@ def run_speedup_study(
     return {
         "chip": chip_name,
         "resolution": resolution,
-        "fvm_seconds_per_case": fvm_timer.mean,
+        "fvm_seconds_per_case": fvm_seconds_per_case,
         "hotspot_seconds_per_case": hotspot_timer.mean,
         "operator_seconds_per_case": operator_timer.mean,
         "training_seconds": training_timer.total,
-        "speedup_vs_fvm": speedup(fvm_timer.mean, operator_timer.mean),
+        "speedup_vs_fvm": speedup(fvm_seconds_per_case, operator_timer.mean),
         "speedup_vs_hotspot": speedup(hotspot_timer.mean, operator_timer.mean),
-        "amortization_cases": training_timer.total / max(fvm_timer.mean, 1e-12),
+        "amortization_cases": training_timer.total / max(fvm_seconds_per_case, 1e-12),
     }

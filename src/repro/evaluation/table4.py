@@ -101,13 +101,16 @@ def run_table4(
             "Hotspot": {"max": [], "min": [], "seconds": []},
             "Ours": {"max": [], "min": [], "seconds": []},
         }
-        for case in cases:
-            reference = reference_solver.solve(case.assignment)
+        # Both field solvers run their cases as one batch against a single
+        # cached factorisation; solve_seconds is the amortised per-case cost.
+        assignments = [case.assignment for case in cases]
+        reference_fields = reference_solver.solve_batch(assignments)
+        standard_fields = standard_solver.solve_batch(assignments)
+        for case, reference, standard in zip(cases, reference_fields, standard_fields):
             records["COMSOL"]["max"].append(reference.max_K)
             records["COMSOL"]["min"].append(reference.min_K)
             records["COMSOL"]["seconds"].append(reference.solve_seconds)
 
-            standard = standard_solver.solve(case.assignment)
             records["MTA"]["max"].append(standard.max_K)
             records["MTA"]["min"].append(standard.min_K)
             records["MTA"]["seconds"].append(standard.solve_seconds)

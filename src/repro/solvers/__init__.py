@@ -11,16 +11,19 @@
   numerical solvers.
 """
 
-from repro.solvers.voxelize import VoxelGrid, voxelize
-from repro.solvers.fvm import FVMSolver, TemperatureField
+from repro.solvers.voxelize import GridGeometry, VoxelGrid, build_geometry, voxelize
+from repro.solvers.fvm import FVMSolver, SOLVER_VERSION, TemperatureField
 from repro.solvers.hotspot import HotSpotModel, BlockTemperatures
 from repro.solvers.analytic import slab_1d_robin, poisson_2d_dirichlet_series
 from repro.solvers.transient import TransientFVMSolver, TransientResult
 
 __all__ = [
+    "GridGeometry",
     "VoxelGrid",
+    "build_geometry",
     "voxelize",
     "FVMSolver",
+    "SOLVER_VERSION",
     "TemperatureField",
     "HotSpotModel",
     "BlockTemperatures",

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
+from scipy import linalg as scipy_linalg
 
 from repro.chip.floorplan import FloorplanBlock
 from repro.chip.stack import ChipStack
@@ -91,6 +92,11 @@ class HotSpotModel:
     lateral_coupling:
         Scale factor on lateral block-to-block conductances; 1.0 reproduces
         plain 1D conduction through the shared edge cross-section.
+
+    The conductance network depends only on the chip geometry, so it is
+    assembled and LU-factorised once in ``__init__``; each :meth:`solve`
+    only injects the block powers into the cached right-hand side and
+    back-substitutes.
     """
 
     def __init__(self, chip: ChipStack, lateral_coupling: float = 1.0):
@@ -104,19 +110,25 @@ class HotSpotModel:
                 self._node_names.append(f"{layer.name}/{block.name}")
         if not self._node_names:
             raise ValueError("the chip has no floorplanned layers to model")
+        self._node_index = {
+            name: i for i, name in enumerate(self._node_names + ["__sink__"])
+        }
+        self._base_power = self._assemble_network()
 
     @property
     def node_names(self) -> List[str]:
         return list(self._node_names)
 
     # ------------------------------------------------------------------
-    def solve(self, power_assignment: Mapping[str, float]) -> BlockTemperatures:
-        """Solve the thermal network for the given block powers (W)."""
-        start = time.perf_counter()
+    def _assemble_network(self) -> np.ndarray:
+        """Build and factorise the conductance matrix; return the power-free RHS.
+
+        The matrix (stored as its LU factorisation in ``self._lu``) and the
+        ambient-coupling terms of the right-hand side are power-independent.
+        """
         chip = self.chip
-        nodes = self._node_names + ["__sink__"]
-        node_index = {name: i for i, name in enumerate(nodes)}
-        n = len(nodes)
+        node_index = self._node_index
+        n = len(node_index)
         conductance = np.zeros((n, n))
         power = np.zeros(n)
 
@@ -221,20 +233,29 @@ class HotSpotModel:
                 conductance[i, i] += g
                 power[i] += g * ambient
 
-        # Block power injection.
+        self._conductance = conductance
+        self._lu = scipy_linalg.lu_factor(conductance)
+        return power
+
+    # ------------------------------------------------------------------
+    def solve(self, power_assignment: Mapping[str, float]) -> BlockTemperatures:
+        """Solve the thermal network for the given block powers (W)."""
+        start = time.perf_counter()
+        node_index = self._node_index
+        power = self._base_power.copy()
         for key, value in power_assignment.items():
-            if key not in node_index:
+            if key not in node_index or key == "__sink__":
                 raise KeyError(f"power assigned to unknown block '{key}'")
             power[node_index[key]] += float(value)
 
-        temperatures = np.linalg.solve(conductance, power)
+        temperatures = scipy_linalg.lu_solve(self._lu, power)
         elapsed = time.perf_counter() - start
         block_temps = {
             name: float(temperatures[node_index[name]]) for name in self._node_names
         }
         return BlockTemperatures(
-            chip=chip,
+            chip=self.chip,
             temperatures=block_temps,
-            sink_temperature_K=float(temperatures[sink_index]),
+            sink_temperature_K=float(temperatures[node_index["__sink__"]]),
             solve_seconds=elapsed,
         )

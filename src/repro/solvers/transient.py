@@ -15,6 +15,11 @@ unconditionally stable backward-Euler scheme
 
 Power traces may be time-varying (per-block power as a function of time),
 which is what a transient workload study needs.
+
+The solver shares the steady solver's prepare-once machinery: the voxelised
+geometry, the conduction matrix and the per-cell heat capacities are built
+once per solver instance, and each time step (or trace re-evaluation) only
+re-rasterises the power assignment onto the cached grid.
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ from scipy.sparse import linalg as sparse_linalg
 
 from repro.chip.stack import ChipStack
 from repro.solvers.fvm import FVMSolver, TemperatureField
-from repro.solvers.voxelize import VoxelGrid, voxelize
+from repro.solvers.voxelize import VoxelGrid, build_geometry
 
 PowerTrace = Union[Mapping[str, float], Callable[[float], Mapping[str, float]]]
 
@@ -100,6 +105,8 @@ class TransientFVMSolver:
         self.ny = ny or nx
         self.cells_per_layer = cells_per_layer
         self._steady = FVMSolver(chip, nx=nx, ny=self.ny, cells_per_layer=cells_per_layer)
+        self._capacity: Optional[np.ndarray] = None
+        self._factor_cache = None  # (dt_s, factor) of the last Euler system
 
     # ------------------------------------------------------------------
     def _capacity_vector(self, grid: VoxelGrid) -> np.ndarray:
@@ -153,15 +160,16 @@ class TransientFVMSolver:
 
         start = time.perf_counter()
         initial_assignment = self._power_at(power_trace, 0.0)
-        grid = voxelize(
-            self.chip,
-            initial_assignment,
-            nx=self.nx,
-            ny=self.ny,
-            cells_per_layer=self.cells_per_layer,
-        )
-        matrix, rhs = self._steady._assemble(grid)
-        capacity = self._capacity_vector(grid)
+        # Reuse the steady solver's cached geometry and assembly; only the
+        # heat source depends on the trace.
+        prepared = self._steady.prepare()
+        geometry = self._steady.geometry
+        grid = geometry.grid_for(initial_assignment)
+        matrix = prepared.matrix
+        rhs = prepared.rhs_boundary + (grid.heat_source * prepared.cell_volumes).ravel()
+        if self._capacity is None:
+            self._capacity = self._capacity_vector(grid)
+        capacity = self._capacity
 
         num_steps = int(round(duration_s / dt_s))
         ambient = self.chip.cooling.ambient_K
@@ -172,8 +180,12 @@ class TransientFVMSolver:
                 raise ValueError("initial_field has the wrong shape")
             state = initial_field.reshape(-1).astype(np.float64).copy()
 
-        system = sparse.diags(capacity / dt_s) + matrix
-        factor = sparse_linalg.factorized(system.tocsc())
+        # The backward-Euler system matrix depends only on dt, so repeated
+        # traces with the same step reuse one factorisation.
+        if self._factor_cache is None or self._factor_cache[0] != dt_s:
+            system = sparse.diags(capacity / dt_s) + matrix
+            self._factor_cache = (dt_s, sparse_linalg.factorized(system.tocsc()))
+        factor = self._factor_cache[1]
 
         time_varying = callable(power_trace)
         times: List[float] = [0.0]
@@ -185,12 +197,10 @@ class TransientFVMSolver:
             t = step * dt_s
             if time_varying:
                 assignment = self._power_at(power_trace, t)
-                step_grid = voxelize(
-                    self.chip, assignment, nx=self.nx, ny=self.ny,
-                    cells_per_layer=self.cells_per_layer,
-                )
-                # Only the source term changes; boundary terms are power-free.
-                source_change = (step_grid.heat_source - grid.heat_source) * volumes
+                # Only the source term changes; boundary terms are power-free,
+                # so a cheap re-rasterisation on the cached geometry suffices.
+                step_source = geometry.rasterize_power(assignment)
+                source_change = (step_source - grid.heat_source) * volumes
                 current_rhs = rhs + source_change.ravel()
             state = factor(capacity / dt_s * state + current_rhs)
             if step % store_every == 0 or step == num_steps:
@@ -216,7 +226,7 @@ class TransientFVMSolver:
         Used to pick sensible transient durations: the product of the total
         die heat capacity and the die-to-ambient resistance.
         """
-        grid = voxelize(self.chip, {}, nx=4, ny=4, cells_per_layer=1)
+        grid = build_geometry(self.chip, nx=4, ny=4, cells_per_layer=1).grid_for({})
         capacity = self._capacity_vector(grid).sum()
         resistance = self.chip.cooling.top_resistance(self.chip.die_area_m2)
         return float(capacity * resistance)

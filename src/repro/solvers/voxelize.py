@@ -5,11 +5,26 @@ footprint: ``nx`` x ``ny`` cells in-plane and a configurable number of cells
 per layer in the vertical direction.  This module converts a
 :class:`~repro.chip.ChipStack` plus a per-block power assignment into the
 cell-centred conductivity and volumetric heat-source fields the solver needs.
+
+The voxelisation is split into two passes so batched solves can amortise the
+expensive part:
+
+* :func:`build_geometry` — the power-independent pass.  It lays out the
+  vertical cells, fills in the conductivity field and rasterises every power
+  layer's floorplan to a block-label map.  The result
+  (:class:`GridGeometry`) depends only on the chip and the resolution, so a
+  solver can build it once and reuse it for every power case.
+* :meth:`GridGeometry.rasterize_power` — the cheap per-case pass.  Power
+  enters the discretisation only through the volumetric heat source, which
+  is a lookup of per-block power densities through the cached label maps.
+
+:func:`voxelize` composes the two passes and keeps the original one-shot
+API for callers that only need a single grid.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -84,6 +99,150 @@ def _cells_per_layer(chip: ChipStack, cells_per_layer: int, min_cell_mm: float) 
     return counts
 
 
+@dataclass
+class _PowerLayerRaster:
+    """One power layer's place in the vertical layout.
+
+    The in-plane rasterisation itself (block label map, per-block cell
+    counts) is memoised inside the floorplan, so this only records which
+    vertical cells the layer occupies and its thickness.
+    """
+
+    layer_name: str
+    thickness_m: float
+    floorplan: object  # repro.chip.floorplan.Floorplan
+    z_indices: Tuple[int, ...]  # vertical cells this layer occupies
+
+
+@dataclass
+class GridGeometry:
+    """The power-independent half of the voxelisation.
+
+    Everything here — the vertical layout, the conductivity field and the
+    per-power-layer floorplan rasters — depends only on the chip geometry
+    and the grid resolution.  Building it is the expensive part of
+    :func:`voxelize`; once built, :meth:`grid_for` produces a full
+    :class:`VoxelGrid` for any power assignment with a cheap
+    heat-source-only pass.
+    """
+
+    chip: ChipStack
+    nx: int
+    ny: int
+    dz_mm: np.ndarray
+    conductivity: np.ndarray
+    layer_of_cell: np.ndarray
+    power_layer_slices: Dict[str, List[int]]
+    rasters: List[_PowerLayerRaster] = field(default_factory=list)
+
+    @property
+    def nz(self) -> int:
+        return len(self.dz_mm)
+
+    @property
+    def cell_count(self) -> int:
+        return self.nz * self.ny * self.nx
+
+    # ------------------------------------------------------------------
+    def rasterize_power(self, power_assignment: Mapping[str, float]) -> np.ndarray:
+        """Rasterise one power assignment to a heat source, shape (nz, ny, nx).
+
+        This is the per-case pass: per block it computes the volumetric
+        density ``P / (cells * cell_area * thickness)`` and scatters it
+        through the cached label map, exactly reproducing the values a full
+        :func:`voxelize` would produce.
+        """
+        per_layer_power = self.chip.split_power_assignment(dict(power_assignment))
+        heat_source = np.zeros((self.nz, self.ny, self.nx), dtype=np.float64)
+        for raster in self.rasters:
+            block_powers = per_layer_power.get(raster.layer_name, {})
+            density = raster.floorplan.power_density_map(block_powers, self.nx, self.ny)
+            volumetric = density / raster.thickness_m
+            for z in raster.z_indices:
+                heat_source[z] = volumetric
+        return heat_source
+
+    def grid_with_source(self, heat_source: np.ndarray) -> VoxelGrid:
+        """Wrap an already-rasterised heat source in a full :class:`VoxelGrid`.
+
+        The returned grid shares the cached conductivity/layout arrays with
+        the geometry (treat them as read-only); only the heat source is per
+        grid.
+        """
+        return VoxelGrid(
+            chip=self.chip,
+            nx=self.nx,
+            ny=self.ny,
+            dz_mm=self.dz_mm,
+            conductivity=self.conductivity,
+            heat_source=heat_source,
+            layer_of_cell=self.layer_of_cell,
+            power_layer_slices=self.power_layer_slices,
+        )
+
+    def grid_for(self, power_assignment: Mapping[str, float]) -> VoxelGrid:
+        """Build a full :class:`VoxelGrid` for one power assignment."""
+        return self.grid_with_source(self.rasterize_power(power_assignment))
+
+
+def build_geometry(
+    chip: ChipStack,
+    nx: int,
+    ny: Optional[int] = None,
+    cells_per_layer: int = 2,
+    min_cell_mm: float = 0.01,
+) -> GridGeometry:
+    """Run the power-independent voxelisation pass for ``chip``.
+
+    Parameters match :func:`voxelize` minus the power assignment.  The
+    result can be reused for any number of power cases via
+    :meth:`GridGeometry.rasterize_power` / :meth:`GridGeometry.grid_for`.
+    """
+    if nx < 2:
+        raise ValueError("nx must be at least 2")
+    ny = ny or nx
+    per_layer_counts = _cells_per_layer(chip, cells_per_layer, min_cell_mm)
+
+    dz_list: List[float] = []
+    conductivity_slabs: List[np.ndarray] = []
+    layer_of_cell: List[int] = []
+    power_layer_slices: Dict[str, List[int]] = {name: [] for name in chip.power_layer_names}
+    rasters: List[_PowerLayerRaster] = []
+
+    cell_index = 0
+    for layer_index, (layer, count) in enumerate(zip(chip.layers, per_layer_counts)):
+        sub_thickness = layer.thickness_mm / count
+        conductivity_plane = np.full((ny, nx), layer.effective_material.conductivity)
+        z_indices = list(range(cell_index, cell_index + count))
+        for _ in range(count):
+            dz_list.append(sub_thickness)
+            conductivity_slabs.append(conductivity_plane)
+            layer_of_cell.append(layer_index)
+            if layer.is_power_layer:
+                power_layer_slices[layer.name].append(cell_index)
+            cell_index += 1
+        if layer.is_power_layer:
+            rasters.append(
+                _PowerLayerRaster(
+                    layer_name=layer.name,
+                    thickness_m=layer.thickness_mm * 1e-3,
+                    floorplan=layer.floorplan,
+                    z_indices=tuple(z_indices),
+                )
+            )
+
+    return GridGeometry(
+        chip=chip,
+        nx=nx,
+        ny=ny,
+        dz_mm=np.asarray(dz_list, dtype=np.float64),
+        conductivity=np.stack(conductivity_slabs).astype(np.float64),
+        layer_of_cell=np.asarray(layer_of_cell, dtype=np.int64),
+        power_layer_slices=power_layer_slices,
+        rasters=rasters,
+    )
+
+
 def voxelize(
     chip: ChipStack,
     power_assignment: Mapping[str, float],
@@ -93,6 +252,10 @@ def voxelize(
     min_cell_mm: float = 0.01,
 ) -> VoxelGrid:
     """Build the voxel grid for ``chip`` under a given power assignment.
+
+    One-shot convenience composing :func:`build_geometry` and
+    :meth:`GridGeometry.grid_for`.  Hot paths that solve many power cases on
+    the same grid should build the geometry once instead.
 
     Parameters
     ----------
@@ -110,46 +273,7 @@ def voxelize(
         Minimum vertical cell thickness, used to limit the cell count of
         thick layers.
     """
-    if nx < 2:
-        raise ValueError("nx must be at least 2")
-    ny = ny or nx
-    per_layer_counts = _cells_per_layer(chip, cells_per_layer, min_cell_mm)
-    per_layer_power = chip.split_power_assignment(dict(power_assignment))
-
-    dz_list: List[float] = []
-    conductivity_slabs: List[np.ndarray] = []
-    source_slabs: List[np.ndarray] = []
-    layer_of_cell: List[int] = []
-    power_layer_slices: Dict[str, List[int]] = {name: [] for name in chip.power_layer_names}
-
-    cell_index = 0
-    for layer_index, (layer, count) in enumerate(zip(chip.layers, per_layer_counts)):
-        sub_thickness = layer.thickness_mm / count
-        conductivity_plane = np.full((ny, nx), layer.effective_material.conductivity)
-        if layer.is_power_layer:
-            density_w_per_m2 = layer.floorplan.power_density_map(
-                per_layer_power.get(layer.name, {}), nx, ny
-            )
-            # Spread the areal density through the layer thickness to get W/m^3.
-            volumetric = density_w_per_m2 / (layer.thickness_mm * 1e-3)
-        else:
-            volumetric = np.zeros((ny, nx))
-        for _ in range(count):
-            dz_list.append(sub_thickness)
-            conductivity_slabs.append(conductivity_plane)
-            source_slabs.append(volumetric)
-            layer_of_cell.append(layer_index)
-            if layer.is_power_layer:
-                power_layer_slices[layer.name].append(cell_index)
-            cell_index += 1
-
-    return VoxelGrid(
-        chip=chip,
-        nx=nx,
-        ny=ny,
-        dz_mm=np.asarray(dz_list, dtype=np.float64),
-        conductivity=np.stack(conductivity_slabs).astype(np.float64),
-        heat_source=np.stack(source_slabs).astype(np.float64),
-        layer_of_cell=np.asarray(layer_of_cell, dtype=np.int64),
-        power_layer_slices=power_layer_slices,
+    geometry = build_geometry(
+        chip, nx=nx, ny=ny, cells_per_layer=cells_per_layer, min_cell_mm=min_cell_mm
     )
+    return geometry.grid_for(power_assignment)

@@ -189,6 +189,23 @@ class TestGeneration:
         c = DatasetSpec("chip2", 16, 4, seed=0)
         assert len({a.cache_key(), b.cache_key(), c.cache_key()}) == 3
 
+    def test_cache_key_embeds_solver_version(self):
+        from repro.solvers.fvm import SOLVER_VERSION
+
+        spec = DatasetSpec("chip1", 16, 4, seed=0)
+        assert f"_v{SOLVER_VERSION}" in spec.cache_key()
+        fine = DatasetSpec("chip1", 16, 4, seed=0, cells_per_layer=3)
+        assert fine.cache_key() != spec.cache_key()
+
+    def test_generate_dataset_batch_size_invariant(self):
+        spec = DatasetSpec(chip_name="chip1", resolution=10, num_samples=5, seed=3)
+        small_batches = generate_dataset(spec, batch_size=2)
+        one_batch = generate_dataset(spec, batch_size=64)
+        np.testing.assert_allclose(small_batches.inputs, one_batch.inputs)
+        np.testing.assert_allclose(small_batches.targets, one_batch.targets, atol=1e-9)
+        with pytest.raises(ValueError):
+            generate_dataset(spec, batch_size=0)
+
     def test_dataset_cache_generates_then_reuses(self, tmp_path):
         cache = DatasetCache(str(tmp_path))
         spec = DatasetSpec(chip_name="chip1", resolution=10, num_samples=2, seed=5)
