@@ -1,0 +1,161 @@
+"""Serving-subsystem benchmarks: closed-loop load against the engine.
+
+Measures what the thermal inference service actually delivers under
+concurrent load, for the exact (fvm) and learned (operator) backends:
+
+* requests/sec of the micro-batched fvm path versus the unbatched
+  per-request baseline (a fresh solver per request — the cost model a naive
+  one-shot CLI deployment would pay), with the acceptance bar that batching
+  buys >= 5x at batch sizes >= 8;
+* closed-loop p50/p95 latency with a fleet of synchronous clients, the
+  numbers a load balancer in front of ``repro-thermal serve`` would see.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.chip.designs import get_chip
+from repro.data.generation import DatasetSpec, generate_dataset
+from repro.operators.factory import build_operator, save_operator
+from repro.serving.backends import build_backends
+from repro.serving.engine import MicroBatchEngine
+from repro.serving.request import ThermalRequest
+from repro.solvers.fvm import FVMSolver
+from repro.training.trainer import Trainer, TrainingConfig
+
+#: Service-shaped workload: one chip, one resolution, many power maps.
+RESOLUTION = 32
+TOTAL_REQUESTS = 64
+BATCH_SIZE = 16  # forced micro-batch size; the acceptance bar needs >= 8
+CLIENTS = 16
+
+
+def _requests(count, backend="fvm", chip="chip1"):
+    return [
+        ThermalRequest.create(
+            chip, total_power_W=40.0 + (i % 17), resolution=RESOLUTION, backend=backend
+        )
+        for i in range(count)
+    ]
+
+
+@pytest.fixture(scope="module")
+def trained_model_path(tmp_path_factory):
+    """A small SAU-FNO-family surrogate for the operator-backend benches."""
+    dataset = generate_dataset(
+        DatasetSpec(chip_name="chip1", resolution=RESOLUTION, num_samples=16, seed=11)
+    )
+    model = build_operator(
+        "fno",
+        dataset.num_input_channels,
+        dataset.num_output_channels,
+        {"width": 16, "modes1": 8, "modes2": 8},
+        np.random.default_rng(0),
+    )
+    trainer = Trainer(model, TrainingConfig(epochs=2, batch_size=8, seed=0))
+    trainer.fit(dataset)
+    path = tmp_path_factory.mktemp("serving_models") / "fno_chip1.npz"
+    save_operator(
+        model,
+        str(path),
+        input_normalizer=trainer.input_normalizer,
+        output_normalizer=trainer.output_normalizer,
+        chip_name=dataset.chip_name,
+        resolution=dataset.resolution,
+    )
+    return str(path)
+
+
+def test_serving_fvm_unbatched_baseline(benchmark):
+    """Per-request cost without the serving subsystem: a fresh solver
+    (voxelise + assemble + factorise) for every query."""
+    request = _requests(1)[0]
+    chip = get_chip("chip1")
+    field = benchmark(lambda: FVMSolver(chip, nx=RESOLUTION).solve(request.assignment))
+    assert field.max_K > 300.0
+
+
+def test_serving_fvm_microbatch_throughput(benchmark):
+    """The acceptance measurement: 64 queries answered in forced micro-batches
+    of 16 through one pooled factorisation, against the unbatched per-request
+    baseline measured alongside.  Requires >= 5x at batch size >= 8."""
+    chip = get_chip("chip1")
+    requests = _requests(TOTAL_REQUESTS)
+
+    cold_rounds = 5
+    start = time.perf_counter()
+    for index in range(cold_rounds):
+        FVMSolver(chip, nx=RESOLUTION).solve(requests[index].assignment)
+    cold_per_request = (time.perf_counter() - start) / cold_rounds
+
+    elapsed = {}
+
+    def run():
+        engine = MicroBatchEngine(
+            build_backends(), max_batch_size=BATCH_SIZE, max_wait_ms=1.0
+        )
+        futures = [engine.submit(r) for r in requests]  # queued before start =>
+        engine.start()  # deterministic batches of BATCH_SIZE
+        begin = time.perf_counter()
+        results = [f.result(timeout=300) for f in futures]
+        elapsed["seconds"] = time.perf_counter() - begin
+        engine.stop()
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert len(results) == TOTAL_REQUESTS
+    batch_sizes = [r.batch_size for r in results]
+    assert min(batch_sizes) >= 8, "acceptance requires batch sizes >= 8"
+
+    batched_per_request = elapsed["seconds"] / TOTAL_REQUESTS
+    speedup = cold_per_request / batched_per_request
+    benchmark.extra_info["cold_seconds_per_request"] = cold_per_request
+    benchmark.extra_info["batched_seconds_per_request"] = batched_per_request
+    benchmark.extra_info["requests_per_second"] = 1.0 / batched_per_request
+    benchmark.extra_info["mean_batch_size"] = float(np.mean(batch_sizes))
+    benchmark.extra_info["batched_vs_unbatched_speedup"] = speedup
+    # Acceptance bar: micro-batched serving >= 5x the per-request baseline.
+    assert speedup >= 5.0
+
+    # The batched answers are the exact solver's answers.
+    reference = FVMSolver(chip, nx=RESOLUTION).solve(requests[0].assignment)
+    assert abs(results[0].max_K - reference.max_K) <= 1e-9
+
+
+def _closed_loop(engine, backend, clients=CLIENTS, per_client=4):
+    """Each client thread issues sequential requests; returns engine stats."""
+    def client(index):
+        for request in _requests(per_client, backend=backend):
+            engine.solve(request, timeout=300)
+
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        list(pool.map(client, range(clients)))
+    return engine.stats()
+
+
+@pytest.mark.parametrize("backend", ["fvm", "operator"])
+def test_serving_closed_loop_latency(benchmark, backend, trained_model_path):
+    """Closed-loop load (16 clients): requests/sec and p50/p95 per backend."""
+    engine = MicroBatchEngine(
+        build_backends(model_paths=[trained_model_path]),
+        max_batch_size=BATCH_SIZE,
+        max_wait_ms=2.0,
+    )
+    with engine:
+        # Warm the pooled factorisation / model once so the benchmark sees
+        # steady-state serving, not the first-hit prepare cost.
+        engine.solve(_requests(1, backend=backend)[0], timeout=300)
+        stats = benchmark.pedantic(
+            lambda: _closed_loop(engine, backend), rounds=1, iterations=1, warmup_rounds=0
+        )
+    summary = stats["backends"][backend]
+    benchmark.extra_info["requests"] = summary["requests"]
+    benchmark.extra_info["mean_batch_size"] = summary["mean_batch_size"]
+    benchmark.extra_info["latency_ms_p50"] = summary["latency_ms"]["p50"]
+    benchmark.extra_info["latency_ms_p95"] = summary["latency_ms"]["p95"]
+    benchmark.extra_info["throughput_rps"] = stats["throughput_rps"]
+    assert summary["requests"] == CLIENTS * 4 + 1
+    assert summary["errors"] == 0

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Run the solver kernel micro-benchmarks and save machine-readable results.
+# Run the solver-kernel and serving micro-benchmarks and save
+# machine-readable results.
 #
 # Usage:
 #   benchmarks/run_benchmarks.sh [output.json] [extra pytest args...]
@@ -7,6 +8,9 @@
 # Results land in .benchmarks/kernels.json by default, so successive PRs can
 # diff the perf trajectory (pytest-benchmark's own --benchmark-compare works
 # on the same files).  GC is disabled during timing for stable numbers.
+# bench_serving.py records the serving acceptance numbers: micro-batched fvm
+# requests/sec vs the unbatched per-request baseline (>= 5x at batch >= 8)
+# and closed-loop p50/p95 latency for the fvm and operator backends.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,6 +21,7 @@ mkdir -p "$(dirname "$OUTPUT")"
 
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
     benchmarks/bench_solver_kernels.py \
+    benchmarks/bench_serving.py \
     --benchmark-only \
     --benchmark-disable-gc \
     --benchmark-json="$OUTPUT" \

@@ -1,6 +1,6 @@
 """Command-line interface for the SAU-FNO reproduction.
 
-Five sub-commands cover the everyday workflow without writing Python:
+Six sub-commands cover the everyday workflow without writing Python:
 
 * ``repro-thermal chips`` — list the benchmark chips and their structure.
 * ``repro-thermal generate`` — create a dataset with the FVM solver.
@@ -8,6 +8,9 @@ Five sub-commands cover the everyday workflow without writing Python:
   and save its weights.
 * ``repro-thermal solve`` — run a single steady-state simulation for a
   uniform or per-block power assignment and print the temperature summary.
+* ``repro-thermal serve`` — run the thermal inference service: a JSON HTTP
+  API answering concurrent power-map queries through micro-batched FVM,
+  operator-surrogate and HotSpot backends.
 * ``repro-thermal report`` — run every experiment harness and write a
   markdown report of the regenerated tables.
 
@@ -19,13 +22,13 @@ Examples
     repro-thermal generate --chip chip1 --resolution 32 --samples 64 --output chip1_32.npz
     repro-thermal train --dataset chip1_32.npz --model sau_fno --epochs 20 --output sau_fno.npz
     repro-thermal solve --chip chip2 --total-power 80 --resolution 40
+    repro-thermal serve --port 8471 --model sau_fno.npz
     repro-thermal report --output repro_report.md --scale tiny
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import List, Optional
 
@@ -34,8 +37,9 @@ import numpy as np
 from repro.chip.designs import get_chip, list_chips
 from repro.data.dataset import ThermalDataset
 from repro.data.generation import DEFAULT_BATCH_SIZE, DatasetSpec, generate_dataset
+from repro.data.power import error_message, parse_power_spec
 from repro.evaluation.reporting import ascii_heatmap, format_table
-from repro.operators.factory import OPERATOR_REGISTRY, build_operator
+from repro.operators.factory import OPERATOR_REGISTRY, build_operator, save_operator
 from repro.operators.gar import GARRegressor
 from repro.solvers.fvm import FVMSolver
 from repro.training.trainer import Trainer, TrainingConfig
@@ -80,6 +84,28 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--powers", type=str, default=None,
                        help="JSON mapping of 'layer/block' to watts")
     solve.add_argument("--heatmap", action="store_true", help="print ASCII heat maps per layer")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the thermal inference HTTP service (JSON API)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8471,
+                       help="TCP port (0 picks a free port)")
+    serve.add_argument("--model", action="append", default=[], dest="models",
+                       metavar="WEIGHTS.npz",
+                       help="trained operator weights (repeatable); enables the "
+                            "'operator' backend for the chip/resolution each "
+                            "model was trained on")
+    serve.add_argument("--max-batch-size", type=int, default=32,
+                       help="requests dispatched per batched backend call")
+    serve.add_argument("--batch-wait-ms", type=float, default=2.0,
+                       help="micro-batching window in milliseconds")
+    serve.add_argument("--refine-threshold", type=float, default=None, metavar="K",
+                       help="surrogate answers predicting a peak temperature at or "
+                            "above this value are re-solved with the FVM backend")
+    serve.add_argument("--solver-cache-size", type=int, default=8,
+                       help="prepared factorisations kept per backend (LRU)")
+    serve.add_argument("--verbose", action="store_true", help="log HTTP requests")
 
     report = subparsers.add_parser(
         "report", help="run every experiment harness and write a markdown report"
@@ -163,8 +189,16 @@ def _cmd_train(args) -> int:
         trainer.fit(split.train)
         report = trainer.evaluate(split.test)
         if args.output:
-            model.save(args.output)
-            print(f"saved model weights to {args.output}")
+            save_operator(
+                model,
+                args.output,
+                input_normalizer=trainer.input_normalizer,
+                output_normalizer=trainer.output_normalizer,
+                chip_name=dataset.chip_name,
+                resolution=dataset.resolution,
+            )
+            print(f"saved model weights to {args.output} "
+                  f"(servable: {dataset.chip_name}@{dataset.resolution})")
     print(format_table(
         [{"Model": args.model, **{k: round(v, 3) for k, v in report.as_dict().items()}}],
         title=f"Held-out metrics on {dataset.chip_name} ({dataset.resolution}x{dataset.resolution})",
@@ -174,12 +208,13 @@ def _cmd_train(args) -> int:
 
 def _cmd_solve(args) -> int:
     chip = get_chip(args.chip)
-    if args.powers:
-        assignment = {str(k): float(v) for k, v in json.loads(args.powers).items()}
-    else:
-        total = args.total_power if args.total_power is not None else sum(chip.power_budget_W) / 2
-        names = chip.flat_block_names()
-        assignment = {name: total / len(names) for name in names}
+    try:
+        assignment = parse_power_spec(
+            chip, powers_json=args.powers, total_power_W=args.total_power
+        )
+    except (KeyError, ValueError) as error:
+        print(f"error: {error_message(error)}", file=sys.stderr)
+        return 2
     solver = FVMSolver(chip, nx=args.resolution)
     field = solver.solve(assignment)
     print(format_table(
@@ -202,6 +237,39 @@ def _cmd_solve(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serving.backends import build_backends
+    from repro.serving.engine import MicroBatchEngine
+    from repro.serving.server import ThermalServer
+
+    try:
+        backends = build_backends(
+            model_paths=args.models, pool_size=args.solver_cache_size
+        )
+    except Exception as error:  # noqa: BLE001 — bad weight files fail many ways
+        print(f"error: cannot load operator model(s): {error_message(error)}",
+              file=sys.stderr)
+        return 2
+    engine = MicroBatchEngine(
+        backends,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.batch_wait_ms,
+        refine_threshold_K=args.refine_threshold,
+    )
+    server = ThermalServer(engine, host=args.host, port=args.port, verbose=args.verbose)
+    print(f"thermal inference service listening on {server.url}")
+    print(f"  backends: {', '.join(sorted(backends))}"
+          + (f" ({len(args.models)} operator model(s) loaded)" if args.models else ""))
+    print(f"  endpoints: POST /solve · GET /chips /models /healthz /stats")
+    print("  example: curl -s -X POST "
+          f"{server.url}/solve -d '{{\"chip\": \"chip1\", \"total_power\": 60}}'")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.evaluation.config import get_scale
     from repro.evaluation.report import generate_report
@@ -217,6 +285,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
     "solve": _cmd_solve,
+    "serve": _cmd_serve,
     "report": _cmd_report,
 }
 

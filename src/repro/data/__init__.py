@@ -7,7 +7,14 @@ rasterised to per-layer power-density maps (the operator inputs), with the
 solver's per-layer temperature maps as targets.
 """
 
-from repro.data.power import PowerSampler, PowerCase
+from repro.data.power import (
+    PowerSampler,
+    PowerCase,
+    parse_power_spec,
+    rasterize_assignment,
+    uniform_power_assignment,
+    validate_power_assignment,
+)
 from repro.data.dataset import ThermalDataset, Normalizer, DataSplit
 from repro.data.generation import (
     generate_dataset,
@@ -20,6 +27,10 @@ from repro.data.cache import DatasetCache
 __all__ = [
     "PowerSampler",
     "PowerCase",
+    "parse_power_spec",
+    "rasterize_assignment",
+    "uniform_power_assignment",
+    "validate_power_assignment",
     "ThermalDataset",
     "Normalizer",
     "DataSplit",

@@ -10,12 +10,126 @@ create the strong power-contrast cases visualised in Figs. 4 and 5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.chip.stack import ChipStack
+
+
+# ----------------------------------------------------------------------
+# Power-assignment parsing, validation and rasterisation
+#
+# Shared by the ``repro-thermal solve`` CLI and the serving request
+# validator so both accept exactly the same power specifications and fail
+# with the same messages.
+# ----------------------------------------------------------------------
+def error_message(error: BaseException) -> str:
+    """Client-safe message of a validation error.
+
+    ``str(KeyError)`` repr-quotes the message; unwrap ``args[0]`` so the CLI
+    and the HTTP API report the same clean text for both error families.
+    """
+    if isinstance(error, KeyError) and error.args:
+        return str(error.args[0])
+    return str(error)
+
+
+def validate_power_assignment(
+    chip: ChipStack, assignment: Mapping[str, object]
+) -> Dict[str, float]:
+    """Check a flat ``"layer/block" -> watts`` mapping against a chip.
+
+    Returns the mapping with every value coerced to ``float``.  Raises
+    :class:`KeyError` for blocks the chip does not have and
+    :class:`ValueError` for powers that are negative, non-finite or not
+    numbers.
+    """
+    known = set(chip.flat_block_names())
+    validated: Dict[str, float] = {}
+    for key, raw in assignment.items():
+        name = str(key)
+        if name not in known:
+            raise KeyError(
+                f"unknown block '{name}' for chip '{chip.name}'; "
+                f"valid blocks: {', '.join(sorted(known))}"
+            )
+        try:
+            power = float(raw)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise ValueError(f"power of block '{name}' must be a number, got {raw!r}")
+        if not np.isfinite(power):
+            raise ValueError(f"power of block '{name}' must be finite, got {power!r}")
+        if power < 0:
+            raise ValueError(f"power of block '{name}' must be non-negative, got {power:g}")
+        validated[name] = power
+    return validated
+
+
+def uniform_power_assignment(
+    chip: ChipStack, total_power_W: Optional[float] = None
+) -> Dict[str, float]:
+    """Spread a total power uniformly over every block of the chip.
+
+    When ``total_power_W`` is omitted the midpoint of the chip's power
+    budget is used (the CLI's historical default).
+    """
+    if total_power_W is None:
+        total = sum(chip.power_budget_W) / 2
+    else:
+        total = float(total_power_W)
+        if not np.isfinite(total) or total < 0:
+            raise ValueError(f"total power must be non-negative and finite, got {total!r}")
+    names = chip.flat_block_names()
+    return {name: total / len(names) for name in names}
+
+
+def parse_power_spec(
+    chip: ChipStack,
+    powers_json: Optional[str] = None,
+    total_power_W: Optional[float] = None,
+) -> Dict[str, float]:
+    """Turn a CLI-style power specification into a validated assignment.
+
+    ``powers_json`` is JSON text mapping ``"layer/block"`` to watts (the
+    ``--powers`` argument); when absent, ``total_power_W`` is spread
+    uniformly over every block (the ``--total-power`` argument).  Raises
+    :class:`ValueError` for malformed JSON / bad powers and
+    :class:`KeyError` for unknown blocks.
+    """
+    if powers_json is not None:
+        try:
+            raw = json.loads(powers_json)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"malformed power JSON: {error}")
+        if not isinstance(raw, dict):
+            raise ValueError(
+                f"power JSON must be an object mapping 'layer/block' to watts, "
+                f"got {type(raw).__name__}"
+            )
+        return validate_power_assignment(chip, raw)
+    return uniform_power_assignment(chip, total_power_W)
+
+
+def rasterize_assignment(
+    chip: ChipStack,
+    assignment: Mapping[str, float],
+    nx: int,
+    ny: Optional[int] = None,
+) -> np.ndarray:
+    """Rasterise a flat power assignment into per-layer density maps (W/m^2).
+
+    Returns an array of shape ``(num_power_layers, ny, nx)`` — the input the
+    neural operators consume (one channel per power layer).
+    """
+    ny = ny or nx
+    per_layer = chip.split_power_assignment(dict(assignment))
+    maps = []
+    for layer in chip.power_layers:
+        maps.append(layer.floorplan.power_density_map(per_layer.get(layer.name, {}), nx, ny))
+    return np.stack(maps)
 
 
 @dataclass
@@ -147,9 +261,4 @@ class PowerSampler:
         Returns an array of shape ``(num_power_layers, ny, nx)`` — the input
         the neural operators consume (one channel per power layer).
         """
-        ny = ny or nx
-        per_layer = case.per_layer(self.chip)
-        maps = []
-        for layer in self.chip.power_layers:
-            maps.append(layer.floorplan.power_density_map(per_layer.get(layer.name, {}), nx, ny))
-        return np.stack(maps)
+        return rasterize_assignment(self.chip, case.assignment, nx, ny)

@@ -9,6 +9,7 @@ toggle behaviours such as dropout and batch-norm statistics.
 
 from __future__ import annotations
 
+import json
 from collections import OrderedDict
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -114,14 +115,56 @@ class Module:
         for name, module in self._modules.items():
             module.load_state_dict(state, prefix + name + ".")
 
-    def save(self, path: str) -> None:
-        """Save the state dict to an ``.npz`` file."""
-        np.savez(path, **self.state_dict())
+    #: Reserved archive key holding the JSON-encoded construction config.
+    CONFIG_KEY = "__config__"
+
+    def save(
+        self,
+        path: str,
+        config: Optional[Dict] = None,
+        extra: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
+        """Save the state dict (and construction metadata) to an ``.npz`` file.
+
+        ``config`` is a JSON-serialisable description of how to rebuild the
+        module (architecture name plus hyper-parameters); when omitted, the
+        module's ``config`` attribute is used if present.  Factories such as
+        :func:`repro.operators.factory.build_operator` set that attribute, so
+        models built through them round-trip standalone via
+        :func:`repro.operators.factory.load_operator`.  ``extra`` holds
+        additional arrays (e.g. normaliser statistics) stored under
+        dunder-wrapped keys so they never collide with parameter names.
+        """
+        payload = dict(self.state_dict())
+        if config is None:
+            config = getattr(self, "config", None)
+        if config is not None:
+            payload[self.CONFIG_KEY] = np.array(json.dumps(config))
+        for key, value in (extra or {}).items():
+            wrapped = f"__{key}__"
+            if wrapped == self.CONFIG_KEY:
+                raise ValueError(
+                    f"extra key '{key}' collides with the reserved config entry"
+                )
+            payload[wrapped] = np.asarray(value)
+        np.savez(path, **payload)
 
     def load(self, path: str) -> None:
-        """Load a state dict previously written by :meth:`save`."""
+        """Load a state dict previously written by :meth:`save`.
+
+        Metadata keys (``__config__`` and other dunder-wrapped extras) are
+        skipped; use :func:`repro.operators.factory.load_operator` to rebuild
+        a model from its embedded config without re-specifying the
+        architecture.
+        """
         with np.load(path) as archive:
-            self.load_state_dict({key: archive[key] for key in archive.files})
+            self.load_state_dict(
+                {
+                    key: archive[key]
+                    for key in archive.files
+                    if not (key.startswith("__") and key.endswith("__"))
+                }
+            )
 
     def copy_from(self, other: "Module") -> None:
         """Copy parameters from a module with an identical structure."""

@@ -16,7 +16,13 @@ from repro.operators.ufno import UFNO2d, UFourierLayer
 from repro.operators.sau_fno import SAUFNO2d
 from repro.operators.deeponet import DeepOHeatModel
 from repro.operators.gar import GARRegressor
-from repro.operators.factory import build_operator, OPERATOR_REGISTRY
+from repro.operators.factory import (
+    build_operator,
+    load_operator,
+    save_operator,
+    LoadedOperator,
+    OPERATOR_REGISTRY,
+)
 
 __all__ = [
     "OperatorModel",
@@ -28,5 +34,8 @@ __all__ = [
     "DeepOHeatModel",
     "GARRegressor",
     "build_operator",
+    "load_operator",
+    "save_operator",
+    "LoadedOperator",
     "OPERATOR_REGISTRY",
 ]

@@ -1,0 +1,42 @@
+"""Thermal inference serving: micro-batched online answers to power-map queries.
+
+The subsystem turns the repository's solvers and trained operator surrogates
+into a long-running service:
+
+* :mod:`repro.serving.request` — validated request/response model.
+* :mod:`repro.serving.backends` — exact (FVM, pooled LRU factorisations),
+  learned (operator surrogate) and compact (HotSpot) execution backends.
+* :mod:`repro.serving.engine` — the micro-batching dispatcher that groups
+  concurrent requests by ``(chip, resolution, backend)`` and answers each
+  group with one batched solve.
+* :mod:`repro.serving.server` — the stdlib HTTP JSON API
+  (``repro-thermal serve``).
+"""
+
+from repro.serving.backends import (
+    Backend,
+    FVMBackend,
+    HotSpotBackend,
+    LRUPool,
+    ModelRegistry,
+    OperatorBackend,
+    build_backends,
+)
+from repro.serving.engine import MicroBatchEngine
+from repro.serving.request import KNOWN_BACKENDS, ThermalRequest, ThermalResult
+from repro.serving.server import ThermalServer
+
+__all__ = [
+    "Backend",
+    "FVMBackend",
+    "HotSpotBackend",
+    "LRUPool",
+    "ModelRegistry",
+    "OperatorBackend",
+    "build_backends",
+    "MicroBatchEngine",
+    "KNOWN_BACKENDS",
+    "ThermalRequest",
+    "ThermalResult",
+    "ThermalServer",
+]

@@ -1,0 +1,385 @@
+"""Micro-batching request engine of the thermal inference service.
+
+Concurrent clients submit :class:`~repro.serving.request.ThermalRequest`\\ s
+and block on futures; a single dispatcher thread drains the queue, groups
+pending requests by ``(chip, resolution, backend)`` and answers each group
+with one batched backend call.  For the FVM backend that turns N concurrent
+queries into one stacked-RHS back-substitution against a pooled
+factorisation — the serving-time twin of the dataset-generation pipeline's
+prepare-once / solve-many split; for the operator backend it is one
+vectorised forward pass.
+
+A short batching window (``max_wait_ms``) lets a micro-batch accumulate
+under concurrent load while adding at most that much latency to a lone
+request.  An optional exact-refine guard re-solves surrogate answers whose
+predicted peak temperature crosses a threshold: near the thermal limits is
+exactly where surrogate error is least affordable, so those queries pay for
+the exact solver.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.backends import Backend
+from repro.serving.request import ThermalRequest, ThermalResult
+
+#: How many latency samples per backend back the p50/p95 estimates.
+LATENCY_WINDOW = 4096
+
+
+@dataclass
+class _Pending:
+    """A queued request together with its completion future."""
+
+    request: ThermalRequest
+    future: Future
+    enqueued_at: float
+
+
+@dataclass
+class _BackendCounters:
+    """Running statistics of one backend, guarded by the engine lock."""
+
+    requests: int = 0
+    batches: int = 0
+    errors: int = 0
+    refined: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+    def record(self, latencies: Sequence[float], count_batch: bool = True) -> None:
+        self.requests += len(latencies)
+        if count_batch:
+            self.batches += 1
+        self.latencies.extend(latencies)
+        if len(self.latencies) > LATENCY_WINDOW:
+            del self.latencies[: len(self.latencies) - LATENCY_WINDOW]
+
+    def snapshot(self) -> Dict[str, Any]:
+        summary: Dict[str, Any] = {
+            "requests": self.requests,
+            "batches": self.batches,
+            "errors": self.errors,
+            "refined": self.refined,
+            "mean_batch_size": (
+                round(self.requests / self.batches, 3) if self.batches else 0.0
+            ),
+        }
+        if self.latencies:
+            values = np.asarray(self.latencies)
+            summary["latency_ms"] = {
+                "mean": round(float(values.mean()) * 1e3, 3),
+                "p50": round(float(np.percentile(values, 50)) * 1e3, 3),
+                "p95": round(float(np.percentile(values, 95)) * 1e3, 3),
+            }
+        return summary
+
+
+class MicroBatchEngine:
+    """Queue, group and dispatch thermal requests through batched backends.
+
+    Parameters
+    ----------
+    backends:
+        Mapping of backend name to :class:`~repro.serving.backends.Backend`
+        (see :func:`~repro.serving.backends.build_backends`).
+    max_batch_size:
+        Upper bound on requests dispatched in one backend call; bounds the
+        stacked-RHS memory of the FVM backend.
+    max_wait_ms:
+        Batching window: after the first request arrives the dispatcher
+        waits up to this long (or until ``max_batch_size`` requests are
+        queued) for companions before dispatching.
+    refine_threshold_K:
+        When set, answers from ``guarded_backends`` whose predicted peak
+        temperature reaches this value are re-solved with
+        ``refine_backend`` and returned with ``refined=True``.
+    """
+
+    def __init__(
+        self,
+        backends: Mapping[str, Backend],
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        refine_threshold_K: Optional[float] = None,
+        refine_backend: str = "fvm",
+        guarded_backends: Sequence[str] = ("operator",),
+    ):
+        if not backends:
+            raise ValueError("the engine needs at least one backend")
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if refine_threshold_K is not None and refine_backend not in backends:
+            raise ValueError(
+                f"refine backend '{refine_backend}' is not among the configured "
+                f"backends: {', '.join(sorted(backends))}"
+            )
+        self.backends = dict(backends)
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_ms / 1e3
+        self.refine_threshold_K = refine_threshold_K
+        self.refine_backend = refine_backend
+        self.guarded_backends = tuple(guarded_backends)
+
+        self._queue: List[_Pending] = []
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._counters: Dict[str, _BackendCounters] = {}
+        self._running = False
+        self._stopped = False
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "MicroBatchEngine":
+        """Launch the dispatcher thread (idempotent)."""
+        with self._lock:
+            if self._running:
+                return self
+            self._running = True
+            self._stopped = False
+            self._started_at = time.perf_counter()
+            self._thread = threading.Thread(
+                target=self._run, name="thermal-dispatch", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the dispatcher after draining the queued requests."""
+        with self._wakeup:
+            self._running = False
+            self._stopped = True
+            self._wakeup.notify_all()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        # Fail anything that raced into the queue after the dispatcher
+        # drained it — a silently parked future would block its client for
+        # the full solve timeout.
+        with self._lock:
+            leftovers = self._queue
+            self._queue = []
+        for pending in leftovers:
+            if pending.future.set_running_or_notify_cancel():
+                pending.future.set_exception(RuntimeError("the engine has been stopped"))
+
+    def __enter__(self) -> "MicroBatchEngine":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    @property
+    def is_running(self) -> bool:
+        return self._running
+
+    # ------------------------------------------------------------------
+    # Client interface
+    # ------------------------------------------------------------------
+    def submit(self, request: ThermalRequest) -> Future:
+        """Enqueue a request; the returned future resolves to a ThermalResult.
+
+        Requests may be submitted before :meth:`start`; they are answered as
+        soon as the dispatcher runs (the tests use this to force determinate
+        batch compositions).
+        """
+        if request.backend not in self.backends:
+            raise KeyError(
+                f"backend '{request.backend}' is not enabled on this engine; "
+                f"available: {', '.join(sorted(self.backends))}"
+            )
+        pending = _Pending(request=request, future=Future(), enqueued_at=time.perf_counter())
+        with self._wakeup:
+            if self._stopped:
+                raise RuntimeError("the engine has been stopped")
+            self._queue.append(pending)
+            self._wakeup.notify_all()
+        return pending.future
+
+    def solve(self, request: ThermalRequest, timeout: Optional[float] = 60.0) -> ThermalResult:
+        """Submit one request and block until its result is available."""
+        return self.submit(request).result(timeout=timeout)
+
+    def solve_many(
+        self, requests: Sequence[ThermalRequest], timeout: Optional[float] = 60.0
+    ) -> List[ThermalResult]:
+        """Submit many requests at once and collect their results in order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result(timeout=timeout) for future in futures]
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Live counters for the ``/stats`` endpoint."""
+        with self._lock:
+            queue_depth = len(self._queue)
+            counters = {name: c.snapshot() for name, c in self._counters.items()}
+            total = sum(c.requests for c in self._counters.values())
+        uptime = time.perf_counter() - self._started_at
+        backends: Dict[str, Any] = {}
+        for name, backend in self.backends.items():
+            summary = counters.get(name, _BackendCounters().snapshot())
+            summary.update(backend.stats())
+            backends[name] = summary
+        return {
+            "running": self._running,
+            "uptime_seconds": round(uptime, 3),
+            "queue_depth": queue_depth,
+            "total_requests": total,
+            "throughput_rps": round(total / uptime, 3) if uptime > 0 else 0.0,
+            "max_batch_size": self.max_batch_size,
+            "batch_window_ms": self.max_wait_s * 1e3,
+            "refine_threshold_K": self.refine_threshold_K,
+            "backends": backends,
+        }
+
+    def _counter(self, name: str) -> _BackendCounters:
+        if name not in self._counters:
+            self._counters[name] = _BackendCounters()
+        return self._counters[name]
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._wakeup:
+                while self._running and not self._queue:
+                    self._wakeup.wait()
+                if not self._queue:
+                    if not self._running:
+                        return
+                    continue
+                # Linger briefly so a micro-batch can accumulate under
+                # concurrent load.  Anchoring the deadline to the oldest
+                # request's enqueue time means no request waits more than one
+                # window regardless of how many groups are backlogged, and
+                # the early exit counts only the dispatchable group — other
+                # groups' requests don't fill this batch.
+                deadline = self._queue[0].enqueued_at + self.max_wait_s
+                group_key = self._queue[0].request.group_key
+                while (
+                    self._running
+                    and sum(
+                        1 for p in self._queue if p.request.group_key == group_key
+                    ) < self.max_batch_size
+                    and (remaining := deadline - time.perf_counter()) > 0
+                ):
+                    self._wakeup.wait(timeout=remaining)
+                batch = self._pop_group_locked()
+            self._dispatch(batch)
+
+    def _pop_group_locked(self) -> List[_Pending]:
+        """Take the oldest request's group, up to ``max_batch_size`` entries."""
+        key = self._queue[0].request.group_key
+        batch: List[_Pending] = []
+        rest: List[_Pending] = []
+        for pending in self._queue:
+            if pending.request.group_key == key and len(batch) < self.max_batch_size:
+                batch.append(pending)
+            else:
+                rest.append(pending)
+        self._queue = rest
+        return batch
+
+    def _dispatch(self, batch: List[_Pending]) -> None:
+        requests = [pending.request for pending in batch]
+        backend_name = requests[0].backend
+        backend = self.backends[backend_name]
+        try:
+            results = backend.solve_batch(requests)
+        except Exception as error:  # noqa: BLE001 — failures travel to clients
+            with self._lock:
+                self._counter(backend_name).errors += len(batch)
+            for pending in batch:
+                if not pending.future.set_running_or_notify_cancel():
+                    continue
+                pending.future.set_exception(error)
+            return
+
+        # Release the guard-passing answers immediately: only the requests
+        # whose surrogate answers tripped the exact-refine guard wait for the
+        # exact solver.
+        hot = self._guard_tripped_indices(requests, results)
+        hot_set = set(hot)
+        cold = [index for index in range(len(batch)) if index not in hot_set]
+        if cold:
+            self._finalize(batch, results, cold, backend_name, count_batch=True)
+        if hot:
+            refined = self._refine(requests, results, hot)
+            with self._lock:
+                self._counter(backend_name).refined += refined
+            self._finalize(batch, results, hot, backend_name, count_batch=not cold)
+
+    def _finalize(
+        self,
+        batch: List[_Pending],
+        results: List[ThermalResult],
+        indices: Sequence[int],
+        backend_name: str,
+        count_batch: bool,
+    ) -> None:
+        """Stamp latency/batch metadata, record stats and resolve futures."""
+        now = time.perf_counter()
+        latencies = []
+        for index in indices:
+            results[index].latency_seconds = now - batch[index].enqueued_at
+            results[index].batch_size = len(batch)
+            latencies.append(results[index].latency_seconds)
+        with self._lock:
+            self._counter(backend_name).record(latencies, count_batch=count_batch)
+        for index in indices:
+            if batch[index].future.set_running_or_notify_cancel():
+                batch[index].future.set_result(results[index])
+
+    def _guard_tripped_indices(
+        self, requests: Sequence[ThermalRequest], results: Sequence[ThermalResult]
+    ) -> List[int]:
+        """Indices of surrogate answers the exact-refine guard rejects."""
+        if (
+            self.refine_threshold_K is None
+            or requests[0].backend not in self.guarded_backends
+            or requests[0].backend == self.refine_backend
+        ):
+            return []
+        # `not (max_K < threshold)` rather than `>=`: a NaN prediction (a
+        # diverged surrogate) compares False both ways and must refine —
+        # untrustworthy answers are exactly what the guard is for.
+        return [
+            index
+            for index, result in enumerate(results)
+            if not (result.max_K < self.refine_threshold_K)
+        ]
+
+    def _refine(
+        self,
+        requests: Sequence[ThermalRequest],
+        results: List[ThermalResult],
+        hot: Sequence[int],
+    ) -> int:
+        """Re-solve the guard-tripping answers with the exact backend."""
+        exact_backend = self.backends[self.refine_backend]
+        try:
+            exact_results = exact_backend.solve_batch([requests[index] for index in hot])
+        except Exception:  # noqa: BLE001
+            # Refinement is best-effort: a failing exact solve must not
+            # poison the batch, so the surrogate answers stand unrefined.
+            with self._lock:
+                self._counter(self.refine_backend).errors += len(hot)
+            return 0
+        for index, exact in zip(hot, exact_results):
+            exact.refined = True
+            results[index] = exact
+        return len(hot)

@@ -1,0 +1,228 @@
+"""Request/response model of the thermal inference service.
+
+A :class:`ThermalRequest` is one fully validated power-map query: which chip,
+at what grid resolution, under which per-block power assignment, answered by
+which backend.  Validation happens at construction time (through
+:meth:`ThermalRequest.create` / :meth:`ThermalRequest.from_payload`) so by
+the time a request reaches the micro-batching engine it is guaranteed
+solvable — the engine only groups and dispatches.
+
+Requests carrying the same :attr:`ThermalRequest.group_key` are answered by
+one batched backend call (stacked right-hand sides for the FVM backend, one
+vectorised forward pass for the operator backend).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chip.designs import get_chip, list_chips
+from repro.data.power import uniform_power_assignment, validate_power_assignment
+
+#: Backends every service deployment knows about.  The engine may expose a
+#: subset (e.g. no ``operator`` backend when no model weights are loaded).
+KNOWN_BACKENDS = ("fvm", "operator", "hotspot")
+
+#: Grid-resolution bounds accepted by the service.  The lower bound keeps
+#: block rasterisation meaningful; the upper bound caps the memory of one
+#: cached factorisation.
+MIN_RESOLUTION = 4
+MAX_RESOLUTION = 256
+
+_REQUEST_COUNTER = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ThermalRequest:
+    """One validated steady-state thermal query.
+
+    Use :meth:`create` (keyword-style) or :meth:`from_payload` (JSON body of
+    the HTTP ``/solve`` endpoint) instead of the raw constructor — they run
+    the chip / backend / power validation.
+    """
+
+    chip: str
+    resolution: int
+    assignment: Mapping[str, float]
+    backend: str = "fvm"
+    include_maps: bool = False
+    request_id: str = ""
+
+    @property
+    def group_key(self) -> Tuple[str, int, str]:
+        """Micro-batching key: requests sharing it are solved together."""
+        return (self.chip, self.resolution, self.backend)
+
+    @property
+    def total_power_W(self) -> float:
+        return float(sum(self.assignment.values()))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        chip: str,
+        powers: Optional[Mapping[str, Any]] = None,
+        total_power_W: Optional[float] = None,
+        resolution: int = 32,
+        backend: str = "fvm",
+        include_maps: bool = False,
+        request_id: Optional[str] = None,
+        allowed_backends: Optional[Sequence[str]] = None,
+    ) -> "ThermalRequest":
+        """Validate every field and build a request.
+
+        ``powers`` is a flat ``"layer/block" -> watts`` mapping; when omitted
+        ``total_power_W`` (or the chip's budget midpoint) is spread uniformly
+        over all blocks.  ``allowed_backends`` is the serving deployment's
+        actual backend set (defaults to :data:`KNOWN_BACKENDS`), so custom
+        engines validate against what they really offer.  Raises
+        :class:`ValueError` / :class:`KeyError` with messages safe to return
+        to an API client.
+        """
+        chip_name = str(chip).lower()
+        if chip_name not in list_chips():
+            raise KeyError(f"unknown chip '{chip}'; available: {', '.join(list_chips())}")
+        chip_stack = get_chip(chip_name)
+
+        if powers is not None and total_power_W is not None:
+            raise ValueError("specify either 'powers' or 'total_power', not both")
+
+        try:
+            as_float = float(resolution)
+            if as_float != int(as_float):
+                raise ValueError
+            resolution = int(as_float)
+        except (TypeError, ValueError):
+            raise ValueError(f"resolution must be an integer, got {resolution!r}")
+        if not MIN_RESOLUTION <= resolution <= MAX_RESOLUTION:
+            raise ValueError(
+                f"resolution must be in [{MIN_RESOLUTION}, {MAX_RESOLUTION}], got {resolution}"
+            )
+
+        allowed = tuple(allowed_backends) if allowed_backends is not None else KNOWN_BACKENDS
+        backend_name = str(backend).lower()
+        if backend_name not in allowed:
+            raise ValueError(
+                f"unknown backend '{backend}'; available: {', '.join(sorted(allowed))}"
+            )
+
+        if powers is not None:
+            if not isinstance(powers, Mapping):
+                raise ValueError(
+                    f"'powers' must map 'layer/block' to watts, got {type(powers).__name__}"
+                )
+            assignment = validate_power_assignment(chip_stack, powers)
+        else:
+            assignment = uniform_power_assignment(chip_stack, total_power_W)
+
+        return cls(
+            chip=chip_name,
+            resolution=resolution,
+            assignment=assignment,
+            backend=backend_name,
+            include_maps=bool(include_maps),
+            request_id=request_id or f"req-{next(_REQUEST_COUNTER)}",
+        )
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: Mapping[str, Any],
+        allowed_backends: Optional[Sequence[str]] = None,
+    ) -> "ThermalRequest":
+        """Build a request from a decoded JSON body (the ``/solve`` route)."""
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"request body must be a JSON object, got {type(payload).__name__}")
+        known_keys = {
+            "chip", "powers", "total_power", "resolution", "backend",
+            "include_maps", "request_id",
+        }
+        unknown = set(payload) - known_keys
+        if unknown:
+            raise ValueError(
+                f"unknown request fields: {', '.join(sorted(unknown))}; "
+                f"accepted: {', '.join(sorted(known_keys))}"
+            )
+        if "chip" not in payload:
+            raise ValueError("request is missing the required 'chip' field")
+        total_power = payload.get("total_power")
+        if total_power is not None:
+            try:
+                total_power = float(total_power)
+            except (TypeError, ValueError):
+                raise ValueError(f"'total_power' must be a number, got {total_power!r}")
+        return cls.create(
+            chip=payload["chip"],
+            powers=payload.get("powers"),
+            total_power_W=total_power,
+            resolution=payload.get("resolution", 32),
+            backend=payload.get("backend", "fvm"),
+            include_maps=payload.get("include_maps", False),
+            request_id=payload.get("request_id"),
+            allowed_backends=allowed_backends,
+        )
+
+
+@dataclass
+class ThermalResult:
+    """Answer to one :class:`ThermalRequest`.
+
+    ``backend`` names the backend that produced the final numbers — when the
+    exact-refine guard re-solved a surrogate answer, it is the refine
+    backend's name and ``refined`` is true.  ``solve_seconds`` is the
+    backend's (amortised) compute share; ``latency_seconds`` the full
+    queue-to-answer time seen by the client; ``batch_size`` how many requests
+    shared the dispatch.
+    """
+
+    request_id: str
+    chip: str
+    resolution: int
+    backend: str
+    max_K: float
+    min_K: float
+    mean_K: float
+    total_power_W: float
+    hotspot: Dict[str, float] = field(default_factory=dict)
+    solve_seconds: float = 0.0
+    latency_seconds: float = 0.0
+    batch_size: int = 1
+    refined: bool = False
+    layer_maps: Optional[Dict[str, np.ndarray]] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-serialisable view (arrays become nested lists).
+
+        Non-finite temperatures (a diverged surrogate) become ``null``:
+        ``json.dumps`` would otherwise emit the literal ``NaN``, which strict
+        JSON parsers reject.
+        """
+        def finite(value: float) -> Optional[float]:
+            value = float(value)
+            return round(value, 6) if np.isfinite(value) else None
+
+        body: Dict[str, Any] = {
+            "request_id": self.request_id,
+            "chip": self.chip,
+            "resolution": self.resolution,
+            "backend": self.backend,
+            "max_K": finite(self.max_K),
+            "min_K": finite(self.min_K),
+            "mean_K": finite(self.mean_K),
+            "total_power_W": finite(self.total_power_W),
+            "hotspot": {key: finite(v) for key, v in self.hotspot.items()},
+            "solve_seconds": self.solve_seconds,
+            "latency_seconds": self.latency_seconds,
+            "batch_size": self.batch_size,
+            "refined": self.refined,
+        }
+        if self.layer_maps is not None:
+            body["layer_maps"] = {
+                name: np.asarray(values).tolist() for name, values in self.layer_maps.items()
+            }
+        return body

@@ -1,0 +1,232 @@
+"""Stdlib HTTP JSON API in front of the micro-batching engine.
+
+Endpoints
+---------
+* ``POST /solve`` — answer one thermal query.  Body::
+
+      {"chip": "chip1", "resolution": 32, "backend": "fvm",
+       "powers": {"core_layer/Core": 20.0}, "include_maps": false}
+
+  ``powers`` may be omitted in favour of ``"total_power": <watts>`` spread
+  uniformly over all blocks.
+* ``GET /chips`` — built-in benchmark chips and their block names.
+* ``GET /models`` — operator surrogates loaded into the model registry.
+* ``GET /healthz`` — liveness probe.
+* ``GET /stats`` — engine/backend counters (throughput, latency
+  percentiles, solver-pool hit rates).
+
+The server is a :class:`http.server.ThreadingHTTPServer`: each client
+connection blocks in its own thread on the engine future, which is exactly
+what lets concurrent requests coalesce into micro-batches.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from repro import __version__
+from repro.chip.designs import get_chip, list_chips
+from repro.data.power import error_message
+from repro.serving.backends import OperatorBackend
+from repro.serving.engine import MicroBatchEngine
+from repro.serving.request import ThermalRequest
+
+#: Largest accepted ``/solve`` body; far above any legitimate power map.
+MAX_BODY_BYTES = 1 << 20
+
+#: How long one ``/solve`` may wait on the engine before answering 504.
+SOLVE_TIMEOUT_S = 120.0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the engine owned by the server."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-thermal/{__version__}"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, body: Dict[str, Any]) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        if self.close_connection:
+            # Set when the request body was not (fully) read: the unread
+            # bytes would desync the next keep-alive request on this socket.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler contract
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, self.server.service.health())
+        elif path == "/chips":
+            self._send_json(200, {"chips": self.server.service.describe_chips()})
+        elif path == "/models":
+            self._send_json(200, {"models": self.server.service.describe_models()})
+        elif path == "/stats":
+            self._send_json(200, self.server.service.engine.stats())
+        else:
+            self._send_error_json(404, f"unknown path '{self.path}'")
+
+    def do_POST(self) -> None:  # noqa: N802
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/solve":
+            self.close_connection = True  # body never read — see _send_json
+            self._send_error_json(404, f"unknown path '{self.path}'")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self.close_connection = True
+            self._send_error_json(400, "invalid Content-Length header")
+            return
+        if length <= 0:
+            # Covers chunked bodies too (no Content-Length): nothing is
+            # read, so the connection must close to stay in sync.
+            self.close_connection = True
+            self._send_error_json(400, "request body with a Content-Length is required")
+            return
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            self._send_error_json(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+            return
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._send_error_json(400, f"malformed JSON body: {error}")
+            return
+        try:
+            request = ThermalRequest.from_payload(
+                payload, allowed_backends=self.server.service.engine.backends
+            )
+        except (KeyError, ValueError) as error:
+            self._send_error_json(400, error_message(error))
+            return
+        try:
+            result = self.server.service.engine.solve(request, timeout=SOLVE_TIMEOUT_S)
+        except FutureTimeoutError:
+            self._send_error_json(504, "solve timed out; the service is overloaded")
+            return
+        except (KeyError, ValueError) as error:
+            self._send_error_json(400, error_message(error))
+            return
+        except Exception as error:  # noqa: BLE001 — surface backend failures as 500s
+            self._send_error_json(500, f"solve failed: {error}")
+            return
+        self._send_json(200, result.to_json())
+
+
+class ThermalServer:
+    """Owns the HTTP server, the engine and their lifecycles.
+
+    Binding to port 0 picks a free port (used by the tests and benchmark);
+    the bound port is available as :attr:`port`.
+    """
+
+    def __init__(
+        self,
+        engine: MicroBatchEngine,
+        host: str = "127.0.0.1",
+        port: int = 8471,
+        verbose: bool = False,
+    ):
+        self.engine = engine
+        self._started_at = time.time()
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = self
+        self._httpd.verbose = verbose
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "backends": sorted(self.engine.backends),
+            "engine_running": self.engine.is_running,
+        }
+
+    def describe_chips(self) -> list:
+        chips = []
+        for name in list_chips():
+            chip = get_chip(name)
+            chips.append(
+                {
+                    "name": name,
+                    "die_mm": [chip.die_width_mm, chip.die_height_mm],
+                    "layers": chip.layer_names,
+                    "power_layers": chip.power_layer_names,
+                    "blocks": chip.flat_block_names(),
+                    "power_budget_W": list(chip.power_budget_W),
+                }
+            )
+        return chips
+
+    def describe_models(self) -> list:
+        backend = self.engine.backends.get("operator")
+        if isinstance(backend, OperatorBackend):
+            return backend.registry.describe()
+        return []
+
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Run the engine and HTTP loop in the calling thread (CLI path)."""
+        self.engine.start()
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self.engine.stop()
+
+    def start_background(self) -> "ThermalServer":
+        """Run the HTTP loop in a daemon thread (tests and benchmarks)."""
+        self.engine.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="thermal-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.engine.stop()
+
+    def __enter__(self) -> "ThermalServer":
+        return self.start_background()
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()

@@ -211,3 +211,71 @@ class TestFactory:
                                                 "attention_dim": 4}, rng) is not None
         with pytest.raises(KeyError):
             build_operator("transformer", 1, 1)
+
+
+class TestOperatorPersistence:
+    """Self-describing weights: config embedded in the .npz by Module.save."""
+
+    def test_build_operator_records_construction_config(self, rng):
+        model = build_operator("fno", 2, 3, {"width": 8, "modes1": 3, "modes2": 3}, rng)
+        assert model.config["operator"] == "fno"
+        assert model.config["in_channels"] == 2
+        assert model.config["out_channels"] == 3
+        assert model.config["options"]["width"] == 8
+
+    def test_load_operator_roundtrip_without_respecifying_architecture(self, tmp_path, rng):
+        from repro.operators.factory import load_operator
+
+        model = build_operator("fno", 2, 2, {"width": 8, "modes1": 3, "modes2": 3}, rng)
+        path = tmp_path / "weights.npz"
+        model.save(str(path))
+
+        loaded = load_operator(str(path))
+        assert loaded.name == "fno"
+        assert loaded.options == {"width": 8, "modes1": 3, "modes2": 3}
+        x = rng.standard_normal((2, 2, 12, 12)).astype(np.float32)
+        np.testing.assert_allclose(loaded.model.predict(x), model.predict(x), atol=0.0)
+
+    def test_save_operator_bundles_normalizers_and_provenance(self, tmp_path, rng):
+        from repro.data.dataset import Normalizer
+        from repro.operators.factory import load_operator, save_operator
+
+        model = build_operator("fno", 2, 2, {"width": 8, "modes1": 3, "modes2": 3}, rng)
+        data = rng.standard_normal((4, 2, 8, 8)) * 5.0 + 300.0
+        in_norm = Normalizer().fit(data)
+        out_norm = Normalizer().fit(data + 40.0)
+        path = tmp_path / "served.npz"
+        save_operator(model, str(path), input_normalizer=in_norm,
+                      output_normalizer=out_norm, chip_name="chip1", resolution=8)
+
+        loaded = load_operator(str(path))
+        assert loaded.chip_name == "chip1" and loaded.resolution == 8
+        assert loaded.has_normalizers
+        np.testing.assert_allclose(loaded.input_normalizer.mean, in_norm.mean)
+        np.testing.assert_allclose(loaded.output_normalizer.std, out_norm.std)
+        # predict() de-normalises: outputs live on the target scale, not ~N(0,1).
+        prediction = loaded.predict(data.astype(np.float32))
+        assert prediction.mean() > 100.0
+
+    def test_load_operator_without_config_errors_clearly(self, tmp_path, rng):
+        from repro.operators.factory import load_operator
+
+        model = build_operator("fno", 2, 2, {"width": 8, "modes1": 3, "modes2": 3}, rng)
+        path = tmp_path / "legacy.npz"
+        np.savez(str(path), **model.state_dict())  # pre-config archive
+        with pytest.raises(ValueError, match="no embedded architecture config"):
+            load_operator(str(path))
+
+    def test_legacy_load_method_ignores_metadata_keys(self, tmp_path, rng):
+        model = build_operator("fno", 2, 2, {"width": 8, "modes1": 3, "modes2": 3}, rng)
+        path = tmp_path / "weights.npz"
+        model.save(str(path))
+        clone = build_operator("fno", 2, 2, {"width": 8, "modes1": 3, "modes2": 3}, rng)
+        clone.load(str(path))  # must not trip over __config__
+        x = rng.standard_normal((1, 2, 10, 10)).astype(np.float32)
+        np.testing.assert_allclose(clone.predict(x), model.predict(x), atol=0.0)
+
+    def test_save_rejects_extra_key_colliding_with_config(self, tmp_path, rng):
+        model = build_operator("fno", 2, 2, {"width": 8, "modes1": 3, "modes2": 3}, rng)
+        with pytest.raises(ValueError, match="reserved config entry"):
+            model.save(str(tmp_path / "clash.npz"), extra={"config": np.zeros(2)})

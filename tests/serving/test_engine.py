@@ -1,0 +1,402 @@
+"""Tests for the micro-batching engine, backends and solver pool."""
+
+import numpy as np
+import pytest
+
+from repro.chip.designs import get_chip
+from repro.serving.backends import (
+    Backend,
+    FVMBackend,
+    HotSpotBackend,
+    LRUPool,
+    ModelRegistry,
+    OperatorBackend,
+    build_backends,
+)
+from repro.serving.engine import MicroBatchEngine
+from repro.serving.request import ThermalRequest, ThermalResult
+from repro.solvers.fvm import FVMSolver
+from repro.solvers.hotspot import HotSpotModel
+
+RES = 10  # tiny grids keep the exact solves fast
+
+
+def _requests(chip, count, resolution=RES, backend="fvm", base_power=30.0):
+    return [
+        ThermalRequest.create(
+            chip, total_power_W=base_power + 3.0 * i, resolution=resolution, backend=backend
+        )
+        for i in range(count)
+    ]
+
+
+class TestThermalRequest:
+    def test_create_validates_and_normalises(self):
+        request = ThermalRequest.create("CHIP1", total_power_W=40, resolution="16")
+        assert request.chip == "chip1"
+        assert request.resolution == 16
+        assert abs(request.total_power_W - 40.0) < 1e-9
+        assert request.group_key == ("chip1", 16, "fvm")
+
+    def test_unknown_chip_and_backend_rejected(self):
+        with pytest.raises(KeyError):
+            ThermalRequest.create("chip9", total_power_W=10)
+        with pytest.raises(ValueError):
+            ThermalRequest.create("chip1", total_power_W=10, backend="comsol")
+
+    def test_bad_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalRequest.create("chip1", total_power_W=10, resolution=2)
+        with pytest.raises(ValueError):
+            ThermalRequest.create("chip1", total_power_W=10, resolution="many")
+        with pytest.raises(ValueError, match="integer"):
+            ThermalRequest.create("chip1", total_power_W=10, resolution=32.9)
+
+    def test_powers_and_total_power_together_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            ThermalRequest.create(
+                "chip1", powers={"core_layer/Core": 5.0}, total_power_W=50.0
+            )
+        with pytest.raises(ValueError, match="not both"):
+            ThermalRequest.from_payload(
+                {"chip": "chip1", "powers": {"core_layer/Core": 5.0}, "total_power": 50}
+            )
+
+    def test_unknown_block_and_negative_power_rejected(self):
+        with pytest.raises(KeyError):
+            ThermalRequest.create("chip1", powers={"no_such/block": 5.0})
+        with pytest.raises(ValueError):
+            ThermalRequest.create("chip1", powers={"core_layer/Core": -1.0})
+
+    def test_allowed_backends_overrides_the_builtin_list(self):
+        request = ThermalRequest.create(
+            "chip1", total_power_W=10, backend="transient",
+            allowed_backends=("fvm", "transient"),
+        )
+        assert request.backend == "transient"
+        with pytest.raises(ValueError, match="unknown backend"):
+            ThermalRequest.create(
+                "chip1", total_power_W=10, backend="hotspot", allowed_backends=("fvm",)
+            )
+
+    def test_from_payload_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown request fields"):
+            ThermalRequest.from_payload({"chip": "chip1", "watts": 10})
+        with pytest.raises(ValueError, match="required 'chip'"):
+            ThermalRequest.from_payload({"total_power": 10})
+
+
+class TestMicroBatching:
+    def test_batched_group_equals_single_shot_solves(self):
+        """The acceptance bar: micro-batched fvm answers == FVMSolver.solve."""
+        requests = _requests("chip1", 6) + _requests("chip2", 3)
+        engine = MicroBatchEngine(build_backends(), max_batch_size=16, max_wait_ms=5.0)
+        with engine:
+            results = engine.solve_many(requests)
+        for request, result in zip(requests, results):
+            reference = FVMSolver(get_chip(request.chip), nx=RES).solve(request.assignment)
+            assert abs(result.max_K - reference.max_K) <= 1e-9
+            assert abs(result.mean_K - reference.mean_K) <= 1e-9
+
+    def test_same_key_requests_share_one_dispatch(self):
+        engine = MicroBatchEngine(build_backends(), max_batch_size=16)
+        futures = [engine.submit(r) for r in _requests("chip1", 6)]
+        engine.start()  # queued before start => exactly one group dispatch
+        results = [f.result(timeout=60) for f in futures]
+        engine.stop()
+        assert all(result.batch_size == 6 for result in results)
+        stats = engine.stats()["backends"]["fvm"]
+        assert stats["requests"] == 6
+        assert stats["batches"] == 1
+        assert stats["mean_batch_size"] == 6.0
+
+    def test_mixed_keys_split_into_groups(self):
+        engine = MicroBatchEngine(build_backends(), max_batch_size=16)
+        requests = _requests("chip1", 4) + _requests("chip2", 2) + _requests(
+            "chip1", 2, backend="hotspot"
+        )
+        futures = [engine.submit(r) for r in requests]
+        engine.start()
+        results = [f.result(timeout=60) for f in futures]
+        engine.stop()
+        assert [r.batch_size for r in results] == [4, 4, 4, 4, 2, 2, 2, 2]
+        assert {r.backend for r in results[:6]} == {"fvm"}
+        assert {r.backend for r in results[6:]} == {"hotspot"}
+
+    def test_max_batch_size_bounds_groups(self):
+        engine = MicroBatchEngine(build_backends(), max_batch_size=4)
+        futures = [engine.submit(r) for r in _requests("chip1", 10)]
+        engine.start()
+        results = [f.result(timeout=60) for f in futures]
+        engine.stop()
+        assert max(r.batch_size for r in results) <= 4
+        assert engine.stats()["backends"]["fvm"]["batches"] >= 3
+
+    def test_submit_unknown_backend_raises(self):
+        engine = MicroBatchEngine({"fvm": FVMBackend()})
+        request = ThermalRequest.create("chip1", total_power_W=10, backend="hotspot")
+        with pytest.raises(KeyError, match="not enabled"):
+            engine.submit(request)
+
+    def test_backend_errors_propagate_to_futures(self):
+        engine = MicroBatchEngine(build_backends())  # no operator models loaded
+        request = ThermalRequest.create(
+            "chip1", total_power_W=10, resolution=RES, backend="operator"
+        )
+        with engine:
+            future = engine.submit(request)
+            with pytest.raises(KeyError, match="no operator model registered"):
+                future.result(timeout=60)
+        assert engine.stats()["backends"]["operator"]["errors"] == 1
+
+    def test_submit_after_stop_raises_instead_of_hanging(self):
+        engine = MicroBatchEngine(build_backends())
+        engine.start()
+        engine.stop()
+        with pytest.raises(RuntimeError, match="stopped"):
+            engine.submit(_requests("chip1", 1)[0])
+
+    def test_stats_shape(self):
+        engine = MicroBatchEngine(build_backends(), max_wait_ms=0.5)
+        with engine:
+            engine.solve(ThermalRequest.create("chip1", total_power_W=20, resolution=RES))
+        stats = engine.stats()
+        assert stats["total_requests"] == 1
+        fvm = stats["backends"]["fvm"]
+        assert fvm["latency_ms"]["p95"] >= fvm["latency_ms"]["p50"] > 0
+        assert fvm["solver_pool"]["misses"] == 1
+
+
+class TestLRUPool:
+    def test_eviction_order_and_counters(self):
+        pool = LRUPool(capacity=2)
+        built = []
+
+        def make(tag):
+            def build():
+                built.append(tag)
+                return tag
+
+            return build
+
+        assert pool.get("a", make("a")) == "a"
+        assert pool.get("b", make("b")) == "b"
+        assert pool.get("a", make("a2")) == "a"  # hit refreshes recency
+        assert pool.get("c", make("c")) == "c"  # evicts 'b'
+        assert pool.get("b", make("b2")) == "b2"  # rebuilt after eviction
+        assert built == ["a", "b", "c", "b2"]
+        stats = pool.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 4
+        assert stats["evictions"] == 2
+        assert stats["entries"] == 2
+
+    def test_fvm_backend_pool_eviction(self):
+        backend = FVMBackend(pool_size=1)
+        for resolution in (8, 10, 8):
+            backend.solve_batch(_requests("chip1", 1, resolution=resolution))
+        stats = backend.pool.stats()
+        assert stats["misses"] == 3  # the second res-8 solver was evicted
+        assert stats["evictions"] == 2
+        backend.solve_batch(_requests("chip1", 1, resolution=8))
+        assert backend.pool.stats()["hits"] == 1
+
+
+class _InflatedSurrogate(Backend):
+    """Stands in for an operator model that predicts too-hot fields."""
+
+    name = "operator"
+
+    def __init__(self, predicted_max_K):
+        self.predicted_max_K = predicted_max_K
+        self.calls = 0
+
+    def solve_batch(self, requests):
+        self.calls += 1
+        return [
+            ThermalResult(
+                request_id=r.request_id,
+                chip=r.chip,
+                resolution=r.resolution,
+                backend=self.name,
+                max_K=self.predicted_max_K,
+                min_K=300.0,
+                mean_K=320.0,
+                total_power_W=r.total_power_W,
+            )
+            for r in requests
+        ]
+
+
+class TestRefineGuard:
+    def test_hot_surrogate_answers_are_resolved_exactly(self):
+        surrogate = _InflatedSurrogate(predicted_max_K=420.0)
+        backends = {"fvm": FVMBackend(), "operator": surrogate}
+        engine = MicroBatchEngine(backends, refine_threshold_K=400.0)
+        request = ThermalRequest.create(
+            "chip1", total_power_W=30, resolution=RES, backend="operator"
+        )
+        with engine:
+            result = engine.solve(request)
+        assert result.refined
+        assert result.backend == "fvm"
+        reference = FVMSolver(get_chip("chip1"), nx=RES).solve(request.assignment)
+        assert abs(result.max_K - reference.max_K) <= 1e-9
+        assert engine.stats()["backends"]["operator"]["refined"] == 1
+
+    def test_cool_surrogate_answers_pass_through(self):
+        surrogate = _InflatedSurrogate(predicted_max_K=350.0)
+        engine = MicroBatchEngine(
+            {"fvm": FVMBackend(), "operator": surrogate}, refine_threshold_K=400.0
+        )
+        request = ThermalRequest.create(
+            "chip1", total_power_W=30, resolution=RES, backend="operator"
+        )
+        with engine:
+            result = engine.solve(request)
+        assert not result.refined
+        assert result.backend == "operator"
+        assert result.max_K == 350.0
+
+    def test_nan_surrogate_prediction_trips_the_guard(self):
+        surrogate = _InflatedSurrogate(predicted_max_K=float("nan"))
+        engine = MicroBatchEngine(
+            {"fvm": FVMBackend(), "operator": surrogate}, refine_threshold_K=400.0
+        )
+        request = ThermalRequest.create(
+            "chip1", total_power_W=30, resolution=RES, backend="operator"
+        )
+        with engine:
+            result = engine.solve(request)
+        assert result.refined
+        assert np.isfinite(result.max_K)
+
+    def test_nan_result_serialises_to_valid_json(self):
+        import json
+
+        result = ThermalResult(
+            request_id="r", chip="chip1", resolution=8, backend="operator",
+            max_K=float("nan"), min_K=300.0, mean_K=float("inf"), total_power_W=10.0,
+        )
+        encoded = json.dumps(result.to_json())
+        decoded = json.loads(encoded)  # strict parsers must accept it
+        assert decoded["max_K"] is None
+        assert decoded["mean_K"] is None
+        assert decoded["min_K"] == 300.0
+
+    def test_failing_refine_falls_back_to_surrogate_answer(self):
+        class _BrokenExact(Backend):
+            name = "fvm"
+
+            def solve_batch(self, requests):
+                raise RuntimeError("factorisation exploded")
+
+        surrogate = _InflatedSurrogate(predicted_max_K=420.0)
+        engine = MicroBatchEngine(
+            {"fvm": _BrokenExact(), "operator": surrogate}, refine_threshold_K=400.0
+        )
+        request = ThermalRequest.create(
+            "chip1", total_power_W=30, resolution=RES, backend="operator"
+        )
+        with engine:
+            result = engine.solve(request)  # must not raise
+        assert not result.refined
+        assert result.backend == "operator"
+        assert result.max_K == 420.0
+        assert engine.stats()["backends"]["fvm"]["errors"] == 1
+
+    def test_cold_answers_release_before_refine_completes(self):
+        import time as time_module
+
+        class _MixedSurrogate(Backend):
+            name = "operator"
+
+            def solve_batch(self, requests):
+                return [
+                    ThermalResult(
+                        request_id=r.request_id, chip=r.chip, resolution=r.resolution,
+                        backend=self.name, max_K=(420.0 if i == 0 else 350.0),
+                        min_K=300.0, mean_K=320.0, total_power_W=r.total_power_W,
+                    )
+                    for i, r in enumerate(requests)
+                ]
+
+        class _SlowExact(Backend):
+            name = "fvm"
+
+            def solve_batch(self, requests):
+                time_module.sleep(0.5)
+                return [
+                    ThermalResult(
+                        request_id=r.request_id, chip=r.chip, resolution=r.resolution,
+                        backend=self.name, max_K=400.0, min_K=300.0, mean_K=330.0,
+                        total_power_W=r.total_power_W,
+                    )
+                    for r in requests
+                ]
+
+        engine = MicroBatchEngine(
+            {"fvm": _SlowExact(), "operator": _MixedSurrogate()},
+            refine_threshold_K=400.0,
+        )
+        hot_req, cold_req = _requests("chip1", 2, backend="operator")
+        hot_future = engine.submit(hot_req)
+        cold_future = engine.submit(cold_req)
+        start = time_module.perf_counter()
+        engine.start()
+        cold = cold_future.result(timeout=60)
+        cold_elapsed = time_module.perf_counter() - start
+        hot = hot_future.result(timeout=60)
+        hot_elapsed = time_module.perf_counter() - start
+        engine.stop()
+        # The guard-passing answer must not wait for the exact re-solve.
+        assert not cold.refined and cold.backend == "operator"
+        assert cold_elapsed < 0.4
+        assert hot.refined and hot.backend == "fvm"
+        assert hot_elapsed >= 0.5
+
+    def test_refine_requires_configured_backend(self):
+        with pytest.raises(ValueError, match="refine backend"):
+            MicroBatchEngine(
+                {"operator": _InflatedSurrogate(400.0)}, refine_threshold_K=390.0
+            )
+
+
+class TestHotSpotBackend:
+    def test_solves_and_reports_hotspot_block_centre(self):
+        backend = HotSpotBackend()
+        [result] = backend.solve_batch(_requests("chip1", 1, backend="hotspot"))
+        reference = HotSpotModel(get_chip("chip1")).solve(
+            _requests("chip1", 1)[0].assignment
+        )
+        assert abs(result.max_K - reference.max_K) <= 1e-9
+        assert set(result.hotspot) == {"x_mm", "y_mm", "temperature_K"}
+
+    def test_include_maps_rasterises_layers(self):
+        request = ThermalRequest.create(
+            "chip1", total_power_W=40, resolution=12, backend="hotspot", include_maps=True
+        )
+        [result] = HotSpotBackend().solve_batch([request])
+        assert set(result.layer_maps) == set(get_chip("chip1").power_layer_names)
+        assert all(m.shape == (12, 12) for m in result.layer_maps.values())
+
+
+class TestModelRegistry:
+    def test_lookup_missing_gives_helpful_error(self):
+        registry = ModelRegistry()
+        with pytest.raises(KeyError, match="no operator model registered"):
+            registry.lookup("chip1", 32)
+
+    def test_operator_backend_reports_model_count(self):
+        backend = OperatorBackend()
+        assert backend.stats() == {"models": 0}
+
+    def test_registry_rejects_output_channel_mismatch(self, tmp_path, rng):
+        from repro.operators.factory import build_operator, save_operator, load_operator
+
+        model = build_operator("fno", 2, 3, {"width": 8, "modes1": 3, "modes2": 3}, rng)
+        path = tmp_path / "bad_out.npz"
+        save_operator(model, str(path), chip_name="chip1", resolution=12)
+        registry = ModelRegistry()
+        with pytest.raises(ValueError, match="output channels"):
+            registry.register(load_operator(str(path)), path=str(path))

@@ -28,6 +28,14 @@ class TestParser:
         args = build_parser().parse_args(["train", "--dataset", "d.npz"])
         assert args.model == "sau_fno" and args.epochs == 20
 
+    def test_serve_defaults_and_models(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8471 and args.models == [] and args.refine_threshold is None
+        args = build_parser().parse_args(
+            ["serve", "--model", "a.npz", "--model", "b.npz", "--refine-threshold", "390"]
+        )
+        assert args.models == ["a.npz", "b.npz"] and args.refine_threshold == 390.0
+
 
 class TestCommands:
     def test_chips_lists_all_designs(self, capsys):
@@ -47,6 +55,25 @@ class TestCommands:
         assert main(["solve", "--chip", "chip1", "--resolution", "12", "--powers", powers]) == 0
         assert "Steady-state FVM solution" in capsys.readouterr().out
 
+    def test_solve_malformed_powers_json(self, capsys):
+        assert main(["solve", "--chip", "chip1", "--resolution", "12",
+                     "--powers", "{not json"]) == 2
+        captured = capsys.readouterr()
+        assert "malformed power JSON" in captured.err
+        assert "Steady-state" not in captured.out
+
+    def test_solve_unknown_block_name(self, capsys):
+        powers = json.dumps({"core_layer/NoSuchBlock": 5.0})
+        assert main(["solve", "--chip", "chip1", "--resolution", "12",
+                     "--powers", powers]) == 2
+        assert "unknown block 'core_layer/NoSuchBlock'" in capsys.readouterr().err
+
+    def test_solve_negative_power_rejected(self, capsys):
+        powers = json.dumps({"core_layer/Core": -2.0})
+        assert main(["solve", "--chip", "chip1", "--resolution", "12",
+                     "--powers", powers]) == 2
+        assert "non-negative" in capsys.readouterr().err
+
     def test_generate_then_train_roundtrip(self, tmp_path, capsys):
         dataset_path = tmp_path / "tiny.npz"
         assert main(["generate", "--chip", "chip1", "--resolution", "12",
@@ -62,6 +89,19 @@ class TestCommands:
         assert model_path.exists()
         with np.load(model_path) as archive:
             assert len(archive.files) > 0
+            assert "__config__" in archive.files
+
+        # The saved weights are self-describing: the serving model registry
+        # can rebuild the model without re-specifying the architecture.
+        from repro.operators.factory import load_operator
+
+        loaded = load_operator(str(model_path))
+        assert loaded.name == "fno"
+        assert loaded.chip_name == "chip1"
+        assert loaded.resolution == 12
+        assert loaded.has_normalizers
+        prediction = loaded.predict(np.zeros((1, loaded.in_channels, 12, 12), dtype=np.float32))
+        assert prediction.shape == (1, loaded.out_channels, 12, 12)
 
     def test_train_gar_without_output(self, tmp_path, capsys):
         dataset_path = tmp_path / "tiny.npz"
