@@ -33,10 +33,16 @@ BATCH_SIZE = 16  # forced micro-batch size; the acceptance bar needs >= 8
 CLIENTS = 16
 
 
-def _requests(count, backend="fvm", chip="chip1"):
+def _requests(count, backend="fvm", chip="chip1", offset=0):
+    # Every request gets a unique power map: identical queries would be
+    # answered by the session result cache and the benchmark would measure
+    # dictionary lookups instead of stacked-RHS solving.
     return [
         ThermalRequest.create(
-            chip, total_power_W=40.0 + (i % 17), resolution=RESOLUTION, backend=backend
+            chip,
+            total_power_W=40.0 + 0.1 * (offset + i),
+            resolution=RESOLUTION,
+            backend=backend,
         )
         for i in range(count)
     ]
@@ -118,7 +124,10 @@ def test_serving_fvm_microbatch_throughput(benchmark):
     benchmark.extra_info["mean_batch_size"] = float(np.mean(batch_sizes))
     benchmark.extra_info["batched_vs_unbatched_speedup"] = speedup
     # Acceptance bar: micro-batched serving >= 5x the per-request baseline.
-    assert speedup >= 5.0
+    # Timing assertions are meaningless in --benchmark-disable smoke runs on
+    # loaded machines, so they only gate real benchmark runs.
+    if not benchmark.disabled:
+        assert speedup >= 5.0
 
     # The batched answers are the exact solver's answers.
     reference = FVMSolver(chip, nx=RESOLUTION).solve(requests[0].assignment)
@@ -128,7 +137,10 @@ def test_serving_fvm_microbatch_throughput(benchmark):
 def _closed_loop(engine, backend, clients=CLIENTS, per_client=4):
     """Each client thread issues sequential requests; returns engine stats."""
     def client(index):
-        for request in _requests(per_client, backend=backend):
+        # Per-client offsets keep every power map unique across the fleet —
+        # see _requests on why duplicates must not reach the benchmark.
+        for request in _requests(per_client, backend=backend,
+                                 offset=1 + index * per_client):
             engine.solve(request, timeout=300)
 
     with ThreadPoolExecutor(max_workers=clients) as pool:

@@ -4,10 +4,15 @@
 #
 # Usage:
 #   benchmarks/run_benchmarks.sh [output.json] [extra pytest args...]
+#   benchmarks/run_benchmarks.sh --smoke [extra pytest args...]
 #
-# Results land in .benchmarks/kernels.json by default, so successive PRs can
-# diff the perf trajectory (pytest-benchmark's own --benchmark-compare works
-# on the same files).  GC is disabled during timing for stable numbers.
+# --smoke is the fast CI/verify mode: it byte-compiles the whole source
+# tree, sanity-checks the CLI surface, and runs the kernel + serving
+# benchmark bodies once each (--benchmark-disable) so every measured code
+# path is exercised without the timing repetitions.  Full runs land in
+# .benchmarks/kernels.json by default, so successive PRs can diff the perf
+# trajectory (pytest-benchmark's own --benchmark-compare works on the same
+# files).  GC is disabled during timing for stable numbers.
 # bench_serving.py records the serving acceptance numbers: micro-batched fvm
 # requests/sec vs the unbatched per-request baseline (>= 5x at batch >= 8)
 # and closed-loop p50/p95 latency for the fvm and operator backends.
@@ -15,11 +20,29 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    shift || true
+    echo "== smoke: byte-compiling src =="
+    python -m compileall -q src
+    echo "== smoke: CLI surface sanity =="
+    python -m repro.cli chips > /dev/null
+    echo "== smoke: benchmark bodies (no timing repetitions) =="
+    python -m pytest \
+        benchmarks/bench_solver_kernels.py \
+        benchmarks/bench_serving.py \
+        --benchmark-disable \
+        -q "$@"
+    echo "smoke benchmarks ok"
+    exit 0
+fi
+
 OUTPUT="${1:-.benchmarks/kernels.json}"
 shift || true
 mkdir -p "$(dirname "$OUTPUT")"
 
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
+python -m pytest \
     benchmarks/bench_solver_kernels.py \
     benchmarks/bench_serving.py \
     --benchmark-only \

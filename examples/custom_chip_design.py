@@ -2,25 +2,24 @@
 
 The library is not limited to the three paper chips: this example builds a
 custom two-layer stack whose core layer uses the detailed Alpha 21264 (EV6)
-functional-unit floorplan, runs a thermal what-if study (moving power between
-the integer and floating-point clusters) with the FVM solver, and shows how a
-SAU-FNO surrogate can be trained for the new design with a few lines.
+functional-unit floorplan, registers it with a :class:`repro.ThermalSession`
+so every backend can address it by name, runs a thermal what-if study
+(moving power between the integer and floating-point clusters), and trains a
+SAU-FNO surrogate for the new design with a few lines.
 
 Run with:  python examples/custom_chip_design.py
 """
 
 import numpy as np
 
+import repro
 from repro.chip import ChipStack, CoolingSpec, Layer, TSVArray
 from repro.chip.designs import alpha21264_floorplan
 from repro.chip.floorplan import grid_floorplan
 from repro.chip.materials import SILICON, TIM
-from repro.data import DatasetSpec, PowerSampler, generate_dataset
 from repro.evaluation import format_table
 from repro.evaluation.reporting import ascii_heatmap
-from repro.operators import SAUFNO2d
-from repro.solvers import FVMSolver
-from repro.training import Trainer, TrainingConfig
+from repro.training import TrainingConfig
 
 
 def build_custom_chip() -> ChipStack:
@@ -54,10 +53,10 @@ def build_custom_chip() -> ChipStack:
     )
 
 
-def what_if_study(chip: ChipStack) -> None:
+def what_if_study(session: repro.ThermalSession, chip: ChipStack, resolution: int) -> None:
     """Move 20 W between the integer and FP clusters and watch the hot spot."""
-    solver = FVMSolver(chip, nx=40)
-    base = {f"cache_layer/{name}": 4.0 for name in chip.get_layer("cache_layer").floorplan.block_names}
+    base = {f"cache_layer/{name}": 4.0
+            for name in chip.get_layer("cache_layer").floorplan.block_names}
     scenarios = {
         "integer-heavy": {"ev6_core_layer/IntExec": 22.0, "ev6_core_layer/IntQ": 6.0,
                           "ev6_core_layer/Icache": 6.0, "ev6_core_layer/Dcache": 8.0},
@@ -66,50 +65,64 @@ def what_if_study(chip: ChipStack) -> None:
     }
     rows = []
     for label, extra in scenarios.items():
-        field = solver.solve({**base, **extra})
-        location = field.hotspot_location()
+        # The chip was registered with the session, so it is addressable by
+        # name — same call as for the built-in benchmarks.
+        solution = session.solve(
+            "ev6_stack", {**base, **extra}, resolution=resolution, include_maps=True
+        )
         rows.append(
             {
                 "Scenario": label,
-                "Total power (W)": round(sum(base.values()) + sum(extra.values()), 1),
-                "Junction T (K)": round(field.max_K, 2),
-                "Hotspot x (mm)": round(location["x_mm"], 1),
-                "Hotspot y (mm)": round(location["y_mm"], 1),
+                "Total power (W)": round(solution.total_power_W, 1),
+                "Junction T (K)": round(solution.max_K, 2),
+                "Hotspot x (mm)": round(solution.hotspot["x_mm"], 1),
+                "Hotspot y (mm)": round(solution.hotspot["y_mm"], 1),
             }
         )
         print(f"\nCore-layer temperature map, {label} workload:")
-        print(ascii_heatmap(field.layer_map("ev6_core_layer"), width=40))
+        print(ascii_heatmap(solution.layer_map("ev6_core_layer"), width=40))
     print()
     print(format_table(rows, title="What-if study on the EV6 stack"))
 
 
-def train_surrogate(chip: ChipStack) -> None:
+def train_surrogate(session: repro.ThermalSession, resolution: int,
+                    samples: int, epochs: int) -> None:
     """Train a small SAU-FNO surrogate for the custom design."""
     print("\nTraining a SAU-FNO surrogate for the custom chip ...")
-    spec = DatasetSpec(chip_name=chip.name, resolution=24, num_samples=32, seed=1)
-    dataset = generate_dataset(spec, chip=chip)
-    split = dataset.split(0.75, rng=np.random.default_rng(1))
-    model = SAUFNO2d(
-        dataset.num_input_channels,
-        dataset.num_output_channels,
-        width=16, modes1=8, modes2=8,
-        num_fourier_layers=1, num_ufourier_layers=1,
-        unet_base_channels=8, unet_levels=2, attention_dim=16,
+    dataset = session.generate_dataset(
+        "ev6_stack", resolution=resolution, num_samples=samples, seed=1
     )
-    trainer = Trainer(model, TrainingConfig(epochs=10, batch_size=4, learning_rate=2e-3))
-    trainer.fit(split.train)
-    report = trainer.evaluate(split.test)
+    split = dataset.split(0.75, rng=np.random.default_rng(1))
+    trained = session.train(
+        split.train,
+        method="sau_fno",
+        config={
+            "width": 16, "modes1": 8, "modes2": 8,
+            "num_fourier_layers": 1, "num_ufourier_layers": 1,
+            "unet_base_channels": 8, "unet_levels": 2, "attention_dim": 16,
+        },
+        training=TrainingConfig(epochs=epochs, batch_size=4, learning_rate=2e-3),
+        register=True,
+    )
+    report = session.evaluate(trained, split.test)
     print(format_table(
-        [{"Design": chip.name, **{k: round(v, 3) for k, v in report.as_dict().items()}}],
+        [{"Design": "ev6_stack", **{k: round(v, 3) for k, v in report.as_dict().items()}}],
         title="Surrogate accuracy on the custom design",
     ))
+    surrogate = session.solve("ev6_stack", total_power_W=60.0,
+                              resolution=resolution, backend="operator")
+    exact = session.solve("ev6_stack", total_power_W=60.0, resolution=resolution)
+    print(f"operator backend now serves the custom chip: "
+          f"{surrogate.max_K:.2f} K vs exact {exact.max_K:.2f} K")
 
 
-def main() -> None:
-    chip = build_custom_chip()
+def main(what_if_resolution: int = 40, surrogate_resolution: int = 24,
+         samples: int = 32, epochs: int = 10) -> None:
+    session = repro.ThermalSession()
+    chip = session.register_chip(build_custom_chip())
     print(chip.summary())
-    what_if_study(chip)
-    train_surrogate(chip)
+    what_if_study(session, chip, what_if_resolution)
+    train_surrogate(session, surrogate_resolution, samples, epochs)
 
 
 if __name__ == "__main__":

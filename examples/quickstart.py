@@ -1,91 +1,101 @@
 """Quickstart: train SAU-FNO as a thermal surrogate for a 3D-IC.
 
-This example walks the full pipeline on a small configuration:
+Everything goes through :class:`repro.ThermalSession` — the one-stop Python
+API fronting the solvers, the data pipeline, the trainer and the serving
+backends.  The walk-through:
 
-1. build the single-core benchmark chip (Chip 1 of the paper),
+1. solve one exact steady-state case for the single-core benchmark chip
+   (Chip 1 of the paper) — and solve it again to see the session result
+   cache answer for free,
 2. generate training data by solving the steady heat-conduction PDE with the
    in-repo finite-volume solver for random power maps,
-3. train the SAU-FNO operator on (power map -> temperature field) pairs,
-4. evaluate it in physical units and compare one prediction against the
-   solver field it is meant to replace.
+3. train the SAU-FNO operator on (power map -> temperature field) pairs and
+   register it with the session,
+4. ask the *same* session the same kind of question through the exact and
+   the learned backend and compare accuracy and speed.
 
 Run with:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.chip import get_chip
-from repro.data import DatasetSpec, PowerSampler, generate_dataset
+import repro
 from repro.evaluation import format_table
-from repro.metrics import evaluate_all, speedup
-from repro.operators import SAUFNO2d
-from repro.solvers import FVMSolver
-from repro.training import Trainer, TrainingConfig
+from repro.metrics import speedup
+from repro.training import TrainingConfig
 
 
-def main() -> None:
-    resolution = 24
-    chip = get_chip("chip1")
+def main(resolution: int = 24, samples: int = 48, epochs: int = 15,
+         batch_size: int = 4) -> None:
+    session = repro.ThermalSession()
+    chip = session.get_chip("chip1")
     print(chip.summary())
     print()
 
     # ------------------------------------------------------------------
-    # 1. Generate a dataset with the FVM solver (the paper uses MTA here).
+    # 1. One exact solve — then the same query again, from the cache.
+    # ------------------------------------------------------------------
+    exact = session.solve("chip1", total_power_W=60.0, resolution=resolution)
+    again = session.solve("chip1", total_power_W=60.0, resolution=resolution)
+    print(f"exact solve: junction {exact.max_K:.2f} K in {exact.solve_seconds:.3f} s "
+          f"(cached repeat: {again.cached}, "
+          f"cache stats {session.result_cache.stats()['hits']} hit / "
+          f"{session.result_cache.stats()['misses']} miss)\n")
+
+    # ------------------------------------------------------------------
+    # 2. Generate a dataset with the FVM solver (the paper uses MTA here).
     # ------------------------------------------------------------------
     print("Generating training data with the finite-volume solver ...")
-    spec = DatasetSpec(chip_name="chip1", resolution=resolution, num_samples=48, seed=0)
-    dataset = generate_dataset(spec, verbose=True)
+    dataset = session.generate_dataset(
+        "chip1", resolution=resolution, num_samples=samples, seed=0, verbose=True
+    )
     split = dataset.split(train_fraction=0.8, rng=np.random.default_rng(0))
     print(f"dataset: {len(split.train)} train / {len(split.test)} test cases "
           f"at {resolution}x{resolution}\n")
 
     # ------------------------------------------------------------------
-    # 2. Build and train SAU-FNO.
+    # 3. Train SAU-FNO through the session and register it for serving.
     # ------------------------------------------------------------------
-    model = SAUFNO2d(
-        in_channels=dataset.num_input_channels,
-        out_channels=dataset.num_output_channels,
-        width=16,
-        modes1=8,
-        modes2=8,
-        num_fourier_layers=1,
-        num_ufourier_layers=1,
-        unet_base_channels=8,
-        unet_levels=2,
-        attention_dim=16,
+    trained = session.train(
+        split.train,
+        method="sau_fno",
+        config={
+            "width": 16, "modes1": 8, "modes2": 8,
+            "num_fourier_layers": 1, "num_ufourier_layers": 1,
+            "unet_base_channels": 8, "unet_levels": 2, "attention_dim": 16,
+        },
+        training=TrainingConfig(epochs=epochs, batch_size=batch_size, learning_rate=2e-3),
+        register=True,
     )
-    print(f"SAU-FNO with {model.num_parameters()} parameters")
-    trainer = Trainer(model, TrainingConfig(epochs=15, batch_size=4, learning_rate=2e-3))
-    history = trainer.fit(split.train)
-    print(f"trained for {history.epochs_run} epochs "
-          f"({history.total_seconds:.1f}s, final loss {history.train_loss[-1]:.4f})\n")
+    print(f"trained SAU-FNO ({trained.num_parameters} parameters) for "
+          f"{trained.history.epochs_run} epochs ({trained.train_seconds:.1f}s, "
+          f"final loss {trained.history.train_loss[-1]:.4f})\n")
 
-    # ------------------------------------------------------------------
-    # 3. Evaluate in kelvin on held-out power maps.
-    # ------------------------------------------------------------------
-    report = trainer.evaluate(split.test)
-    print(format_table([{"Model": "SAU-FNO", **{k: round(v, 3) for k, v in report.as_dict().items()}}],
-                       title="Held-out accuracy (kelvin / percent)"))
+    report = session.evaluate(trained, split.test)
+    print(format_table(
+        [{"Model": "SAU-FNO", **{k: round(v, 3) for k, v in report.as_dict().items()}}],
+        title="Held-out accuracy (kelvin / percent)",
+    ))
     print()
 
     # ------------------------------------------------------------------
-    # 4. Compare one prediction against a fresh solver run.
+    # 4. Same question, two engines: exact fvm vs the learned surrogate.
     # ------------------------------------------------------------------
-    sampler = PowerSampler(chip)
-    case = sampler.sample(np.random.default_rng(42))
-    solver = FVMSolver(chip, nx=resolution)
-    field = solver.solve(case.assignment)
-    prediction = trainer.predict(sampler.rasterize(case, resolution)[None])[0]
+    case = repro.PowerSampler(chip).sample(np.random.default_rng(42))
+    exact = session.solve("chip1", case, resolution=resolution, include_maps=True)
+    learned = session.solve("chip1", case, resolution=resolution,
+                            backend="operator", include_maps=True)
 
-    operator_seconds = trainer.inference_seconds_per_case(split.test, repeats=1)
+    operator_seconds = trained.inference_seconds_per_case(split.test, repeats=1)
+    errors = learned.error_vs(exact)
     print(f"unseen case with total power {case.total_W:.1f} W:")
-    print(f"  solver junction temperature    : {field.max_K:.2f} K "
-          f"({field.solve_seconds:.3f} s per solve)")
-    print(f"  SAU-FNO junction temperature   : {prediction.max():.2f} K "
+    print(f"  solver junction temperature    : {exact.max_K:.2f} K "
+          f"({exact.solve_seconds:.3f} s per solve)")
+    print(f"  SAU-FNO junction temperature   : {learned.max_K:.2f} K "
           f"({operator_seconds:.4f} s per prediction)")
-    print(f"  speedup over the PDE solver    : {speedup(field.solve_seconds, operator_seconds):.0f}x")
-    case_metrics = evaluate_all(prediction[None], field.power_layer_maps()[None])
-    print(f"  per-case RMSE                  : {case_metrics.rmse:.3f} K")
+    print(f"  speedup over the PDE solver    : "
+          f"{speedup(exact.solve_seconds, operator_seconds):.0f}x")
+    print(f"  per-case RMSE                  : {errors['rmse_K']:.3f} K")
 
 
 if __name__ == "__main__":

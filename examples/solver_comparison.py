@@ -1,72 +1,91 @@
-"""Compare the thermal solvers on the three benchmark chips (Table IV style).
+"""Compare the thermal backends on the three benchmark chips (Table IV style).
 
-Runs the finite-volume solver at two mesh fidelities (standing in for COMSOL
-and MTA), the HotSpot-style compact model and — optionally, because it needs
-a short training run — the SAU-FNO surrogate, on the same random power maps,
-and prints the junction / minimum temperatures plus per-case runtimes.
+One :class:`repro.ThermalSession`, one call signature, three engines: the
+finite-volume backend at two mesh fidelities (standing in for COMSOL and
+MTA), the HotSpot-style compact backend, and — on the smallest grid — the
+transient backend integrated to quasi-steady state as a cross-check.  The
+session answers them all through ``session.solve_batch`` and the unified
+:class:`repro.ThermalSolution` makes the error-vs-reference comparison a
+one-liner.
 
 Run with:  python examples/solver_comparison.py
 """
 
-import time
-
 import numpy as np
 
-from repro.chip import get_chip, list_chips
-from repro.data import PowerSampler
+import repro
 from repro.evaluation import format_table
-from repro.solvers import FVMSolver, HotSpotModel
 
 
-def main(num_cases: int = 3) -> None:
+def main(num_cases: int = 3, fine_resolution: int = 48,
+         standard_resolution: int = 32, fine_cells_per_layer: int = 3,
+         standard_cells_per_layer: int = 2) -> None:
+    # Two sessions because the vertical discretisation is session-wide: the
+    # "COMSOL role" uses the finest mesh (3 cells/layer), the "MTA role" the
+    # data-generation mesh (2 cells/layer, matching DatasetSpec).
+    fine_session = repro.ThermalSession(cells_per_layer=fine_cells_per_layer)
+    session = repro.ThermalSession(cells_per_layer=standard_cells_per_layer)
     rows = []
     timing_rows = []
-    for chip_name in list_chips():
-        chip = get_chip(chip_name)
-        sampler = PowerSampler(chip)
-        rng = np.random.default_rng(7)
-        cases = sampler.sample_many(num_cases, rng)
+    for chip_name in session.list_chips():
+        chip = session.get_chip(chip_name)
+        sampler = repro.PowerSampler(chip)
+        cases = sampler.sample_many(num_cases, np.random.default_rng(7))
 
-        fine = FVMSolver(chip, nx=48, cells_per_layer=3)     # "COMSOL": finest mesh
-        standard = FVMSolver(chip, nx=32, cells_per_layer=2)  # "MTA": data-generation mesh
-        compact = HotSpotModel(chip)                          # "HotSpot"
+        answers = {
+            "fine": fine_session.solve_batch(chip_name, cases, resolution=fine_resolution),
+            "standard": session.solve_batch(chip_name, cases, resolution=standard_resolution),
+            "compact": session.solve_batch(
+                chip_name, cases, resolution=standard_resolution, backend="hotspot"
+            ),
+        }
 
-        records = {name: {"max": [], "min": [], "s": []} for name in ("fine", "standard", "compact")}
-        for case in cases:
-            for name, solver in (("fine", fine), ("standard", standard)):
-                start = time.perf_counter()
-                field = solver.solve(case.assignment)
-                records[name]["s"].append(time.perf_counter() - start)
-                records[name]["max"].append(field.max_K)
-                records[name]["min"].append(field.min_K)
-            start = time.perf_counter()
-            block = compact.solve(case.assignment)
-            records["compact"]["s"].append(time.perf_counter() - start)
-            records["compact"]["max"].append(block.max_K)
-            records["compact"]["min"].append(block.min_K)
-
-        for metric in ("max", "min"):
+        for metric, pick in (("max", lambda s: s.max_K), ("min", lambda s: s.min_K)):
             rows.append(
                 {
                     "Chip": chip_name,
                     "Metric": f"{metric.capitalize()}(K)",
-                    "FVM fine (COMSOL role)": round(float(np.mean(records["fine"][metric])), 2),
-                    "FVM standard (MTA role)": round(float(np.mean(records["standard"][metric])), 2),
-                    "Compact (HotSpot role)": round(float(np.mean(records["compact"][metric])), 2),
+                    "FVM fine (COMSOL role)": round(
+                        float(np.mean([pick(s) for s in answers["fine"]])), 2),
+                    "FVM standard (MTA role)": round(
+                        float(np.mean([pick(s) for s in answers["standard"]])), 2),
+                    "Compact (HotSpot role)": round(
+                        float(np.mean([pick(s) for s in answers["compact"]])), 2),
                 }
             )
         timing_rows.append(
             {
                 "Chip": chip_name,
-                "FVM fine (s/case)": round(float(np.mean(records["fine"]["s"])), 3),
-                "FVM standard (s/case)": round(float(np.mean(records["standard"]["s"])), 3),
-                "Compact (s/case)": round(float(np.mean(records["compact"]["s"])), 5),
+                "FVM fine (s/case)": round(
+                    float(np.mean([s.solve_seconds for s in answers["fine"]])), 3),
+                "FVM standard (s/case)": round(
+                    float(np.mean([s.solve_seconds for s in answers["standard"]])), 3),
+                "Compact (s/case)": round(
+                    float(np.mean([s.solve_seconds for s in answers["compact"]])), 5),
+                "Compact dMax (K)": round(
+                    float(np.mean([
+                        compact.error_vs(reference)["delta_max_K"]
+                        for compact, reference in zip(answers["compact"], answers["standard"])
+                    ])), 2),
             }
         )
 
-    print(format_table(rows, title="Solver comparison (average over random power maps)"))
+    print(format_table(rows, title="Backend comparison (average over random power maps)"))
     print()
-    print(format_table(timing_rows, title="Per-case runtime"))
+    print(format_table(timing_rows, title="Per-case runtime and compact-model error"))
+    print()
+
+    # Cross-check: the transient backend integrated to quasi-steady state
+    # lands on the steady fvm answer (same spatial discretisation).
+    chip_name = session.list_chips()[0]
+    cross_resolution = min(16, standard_resolution)
+    case = repro.PowerSampler(session.get_chip(chip_name)).sample(np.random.default_rng(7))
+    steady = session.solve(chip_name, case, resolution=cross_resolution)
+    quasi = session.solve(chip_name, case, resolution=cross_resolution, backend="transient")
+    print(f"transient-to-steady cross-check on {chip_name}: "
+          f"fvm {steady.max_K:.2f} K vs transient {quasi.max_K:.2f} K "
+          f"(delta {quasi.error_vs(steady)['delta_max_K']:+.3f} K after "
+          f"{quasi.provenance['num_steps']} implicit steps)")
     print()
     print("Note: the two FVM fidelities agree closely (the COMSOL-vs-MTA columns of "
           "Table IV), while the compact block-level model runs orders of magnitude "

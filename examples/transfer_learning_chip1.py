@@ -4,13 +4,16 @@ Demonstrates the paper's data-efficiency recipe: pre-train SAU-FNO on many
 cheap low-resolution FVM simulations, then fine-tune on a handful of
 expensive high-resolution simulations with a 10x smaller learning rate, and
 compare against training from scratch on the high-resolution data alone.
+Dataset generation runs through the session facade (one cached factorisation
+per fidelity); the transfer pipeline itself is the dedicated
+:class:`~repro.training.TransferLearningTrainer`.
 
 Run with:  python examples/transfer_learning_chip1.py
 """
 
 import numpy as np
 
-from repro.data import generate_multifidelity_pair
+import repro
 from repro.evaluation import format_table
 from repro.operators import SAUFNO2d
 from repro.training import (
@@ -36,14 +39,17 @@ def build_model(channels_in: int, channels_out: int) -> SAUFNO2d:
     )
 
 
-def main() -> None:
-    print("Generating low-fidelity (24x24) and high-fidelity (40x40) datasets ...")
-    low_fidelity, high_fidelity = generate_multifidelity_pair(
+def main(low_resolution: int = 24, high_resolution: int = 40,
+         num_low: int = 40, num_high: int = 16, epochs: int = 10) -> None:
+    session = repro.ThermalSession()
+    print(f"Generating low-fidelity ({low_resolution}x{low_resolution}) and "
+          f"high-fidelity ({high_resolution}x{high_resolution}) datasets ...")
+    low_fidelity, high_fidelity = session.generate_multifidelity_pair(
         "chip1",
-        low_resolution=24,
-        high_resolution=40,
-        num_low=40,
-        num_high=16,
+        low_resolution=low_resolution,
+        high_resolution=high_resolution,
+        num_low=num_low,
+        num_high=num_high,
         seed=0,
     )
     high_split = high_fidelity.split(0.7, rng=np.random.default_rng(0))
@@ -52,7 +58,7 @@ def main() -> None:
     print(f"  low-fidelity : {len(low_fidelity)} cases, solver time {low_solver_cost:.1f}s")
     print(f"  high-fidelity: {len(high_fidelity)} cases, solver time {high_solver_cost:.1f}s\n")
 
-    training = TrainingConfig(epochs=10, batch_size=4, learning_rate=2e-3)
+    training = TrainingConfig(epochs=epochs, batch_size=4, learning_rate=2e-3)
 
     # From scratch on the small high-fidelity set.
     print("Training from scratch on high-fidelity data only ...")
@@ -66,7 +72,10 @@ def main() -> None:
     transfer_model = build_model(low_fidelity.num_input_channels, low_fidelity.num_output_channels)
     pipeline = TransferLearningTrainer(
         transfer_model,
-        TransferLearningConfig(pretrain=training, finetune_lr_scale=0.1, finetune_epochs=5),
+        TransferLearningConfig(
+            pretrain=training, finetune_lr_scale=0.1,
+            finetune_epochs=max(epochs // 2, 1),
+        ),
     )
     result = pipeline.run(low_fidelity, high_split.train, high_split.test)
 

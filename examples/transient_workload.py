@@ -1,26 +1,28 @@
 """Transient thermal response of Chip 1 to a workload power step.
 
 The paper's evaluation is steady-state; its conclusion lists broader thermal
-analysis tasks as future work.  This example uses the repository's transient
-extension (`repro.solvers.transient`) to answer a classic design question the
-steady solver cannot: *how fast* does the junction temperature rise after a
-power step, and how long does the die take to cool back down?
+analysis tasks as future work.  This example uses the session facade's
+transient endpoint (:meth:`repro.ThermalSession.solve_transient`, backed by
+the backward-Euler solver in ``repro.solvers.transient``) to answer a
+classic design question the steady solver cannot: *how fast* does the
+junction temperature rise after a power step, and how long does the die take
+to cool back down?
 
 Run with:  python examples/transient_workload.py
 """
 
-import numpy as np
-
-from repro.chip import get_chip
+import repro
 from repro.evaluation import format_table
-from repro.solvers import TransientFVMSolver
 
 
-def main() -> None:
-    chip = get_chip("chip1")
-    solver = TransientFVMSolver(chip, nx=16, cells_per_layer=1)
-    tau = solver.thermal_time_constant_estimate()
+def main(resolution: int = 16, cells_per_layer: int = 1,
+         steps_per_time_constant: int = 4) -> None:
+    session = repro.ThermalSession(cells_per_layer=cells_per_layer)
+    chip = session.get_chip("chip1")
     print(chip.summary())
+
+    adapter = session.backend("transient", "chip1", resolution)
+    tau = adapter.time_constant_s
     print(f"\nestimated thermal time constant: {tau * 1e3:.2f} ms")
 
     names = chip.flat_block_names()
@@ -37,24 +39,28 @@ def main() -> None:
         return idle
 
     duration = 4 * step_time
-    dt = tau / 4
+    dt = tau / steps_per_time_constant
     print(f"simulating {duration * 1e3:.1f} ms of workload with dt = {dt * 1e3:.2f} ms ...")
-    result = solver.solve(workload, duration_s=duration, dt_s=dt, store_every=2)
+    solution = session.solve_transient(
+        "chip1", workload, duration_s=duration, dt_s=dt,
+        resolution=resolution, store_every=2,
+    )
 
-    peaks = result.peak_history()
-    means = result.mean_history()
+    times = solution.history["times_s"]
+    peaks = solution.history["peak_K"]
+    means = solution.history["mean_K"]
     rows = []
-    for index in range(0, len(result.times_s), max(len(result.times_s) // 10, 1)):
+    for index in range(0, len(times), max(len(times) // 10, 1)):
         rows.append(
             {
-                "t (ms)": round(result.times_s[index] * 1e3, 2),
+                "t (ms)": round(times[index] * 1e3, 2),
                 "Junction T (K)": round(float(peaks[index]), 2),
                 "Mean T (K)": round(float(means[index]), 2),
             }
         )
     print(format_table(rows, title="Thermal response to the power burst"))
 
-    steady_burst = solver.steady_state(burst)
+    steady_burst = session.solve("chip1", burst, resolution=resolution)
     print(f"\nsteady-state junction temperature under the burst : {steady_burst.max_K:.2f} K")
     print(f"peak junction temperature reached during the burst: {peaks.max():.2f} K")
     print(f"temperature at the end of the cool-down            : {peaks[-1]:.2f} K "

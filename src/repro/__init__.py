@@ -7,10 +7,66 @@ finite-volume and compact (HotSpot-style) thermal solvers, the three 3D-IC
 benchmark chips, the SAU-FNO model and its baselines (FNO, U-FNO, DeepOHeat,
 GAR), multi-fidelity transfer learning, and the experiment harness that
 regenerates every table and figure of the paper's evaluation.
+
+The domain API is one import away::
+
+    import repro
+
+    session = repro.ThermalSession()
+    answer = session.solve("chip1", total_power_W=60, backend="fvm")
+
+Domain names (:class:`ThermalSession`, :func:`get_chip`, solvers, the
+operator factory...) are re-exported lazily so ``import repro`` stays fast —
+SciPy and the solver stack only load when first touched.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro import autodiff, nn, optim
 
-__all__ = ["autodiff", "nn", "optim", "__version__"]
+#: Lazily resolved domain exports: name -> (module, attribute).
+_LAZY_EXPORTS = {
+    # The facade
+    "ThermalSession": ("repro.api.session", "ThermalSession"),
+    "ThermalSolution": ("repro.api.solution", "ThermalSolution"),
+    "ThermalBackend": ("repro.api.backends", "ThermalBackend"),
+    "TrainedOperator": ("repro.api.session", "TrainedOperator"),
+    "get_session": ("repro.api.session", "get_session"),
+    # Chips
+    "ChipStack": ("repro.chip.stack", "ChipStack"),
+    "get_chip": ("repro.chip.designs", "get_chip"),
+    "list_chips": ("repro.chip.designs", "list_chips"),
+    # Solvers
+    "FVMSolver": ("repro.solvers.fvm", "FVMSolver"),
+    "HotSpotModel": ("repro.solvers.hotspot", "HotSpotModel"),
+    "TransientFVMSolver": ("repro.solvers.transient", "TransientFVMSolver"),
+    # Operators
+    "build_operator": ("repro.operators.factory", "build_operator"),
+    "load_operator": ("repro.operators.factory", "load_operator"),
+    "save_operator": ("repro.operators.factory", "save_operator"),
+    # Data and training
+    "generate_dataset": ("repro.data.generation", "generate_dataset"),
+    "ThermalDataset": ("repro.data.dataset", "ThermalDataset"),
+    "PowerSampler": ("repro.data.power", "PowerSampler"),
+    "Trainer": ("repro.training.trainer", "Trainer"),
+    "TrainingConfig": ("repro.training.trainer", "TrainingConfig"),
+}
+
+__all__ = ["autodiff", "nn", "optim", "__version__", *sorted(_LAZY_EXPORTS)]
+
+
+def __getattr__(name: str):
+    """PEP 562 lazy attribute access for the domain API."""
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute '{name}'")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value  # cache so the next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

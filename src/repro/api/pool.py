@@ -1,0 +1,191 @@
+"""Shared caching primitives of the thermal API.
+
+:class:`LRUPool` keeps expensive per-key resources (prepared solver
+backends: geometry + assembled matrix + sparse LU, factorised compact
+networks) resident with LRU eviction.  :class:`ResultCache` memoises whole
+:class:`~repro.api.solution.ThermalSolution` answers keyed by the query that
+produced them.  Both are thread-safe and expose hit/miss counters that feed
+the service ``/stats`` endpoint and :meth:`ThermalSession.stats`.
+
+Historically ``LRUPool`` lived in :mod:`repro.serving.backends`; it moved
+here when the session facade took ownership of the cross-cutting state, and
+the serving module re-exports it for compatibility.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional
+
+#: Default number of prepared solvers kept resident per backend pool.
+DEFAULT_POOL_SIZE = 8
+
+#: Default number of memoised answers in a session result cache.
+DEFAULT_RESULT_CACHE_SIZE = 1024
+
+#: Default byte budget of a session result cache.  Summary-only answers are
+#: a few hundred bytes, but answers carrying per-layer maps at high
+#: resolutions reach megabytes each, so the cache is bounded by payload size
+#: as well as entry count.
+DEFAULT_RESULT_CACHE_BYTES = 128 * 1024 * 1024
+
+
+class LRUPool:
+    """A small thread-safe LRU cache of expensive per-key resources.
+
+    Used for prepared solver backends (geometry + assembled matrix + sparse
+    LU) and HotSpot networks.  ``get`` builds missing entries with the
+    supplied factory and evicts the least-recently-used entry beyond
+    ``capacity``.  Hit/miss/eviction counters feed the service ``/stats``
+    endpoint.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_POOL_SIZE):
+        if capacity < 1:
+            raise ValueError("pool capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key, build: Callable[[], Any]):
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+        # Build outside the lock: factorising a big grid can take hundreds of
+        # milliseconds and must not stall readers of other keys.
+        entry = build()
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return entry
+
+    def discard_where(self, predicate: Callable[[Any], bool]) -> int:
+        """Drop every entry whose key matches; returns how many were dropped.
+
+        Used to invalidate stale resources, e.g. when a chip design is
+        re-registered under an existing name.
+        """
+        with self._lock:
+            stale = [key for key in self._entries if predicate(key)]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> List[Any]:
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+class ResultCache:
+    """Thread-safe LRU memo of fully computed thermal answers.
+
+    Keys are built by the session from ``(chip, resolution, backend,
+    power-map hash, detail flags)``; a repeated query costs one dictionary
+    lookup instead of a back-substitution or a forward pass.  Lookups and
+    insertions are explicit (unlike :class:`LRUPool` there is no build
+    callback) because batch solves want to collect all misses first and
+    answer them with one batched backend call.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_RESULT_CACHE_SIZE,
+        max_bytes: int = DEFAULT_RESULT_CACHE_BYTES,
+    ):
+        if capacity < 1:
+            raise ValueError("result cache capacity must be >= 1")
+        if max_bytes < 1:
+            raise ValueError("result cache byte budget must be >= 1")
+        self.capacity = capacity
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[Any, tuple]" = OrderedDict()  # key -> (value, bytes)
+        self._lock = threading.Lock()
+        self.total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key) -> Optional[Any]:
+        """The cached entry for ``key``, counting a hit or a miss."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key][0]
+            self.misses += 1
+            return None
+
+    def put(self, key, value, size_bytes: int = 0) -> None:
+        """Insert ``value``; ``size_bytes`` is its approximate payload size."""
+        size_bytes = max(int(size_bytes), 0)
+        if size_bytes > self.max_bytes:
+            return  # one oversized answer must not wipe the whole cache
+        with self._lock:
+            if key in self._entries:
+                self.total_bytes -= self._entries.pop(key)[1]
+            self._entries[key] = (value, size_bytes)
+            self.total_bytes += size_bytes
+            while len(self._entries) > self.capacity or self.total_bytes > self.max_bytes:
+                _, (_, dropped_bytes) = self._entries.popitem(last=False)
+                self.total_bytes -= dropped_bytes
+                self.evictions += 1
+
+    def discard_where(self, predicate: Callable[[Any], bool]) -> int:
+        """Drop every entry whose key matches; returns how many were dropped."""
+        with self._lock:
+            stale = [key for key in self._entries if predicate(key)]
+            for key in stale:
+                self.total_bytes -= self._entries.pop(key)[1]
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.total_bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "bytes": self.total_bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hits / total, 4) if total else 0.0,
+            }

@@ -1,0 +1,83 @@
+"""Model registry: trained operator surrogates available to a session.
+
+Models are loaded from the self-describing ``.npz`` files written by
+:func:`repro.operators.factory.save_operator` and indexed by the
+``(chip, resolution)`` they were trained for; the registry refuses archives
+without that provenance because a surrogate silently applied to the wrong
+chip returns garbage temperatures.
+
+Historically this class lived in :mod:`repro.serving.backends`; it moved
+here when :class:`~repro.api.session.ThermalSession` took ownership of the
+loaded models, and the serving module re-exports it for compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.chip.designs import get_chip
+from repro.chip.stack import ChipStack
+from repro.operators.factory import LoadedOperator, load_operator
+
+
+class ModelRegistry:
+    """Trained surrogates indexed by the ``(chip, resolution)`` they serve.
+
+    ``chip_resolver`` maps a chip name to its :class:`ChipStack` for the
+    channel-count validation; it defaults to the built-in benchmark designs
+    and a session passes its own resolver so custom chips validate too.
+    """
+
+    def __init__(self, chip_resolver: Optional[Callable[[str], ChipStack]] = None):
+        self._models: Dict[Tuple[str, int], LoadedOperator] = {}
+        self._paths: Dict[Tuple[str, int], str] = {}
+        self._chip_resolver = chip_resolver or get_chip
+
+    def register_file(self, path: str) -> LoadedOperator:
+        loaded = load_operator(path)
+        if loaded.chip_name is None or loaded.resolution is None:
+            raise ValueError(
+                f"'{path}' does not record the chip/resolution it was trained for; "
+                "re-save it with save_operator(..., chip_name=..., resolution=...)"
+            )
+        self.register(loaded, path=path)
+        return loaded
+
+    def register(self, loaded: LoadedOperator, path: str = "<memory>") -> None:
+        chip = self._chip_resolver(loaded.chip_name)
+        if loaded.in_channels != chip.num_power_layers:
+            raise ValueError(
+                f"model expects {loaded.in_channels} input channels but chip "
+                f"'{loaded.chip_name}' has {chip.num_power_layers} power layers"
+            )
+        if loaded.out_channels != chip.num_power_layers:
+            raise ValueError(
+                f"model produces {loaded.out_channels} output channels but chip "
+                f"'{loaded.chip_name}' has {chip.num_power_layers} power layers; "
+                "its temperature maps would be mislabeled"
+            )
+        key = (loaded.chip_name, int(loaded.resolution))
+        self._models[key] = loaded
+        self._paths[key] = path
+
+    def lookup(self, chip_name: str, resolution: int) -> LoadedOperator:
+        key = (chip_name, int(resolution))
+        if key not in self._models:
+            available = ", ".join(f"{c}@{r}" for c, r in sorted(self._models)) or "none"
+            raise KeyError(
+                f"no operator model registered for chip '{chip_name}' at resolution "
+                f"{resolution}; loaded models: {available}"
+            )
+        return self._models[key]
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __contains__(self, key: Tuple[str, int]) -> bool:
+        return (key[0], int(key[1])) in self._models
+
+    def describe(self) -> List[Dict[str, Any]]:
+        return [
+            {**self._models[key].describe(), "path": self._paths[key]}
+            for key in sorted(self._models)
+        ]

@@ -1,18 +1,27 @@
 """Command-line interface for the SAU-FNO reproduction.
 
+A thin layer over :class:`repro.api.ThermalSession` — every subcommand maps
+onto one session call, so the CLI, the HTTP service, the evaluation harness
+and the Python API all answer through the same backends, pools and caches.
+
 Six sub-commands cover the everyday workflow without writing Python:
 
 * ``repro-thermal chips`` — list the benchmark chips and their structure.
 * ``repro-thermal generate`` — create a dataset with the FVM solver.
 * ``repro-thermal train`` — train an operator model on a generated dataset
   and save its weights.
-* ``repro-thermal solve`` — run a single steady-state simulation for a
-  uniform or per-block power assignment and print the temperature summary.
+* ``repro-thermal solve`` — answer one steady-state query through any
+  backend (exact ``fvm``, compact ``hotspot``, time-integrating
+  ``transient``, or a trained ``operator`` surrogate).
 * ``repro-thermal serve`` — run the thermal inference service: a JSON HTTP
-  API answering concurrent power-map queries through micro-batched FVM,
-  operator-surrogate and HotSpot backends.
+  API answering concurrent power-map queries through micro-batched session
+  backends.
 * ``repro-thermal report`` — run every experiment harness and write a
   markdown report of the regenerated tables.
+
+Bad user input (malformed power JSON, unknown blocks, missing or mismatched
+model/dataset files) exits with status 2 and a one-line ``error:`` message
+on stderr; tracebacks are reserved for actual bugs.
 
 Examples
 --------
@@ -22,6 +31,7 @@ Examples
     repro-thermal generate --chip chip1 --resolution 32 --samples 64 --output chip1_32.npz
     repro-thermal train --dataset chip1_32.npz --model sau_fno --epochs 20 --output sau_fno.npz
     repro-thermal solve --chip chip2 --total-power 80 --resolution 40
+    repro-thermal solve --chip chip1 --backend operator --model sau_fno.npz --total-power 60
     repro-thermal serve --port 8471 --model sau_fno.npz
     repro-thermal report --output repro_report.md --scale tiny
 """
@@ -30,19 +40,20 @@ from __future__ import annotations
 
 import argparse
 import sys
+import zipfile
 from typing import List, Optional
 
 import numpy as np
 
+from repro.api.backends import BACKEND_NAMES
+from repro.api.session import ThermalSession
 from repro.chip.designs import get_chip, list_chips
 from repro.data.dataset import ThermalDataset
-from repro.data.generation import DEFAULT_BATCH_SIZE, DatasetSpec, generate_dataset
+from repro.data.generation import DEFAULT_BATCH_SIZE
 from repro.data.power import error_message, parse_power_spec
 from repro.evaluation.reporting import ascii_heatmap, format_table
-from repro.operators.factory import OPERATOR_REGISTRY, build_operator, save_operator
-from repro.operators.gar import GARRegressor
-from repro.solvers.fvm import FVMSolver
-from repro.training.trainer import Trainer, TrainingConfig
+from repro.operators.factory import OPERATOR_REGISTRY
+from repro.training.trainer import TrainingConfig
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,9 +87,17 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--output", help="where to store the trained weights (.npz)")
 
-    solve = subparsers.add_parser("solve", help="run one steady-state FVM simulation")
+    solve = subparsers.add_parser(
+        "solve", help="answer one steady-state query through any backend"
+    )
     solve.add_argument("--chip", default="chip1", choices=list_chips())
     solve.add_argument("--resolution", type=int, default=40)
+    solve.add_argument("--backend", default="fvm", choices=BACKEND_NAMES,
+                       help="engine answering the query (default: exact fvm)")
+    solve.add_argument("--model", action="append", default=[], dest="models",
+                       metavar="WEIGHTS.npz",
+                       help="trained operator weights (repeatable); required for "
+                            "--backend operator")
     solve.add_argument("--total-power", type=float, default=None,
                        help="uniformly distributed total power in watts")
     solve.add_argument("--powers", type=str, default=None,
@@ -105,6 +124,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "above this value are re-solved with the FVM backend")
     serve.add_argument("--solver-cache-size", type=int, default=8,
                        help="prepared factorisations kept per backend (LRU)")
+    serve.add_argument("--result-cache-size", type=int, default=1024,
+                       help="memoised answers kept in the session result cache")
     serve.add_argument("--verbose", action="store_true", help="log HTTP requests")
 
     report = subparsers.add_parser(
@@ -140,21 +161,33 @@ def _cmd_chips(_args) -> int:
 
 
 def _cmd_generate(args) -> int:
-    spec = DatasetSpec(
-        chip_name=args.chip,
+    session = ThermalSession()
+    print(f"generating {args.samples} cases for {args.chip} at {args.resolution}x{args.resolution} ...")
+    dataset = session.generate_dataset(
+        args.chip,
         resolution=args.resolution,
         num_samples=args.samples,
         seed=args.seed,
+        batch_size=args.batch_size,
+        verbose=True,
     )
-    print(f"generating {args.samples} cases for {args.chip} at {args.resolution}x{args.resolution} ...")
-    dataset = generate_dataset(spec, verbose=True, batch_size=args.batch_size)
     dataset.save(args.output)
     print(f"wrote {args.output}: inputs {dataset.inputs.shape}, targets {dataset.targets.shape}")
     return 0
 
 
+def _load_dataset(path: str) -> ThermalDataset:
+    try:
+        return ThermalDataset.load(path)
+    except FileNotFoundError:
+        raise ValueError(f"dataset file '{path}' does not exist")
+    except (zipfile.BadZipFile, KeyError) as error:
+        raise ValueError(f"'{path}' is not a dataset archive written by 'generate': {error}")
+
+
 def _cmd_train(args) -> int:
-    dataset = ThermalDataset.load(args.dataset)
+    session = ThermalSession()
+    dataset = _load_dataset(args.dataset)
     split = dataset.split(args.train_fraction, rng=np.random.default_rng(args.seed))
     config = {
         "width": args.width,
@@ -164,41 +197,26 @@ def _cmd_train(args) -> int:
         "unet_levels": 2,
         "attention_dim": args.width,
     }
-    model = build_operator(
-        args.model,
-        dataset.num_input_channels,
-        dataset.num_output_channels,
-        config,
-        np.random.default_rng(args.seed),
+    trained = session.train(
+        split.train,
+        method=args.model,
+        config=config,
+        training=TrainingConfig(
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            learning_rate=args.learning_rate,
+            seed=args.seed,
+        ),
     )
-    if isinstance(model, GARRegressor):
-        model.fit(split.train.inputs, split.train.targets)
-        from repro.metrics.errors import evaluate_all
-
-        report = evaluate_all(model.predict(split.test.inputs), split.test.targets)
-    else:
-        trainer = Trainer(
-            model,
-            TrainingConfig(
-                epochs=args.epochs,
-                batch_size=args.batch_size,
-                learning_rate=args.learning_rate,
-                seed=args.seed,
-            ),
-        )
-        trainer.fit(split.train)
-        report = trainer.evaluate(split.test)
-        if args.output:
-            save_operator(
-                model,
-                args.output,
-                input_normalizer=trainer.input_normalizer,
-                output_normalizer=trainer.output_normalizer,
-                chip_name=dataset.chip_name,
-                resolution=dataset.resolution,
-            )
+    report = trained.evaluate(split.test)
+    if args.output:
+        if trained.servable:
+            trained.save(args.output)
             print(f"saved model weights to {args.output} "
                   f"(servable: {dataset.chip_name}@{dataset.resolution})")
+        else:
+            print(f"note: '{args.model}' has no persistable weights; skipping --output",
+                  file=sys.stderr)
     print(format_table(
         [{"Model": args.model, **{k: round(v, 3) for k, v in report.as_dict().items()}}],
         title=f"Held-out metrics on {dataset.chip_name} ({dataset.resolution}x{dataset.resolution})",
@@ -207,34 +225,62 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_solve(args) -> int:
-    chip = get_chip(args.chip)
+    session = ThermalSession()
+    chip = session.get_chip(args.chip)
     try:
         assignment = parse_power_spec(
             chip, powers_json=args.powers, total_power_W=args.total_power
         )
-    except (KeyError, ValueError) as error:
-        print(f"error: {error_message(error)}", file=sys.stderr)
-        return 2
-    solver = FVMSolver(chip, nx=args.resolution)
-    field = solver.solve(assignment)
+    except KeyError as error:  # unknown blocks are user input, not bugs
+        raise ValueError(error_message(error))
+    if args.backend == "operator" and not args.models:
+        raise ValueError(
+            "--backend operator needs at least one --model WEIGHTS.npz "
+            "(trained for this chip and resolution)"
+        )
+    for path in args.models:
+        _load_model(session, path)
+    try:
+        solution = session.solve(
+            chip,
+            assignment,
+            resolution=args.resolution,
+            backend=args.backend,
+            include_maps=args.heatmap,
+        )
+    except KeyError as error:  # no model for this chip/resolution
+        raise ValueError(error_message(error))
     print(format_table(
         [
             {
                 "Chip": chip.name,
-                "Total power (W)": round(sum(assignment.values()), 2),
-                "Max (K)": round(field.max_K, 3),
-                "Min (K)": round(field.min_K, 3),
-                "Mean (K)": round(field.mean_K, 3),
-                "Solve time (s)": round(field.solve_seconds, 3),
+                "Backend": solution.backend,
+                "Total power (W)": round(solution.total_power_W, 2),
+                "Max (K)": round(solution.max_K, 3),
+                "Min (K)": round(solution.min_K, 3),
+                "Mean (K)": round(solution.mean_K, 3),
+                "Solve time (s)": round(solution.solve_seconds, 3),
             }
         ],
-        title="Steady-state FVM solution",
+        title=f"Steady-state solution ({solution.backend} backend)",
     ))
     if args.heatmap:
         for layer_name in chip.power_layer_names:
             print(f"\n{layer_name}:")
-            print(ascii_heatmap(field.layer_map(layer_name), width=48))
+            print(ascii_heatmap(solution.layer_map(layer_name), width=48))
     return 0
+
+
+def _load_model(session: ThermalSession, path: str) -> None:
+    """Load operator weights with CLI-grade error context."""
+    try:
+        session.load_model(path)
+    except FileNotFoundError:
+        raise ValueError(f"model file '{path}' does not exist")
+    except ValueError:
+        raise  # already carries a readable message (missing config/provenance)
+    except Exception as error:  # noqa: BLE001 — bad weight files fail many ways
+        raise ValueError(f"cannot load operator model '{path}': {error_message(error)}")
 
 
 def _cmd_serve(args) -> int:
@@ -242,21 +288,22 @@ def _cmd_serve(args) -> int:
     from repro.serving.engine import MicroBatchEngine
     from repro.serving.server import ThermalServer
 
-    try:
-        backends = build_backends(
-            model_paths=args.models, pool_size=args.solver_cache_size
-        )
-    except Exception as error:  # noqa: BLE001 — bad weight files fail many ways
-        print(f"error: cannot load operator model(s): {error_message(error)}",
-              file=sys.stderr)
-        return 2
+    session = ThermalSession(
+        pool_size=args.solver_cache_size,
+        result_cache_size=args.result_cache_size,
+    )
+    for path in args.models:
+        _load_model(session, path)
+    backends = build_backends(session=session)
     engine = MicroBatchEngine(
         backends,
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.batch_wait_ms,
         refine_threshold_K=args.refine_threshold,
     )
-    server = ThermalServer(engine, host=args.host, port=args.port, verbose=args.verbose)
+    server = ThermalServer(
+        engine, host=args.host, port=args.port, verbose=args.verbose, session=session
+    )
     print(f"thermal inference service listening on {server.url}")
     print(f"  backends: {', '.join(sorted(backends))}"
           + (f" ({len(args.models)} operator model(s) loaded)" if args.models else ""))
@@ -291,10 +338,29 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Every subcommand reports bad user input (unknown blocks, malformed
+    power JSON, missing model/dataset files, chip/model mismatches) as a
+    one-line ``error:`` message on stderr with exit status 2.  The
+    classification is by exception type: validation raises ``ValueError`` /
+    ``OSError`` (subcommands convert boundary ``KeyError``\\ s), so those
+    exit 2, and any other exception type is an internal bug and keeps its
+    traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, OSError) as error:
+        # User-input failures: subcommands convert validation KeyErrors to
+        # ValueError at the input boundary, so any KeyError reaching here is
+        # an internal bug and gets its traceback.  LinAlgError subclasses
+        # ValueError but is a solver failure, not bad input — re-raise.
+        if isinstance(error, np.linalg.LinAlgError):
+            raise
+        print(f"error: {error_message(error)}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,19 +1,24 @@
-"""Shared training/evaluation runner used by the table harnesses."""
+"""Shared training/evaluation runner used by the table harnesses.
+
+Since the :mod:`repro.api` facade exists the actual train/evaluate loop
+lives in :meth:`repro.api.session.ThermalSession.train`; what remains here
+is the harness shape: turn an experiment scale into a training
+configuration, time the inference pass, and pack everything into the
+:class:`OperatorRunResult` rows the tables render.
+"""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
 
-from repro.data.dataset import DataSplit, ThermalDataset
+from repro.api.session import get_session
+from repro.data.dataset import DataSplit
 from repro.evaluation.config import ExperimentScale
-from repro.metrics.errors import MetricReport, evaluate_all
-from repro.operators.factory import build_operator
-from repro.operators.gar import GARRegressor
-from repro.training.trainer import Trainer, TrainingConfig
+from repro.metrics.errors import MetricReport
+from repro.training.trainer import TrainingConfig
 
 
 @dataclass
@@ -59,44 +64,25 @@ def train_operator(
     """Train one baseline on a train/test split and evaluate it in kelvin.
 
     Handles both the gradient-trained operator models (FNO family, DeepOHeat)
-    and the closed-form GAR baseline transparently.
+    and the closed-form GAR baseline transparently, through the session
+    facade.
     """
-    rng = rng or np.random.default_rng(scale.seed)
-    train, test = split.train, split.test
     config = dict(scale.model.as_dict())
     config.update(model_overrides or {})
-    model = build_operator(
-        method, train.num_input_channels, train.num_output_channels, config, rng
+    trained = get_session().train(
+        split.train,
+        method=method,
+        config=config,
+        training=_training_config(scale, epochs),
+        rng=rng or np.random.default_rng(scale.seed),
     )
-
-    if isinstance(model, GARRegressor):
-        start = time.perf_counter()
-        model.fit(train.inputs, train.targets)
-        train_seconds = time.perf_counter() - start
-        start = time.perf_counter()
-        prediction = model.predict(test.inputs)
-        inference = (time.perf_counter() - start) / max(len(test), 1)
-        metrics = evaluate_all(prediction, test.targets)
-        return OperatorRunResult(
-            method=method,
-            resolution=train.resolution,
-            metrics=metrics,
-            train_seconds=train_seconds,
-            inference_seconds_per_case=inference,
-            num_parameters=model.n_components,
-        )
-
-    trainer = Trainer(model, _training_config(scale, epochs))
-    start = time.perf_counter()
-    trainer.fit(train)
-    train_seconds = time.perf_counter() - start
-    metrics = trainer.evaluate(test)
-    inference = trainer.inference_seconds_per_case(test, repeats=1)
+    metrics = trained.evaluate(split.test)
+    inference = trained.inference_seconds_per_case(split.test, repeats=1)
     return OperatorRunResult(
         method=method,
-        resolution=train.resolution,
+        resolution=split.train.resolution,
         metrics=metrics,
-        train_seconds=train_seconds,
+        train_seconds=trained.train_seconds,
         inference_seconds_per_case=inference,
-        num_parameters=model.num_parameters(),
+        num_parameters=trained.num_parameters,
     )

@@ -20,6 +20,8 @@ from repro.serving.backends import (
     LRUPool,
     ModelRegistry,
     OperatorBackend,
+    SessionBackend,
+    TransientBackend,
     build_backends,
 )
 from repro.serving.engine import MicroBatchEngine
@@ -33,6 +35,8 @@ __all__ = [
     "LRUPool",
     "ModelRegistry",
     "OperatorBackend",
+    "SessionBackend",
+    "TransientBackend",
     "build_backends",
     "MicroBatchEngine",
     "KNOWN_BACKENDS",

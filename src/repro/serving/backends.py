@@ -1,97 +1,31 @@
-"""Execution backends of the thermal inference service.
+"""Serving backends: thin request/response adapters over a ThermalSession.
 
-Three ways to answer the same power-map query, trading accuracy for speed:
+Since the :mod:`repro.api` facade exists, this module no longer constructs
+solvers, pools factorisations or loads models itself — all of that is
+cross-cutting state owned by one :class:`~repro.api.session.ThermalSession`
+shared by every backend of a deployment.  What remains here is the serving
+shape of the problem: take a micro-batch of validated
+:class:`~repro.serving.request.ThermalRequest`\\ s that share a group key,
+route it through the session (which consults its result cache and answers
+the misses with one batched engine call), and stamp the request ids onto the
+returned :class:`~repro.api.solution.ThermalSolution`\\ s.
 
-* :class:`FVMBackend` — exact: the finite-volume field solver, answering
-  whole micro-batches through one cached sparse LU factorisation
-  (:meth:`~repro.solvers.fvm.FVMSolver.solve_batch` stacked-RHS solves).
-  Prepared solvers are pooled per ``(chip, resolution)`` with LRU eviction,
-  so a busy service keeps its hot factorisations resident and bounded.
-* :class:`OperatorBackend` — learned: a trained neural-operator surrogate
-  (SAU-FNO / FNO / U-FNO...) loaded from self-describing weights, answering
-  a micro-batch in one vectorised forward pass.
-* :class:`HotSpotBackend` — compact: the block-level HotSpot-style RC
-  network, microseconds per query at block granularity.
+Four backends answer the same power-map question at different cost/accuracy
+points: exact (``fvm``), learned (``operator``), compact (``hotspot``) and
+time-integrating quasi-steady (``transient``).
 
-Backends are stateless from the engine's point of view: ``solve_batch``
-takes requests that share a group key and returns one
-:class:`~repro.serving.request.ThermalResult` per request, in order.
+``LRUPool`` and ``ModelRegistry`` originated here and now live in
+:mod:`repro.api`; they are re-exported for compatibility.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from collections import OrderedDict
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
-import numpy as np
-
-from repro.chip.designs import get_chip
-from repro.data.power import rasterize_assignment
-from repro.operators.factory import LoadedOperator, load_operator
+from repro.api.pool import DEFAULT_POOL_SIZE, LRUPool  # noqa: F401 — compat re-export
+from repro.api.registry import ModelRegistry  # noqa: F401 — compat re-export
+from repro.api.session import ThermalSession
 from repro.serving.request import ThermalRequest, ThermalResult
-from repro.solvers.fvm import FVMSolver
-from repro.solvers.hotspot import HotSpotModel
-
-#: Default number of prepared solvers kept resident per backend pool.
-DEFAULT_POOL_SIZE = 8
-
-
-class LRUPool:
-    """A small thread-safe LRU cache of expensive per-key resources.
-
-    Used for prepared FVM solvers (geometry + assembled matrix + sparse LU)
-    and HotSpot networks.  ``get`` builds missing entries with the supplied
-    factory and evicts the least-recently-used entry beyond ``capacity``.
-    Hit/miss/eviction counters feed the service ``/stats`` endpoint.
-    """
-
-    def __init__(self, capacity: int = DEFAULT_POOL_SIZE):
-        if capacity < 1:
-            raise ValueError("pool capacity must be >= 1")
-        self.capacity = capacity
-        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
-        self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-
-    def get(self, key, build: Callable[[], Any]):
-        with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                self.hits += 1
-                return self._entries[key]
-            self.misses += 1
-        # Build outside the lock: factorising a big grid can take hundreds of
-        # milliseconds and must not stall readers of other keys.
-        entry = build()
-        with self._lock:
-            self._entries[key] = entry
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-        return entry
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-    def keys(self) -> List[Any]:
-        with self._lock:
-            return list(self._entries)
-
-    def stats(self) -> Dict[str, Any]:
-        with self._lock:
-            return {
-                "capacity": self.capacity,
-                "entries": len(self._entries),
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
-            }
 
 
 class Backend:
@@ -109,252 +43,132 @@ class Backend:
         return {}
 
 
-class FVMBackend(Backend):
+class SessionBackend(Backend):
+    """Shared plumbing: requests in, session-cached solutions out.
+
+    Subclasses only pick the backend name; an explicitly passed ``session``
+    shares pools, models and the result cache across a deployment, while the
+    no-argument form builds a private session (used by tests and ad-hoc
+    embedding).
+    """
+
+    def __init__(
+        self,
+        session: Optional[ThermalSession] = None,
+        pool_size: int = DEFAULT_POOL_SIZE,
+        cells_per_layer: int = 2,
+    ):
+        self.session = session or ThermalSession(
+            pool_size=pool_size, cells_per_layer=cells_per_layer
+        )
+
+    @property
+    def pool(self) -> LRUPool:
+        """The session's adapter pool for this backend kind."""
+        return self.session.pool(self.name)
+
+    def solve_batch(self, requests: Sequence[ThermalRequest]) -> List[ThermalResult]:
+        # Micro-batches are homogeneous in detail level — include_maps is
+        # part of ThermalRequest.group_key — so one session call answers the
+        # whole group and every answer caches under the right detail key.
+        first = requests[0]
+        solutions = self.session.solve_batch(
+            first.chip,
+            [request.assignment for request in requests],
+            resolution=first.resolution,
+            backend=self.name,
+            include_maps=first.include_maps,
+        )
+        for request, solution in zip(requests, solutions):
+            solution.request_id = request.request_id
+        return solutions
+
+
+class FVMBackend(SessionBackend):
     """Exact finite-volume answers through pooled cached factorisations."""
 
     name = "fvm"
 
-    def __init__(self, pool_size: int = DEFAULT_POOL_SIZE, cells_per_layer: int = 2):
-        self.cells_per_layer = cells_per_layer
-        self.pool = LRUPool(pool_size)
-
-    def _solver(self, chip_name: str, resolution: int) -> FVMSolver:
-        def build() -> FVMSolver:
-            solver = FVMSolver(
-                get_chip(chip_name), nx=resolution, cells_per_layer=self.cells_per_layer
-            )
-            solver.prepare()
-            return solver
-
-        return self.pool.get((chip_name, resolution), build)
-
-    def solve_batch(self, requests: Sequence[ThermalRequest]) -> List[ThermalResult]:
-        first = requests[0]
-        solver = self._solver(first.chip, first.resolution)
-        fields = solver.solve_batch([request.assignment for request in requests])
-        results = []
-        for request, fld in zip(requests, fields):
-            results.append(
-                ThermalResult(
-                    request_id=request.request_id,
-                    chip=request.chip,
-                    resolution=request.resolution,
-                    backend=self.name,
-                    max_K=fld.max_K,
-                    min_K=fld.min_K,
-                    mean_K=fld.mean_K,
-                    total_power_W=request.total_power_W,
-                    hotspot=fld.hotspot_location(),
-                    solve_seconds=fld.solve_seconds,
-                    layer_maps=(
-                        {
-                            name: fld.layer_map(name)
-                            for name in fld.chip.power_layer_names
-                        }
-                        if request.include_maps
-                        else None
-                    ),
-                )
-            )
-        return results
-
     def stats(self) -> Dict[str, Any]:
-        return {"solver_pool": self.pool.stats()}
+        # The result cache is session-wide (shared by every backend) and
+        # reported once under the /stats "session" section, not here.
+        return {"solver_pool": self.session.pool("fvm").stats()}
 
 
-class HotSpotBackend(Backend):
+class HotSpotBackend(SessionBackend):
     """Fast block-level estimates from the compact RC network."""
 
     name = "hotspot"
 
-    def __init__(self, pool_size: int = DEFAULT_POOL_SIZE):
-        self.pool = LRUPool(pool_size)
-
-    def _model(self, chip_name: str) -> HotSpotModel:
-        return self.pool.get(chip_name, lambda: HotSpotModel(get_chip(chip_name)))
-
-    @staticmethod
-    def _hotspot(model: HotSpotModel, temperatures: Dict[str, float]) -> Dict[str, float]:
-        key = max(temperatures, key=temperatures.get)
-        layer_name, block_name = key.split("/", 1)
-        layer = model.chip.get_layer(layer_name)
-        block = next(b for b in layer.floorplan.blocks if b.name == block_name)
-        return {
-            "x_mm": block.x + block.width / 2,
-            "y_mm": block.y + block.height / 2,
-            "temperature_K": temperatures[key],
-        }
-
-    def solve_batch(self, requests: Sequence[ThermalRequest]) -> List[ThermalResult]:
-        model = self._model(requests[0].chip)
-        results = []
-        for request in requests:
-            solution = model.solve(request.assignment)
-            results.append(
-                ThermalResult(
-                    request_id=request.request_id,
-                    chip=request.chip,
-                    resolution=request.resolution,
-                    backend=self.name,
-                    max_K=solution.max_K,
-                    min_K=solution.min_K,
-                    mean_K=solution.mean_K,
-                    total_power_W=request.total_power_W,
-                    hotspot=self._hotspot(model, solution.temperatures),
-                    solve_seconds=solution.solve_seconds,
-                    layer_maps=(
-                        {
-                            name: solution.layer_map(name, request.resolution, request.resolution)
-                            for name in model.chip.power_layer_names
-                        }
-                        if request.include_maps
-                        else None
-                    ),
-                )
-            )
-        return results
-
     def stats(self) -> Dict[str, Any]:
-        return {"model_pool": self.pool.stats()}
+        return {"model_pool": self.session.pool("hotspot").stats()}
 
 
-class ModelRegistry:
-    """Trained surrogates available to the operator backend.
+class TransientBackend(SessionBackend):
+    """Quasi-steady answers by backward-Euler time integration.
 
-    Models are loaded from the self-describing ``.npz`` files written by
-    :func:`repro.operators.factory.save_operator` and indexed by the
-    ``(chip, resolution)`` they were trained for; the registry refuses
-    archives without that provenance because a surrogate silently applied to
-    the wrong chip returns garbage temperatures.
+    Constant-power queries integrated over several thermal time constants:
+    slower than ``fvm`` but exercises the transient discretisation, and the
+    stepping-stone to full trace endpoints (the session already exposes
+    :meth:`~repro.api.session.ThermalSession.solve_transient`).
     """
 
-    def __init__(self):
-        self._models: Dict[Tuple[str, int], LoadedOperator] = {}
-        self._paths: Dict[Tuple[str, int], str] = {}
+    name = "transient"
 
-    def register_file(self, path: str) -> LoadedOperator:
-        loaded = load_operator(path)
-        if loaded.chip_name is None or loaded.resolution is None:
-            raise ValueError(
-                f"'{path}' does not record the chip/resolution it was trained for; "
-                "re-save it with save_operator(..., chip_name=..., resolution=...)"
-            )
-        self.register(loaded, path=path)
-        return loaded
-
-    def register(self, loaded: LoadedOperator, path: str = "<memory>") -> None:
-        chip = get_chip(loaded.chip_name)
-        if loaded.in_channels != chip.num_power_layers:
-            raise ValueError(
-                f"model expects {loaded.in_channels} input channels but chip "
-                f"'{loaded.chip_name}' has {chip.num_power_layers} power layers"
-            )
-        if loaded.out_channels != chip.num_power_layers:
-            raise ValueError(
-                f"model produces {loaded.out_channels} output channels but chip "
-                f"'{loaded.chip_name}' has {chip.num_power_layers} power layers; "
-                "its temperature maps would be mislabeled"
-            )
-        key = (loaded.chip_name, int(loaded.resolution))
-        self._models[key] = loaded
-        self._paths[key] = path
-
-    def lookup(self, chip_name: str, resolution: int) -> LoadedOperator:
-        key = (chip_name, int(resolution))
-        if key not in self._models:
-            available = ", ".join(f"{c}@{r}" for c, r in sorted(self._models)) or "none"
-            raise KeyError(
-                f"no operator model registered for chip '{chip_name}' at resolution "
-                f"{resolution}; loaded models: {available}"
-            )
-        return self._models[key]
-
-    def __len__(self) -> int:
-        return len(self._models)
-
-    def describe(self) -> List[Dict[str, Any]]:
-        return [
-            {**self._models[key].describe(), "path": self._paths[key]}
-            for key in sorted(self._models)
-        ]
+    def stats(self) -> Dict[str, Any]:
+        return {"solver_pool": self.session.pool("transient").stats()}
 
 
-class OperatorBackend(Backend):
+class OperatorBackend(SessionBackend):
     """Learned-surrogate answers: one vectorised forward pass per batch."""
 
     name = "operator"
 
-    def __init__(self, registry: Optional[ModelRegistry] = None, batch_size: int = 32):
-        self.registry = registry or ModelRegistry()
-        self.batch_size = batch_size
+    def __init__(
+        self,
+        registry: Optional[ModelRegistry] = None,
+        batch_size: int = 32,
+        session: Optional[ThermalSession] = None,
+    ):
+        if session is None:
+            session = ThermalSession(models=registry, operator_batch_size=batch_size)
+        super().__init__(session=session)
 
-    def solve_batch(self, requests: Sequence[ThermalRequest]) -> List[ThermalResult]:
-        first = requests[0]
-        chip = get_chip(first.chip)
-        loaded = self.registry.lookup(first.chip, first.resolution)
-        start = time.perf_counter()
-        inputs = np.stack(
-            [
-                rasterize_assignment(chip, request.assignment, first.resolution)
-                for request in requests
-            ]
-        ).astype(np.float32)
-        maps = loaded.predict(inputs, batch_size=self.batch_size)
-        per_case = (time.perf_counter() - start) / len(requests)
-
-        layer_names = chip.power_layer_names
-        results = []
-        for request, case_maps in zip(requests, maps):
-            flat_index = int(np.argmax(case_maps))
-            layer, y, x = np.unravel_index(flat_index, case_maps.shape)
-            hotspot = {
-                "x_mm": (x + 0.5) * chip.die_width_mm / case_maps.shape[2],
-                "y_mm": (y + 0.5) * chip.die_height_mm / case_maps.shape[1],
-                "temperature_K": float(case_maps[layer, y, x]),
-            }
-            results.append(
-                ThermalResult(
-                    request_id=request.request_id,
-                    chip=request.chip,
-                    resolution=request.resolution,
-                    backend=self.name,
-                    max_K=float(case_maps.max()),
-                    min_K=float(case_maps.min()),
-                    mean_K=float(case_maps.mean()),
-                    total_power_W=request.total_power_W,
-                    hotspot=hotspot,
-                    solve_seconds=per_case,
-                    layer_maps=(
-                        dict(zip(layer_names, case_maps)) if request.include_maps else None
-                    ),
-                )
-            )
-        return results
+    @property
+    def registry(self) -> ModelRegistry:
+        return self.session.models
 
     def stats(self) -> Dict[str, Any]:
-        return {"models": len(self.registry)}
+        return {"models": len(self.session.models)}
 
 
 def build_backends(
     model_paths: Sequence[str] = (),
     pool_size: int = DEFAULT_POOL_SIZE,
     cells_per_layer: int = 2,
+    session: Optional[ThermalSession] = None,
 ) -> Dict[str, Backend]:
     """Assemble the standard backend set of a service deployment.
 
-    ``model_paths`` are operator weight files saved through
-    :func:`~repro.operators.factory.save_operator`; the ``operator`` backend
-    is present even when empty so requests for it fail with a clear
-    "no model registered" message rather than "unknown backend".
+    All backends share one :class:`~repro.api.session.ThermalSession` (the
+    given one, or a fresh one), so factorisation pools, loaded models and
+    the result cache are deployment-wide.  ``model_paths`` are operator
+    weight files saved through :func:`~repro.operators.factory.save_operator`;
+    the ``operator`` backend is present even when empty so requests for it
+    fail with a clear "no model registered" message rather than "unknown
+    backend".
     """
-    registry = ModelRegistry()
+    session = session or ThermalSession(
+        pool_size=pool_size, cells_per_layer=cells_per_layer
+    )
     for path in model_paths:
-        registry.register_file(path)
+        session.load_model(path)
     backends: Dict[str, Backend] = {}
     for backend in (
-        FVMBackend(pool_size=pool_size, cells_per_layer=cells_per_layer),
-        OperatorBackend(registry),
-        HotSpotBackend(pool_size=pool_size),
+        FVMBackend(session=session),
+        OperatorBackend(session=session),
+        HotSpotBackend(session=session),
+        TransientBackend(session=session),
     ):
         backends[backend.name] = backend
     return backends

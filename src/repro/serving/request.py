@@ -15,17 +15,19 @@ vectorised forward pass for the operator backend).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
-
+from repro.api.backends import BACKEND_NAMES
+from repro.api.solution import ThermalSolution
 from repro.chip.designs import get_chip, list_chips
 from repro.data.power import uniform_power_assignment, validate_power_assignment
 
-#: Backends every service deployment knows about.  The engine may expose a
-#: subset (e.g. no ``operator`` backend when no model weights are loaded).
-KNOWN_BACKENDS = ("fvm", "operator", "hotspot")
+#: Backends every service deployment knows about — the session's backend
+#: registry, aliased so serving and the Python API can never disagree.  The
+#: engine may expose a subset (e.g. no ``operator`` backend when no model
+#: weights are loaded).
+KNOWN_BACKENDS = BACKEND_NAMES
 
 #: Grid-resolution bounds accepted by the service.  The lower bound keeps
 #: block rasterisation meaningful; the upper bound caps the memory of one
@@ -53,9 +55,15 @@ class ThermalRequest:
     request_id: str = ""
 
     @property
-    def group_key(self) -> Tuple[str, int, str]:
-        """Micro-batching key: requests sharing it are solved together."""
-        return (self.chip, self.resolution, self.backend)
+    def group_key(self) -> Tuple[str, int, str, bool]:
+        """Micro-batching key: requests sharing it are solved together.
+
+        ``include_maps`` is part of the key so every micro-batch is
+        homogeneous in detail level — the session result cache keys answers
+        by detail, and a mixed batch would cache half the group under the
+        wrong key.
+        """
+        return (self.chip, self.resolution, self.backend, self.include_maps)
 
     @property
     def total_power_W(self) -> float:
@@ -73,6 +81,7 @@ class ThermalRequest:
         include_maps: bool = False,
         request_id: Optional[str] = None,
         allowed_backends: Optional[Sequence[str]] = None,
+        chips: Optional[Any] = None,
     ) -> "ThermalRequest":
         """Validate every field and build a request.
 
@@ -80,14 +89,24 @@ class ThermalRequest:
         ``total_power_W`` (or the chip's budget midpoint) is spread uniformly
         over all blocks.  ``allowed_backends`` is the serving deployment's
         actual backend set (defaults to :data:`KNOWN_BACKENDS`), so custom
-        engines validate against what they really offer.  Raises
+        engines validate against what they really offer.  ``chips`` is an
+        optional chip source with ``get_chip``/``list_chips`` (e.g. a
+        :class:`~repro.api.session.ThermalSession`), so deployments serving
+        runtime-registered custom designs validate against their real chip
+        registry; it defaults to the built-in benchmark designs.  Raises
         :class:`ValueError` / :class:`KeyError` with messages safe to return
         to an API client.
         """
+        known_chips = list(chips.list_chips()) if chips is not None else list_chips()
+        resolve_chip = chips.get_chip if chips is not None else get_chip
+        by_lower = {name.lower(): name for name in known_chips}
         chip_name = str(chip).lower()
-        if chip_name not in list_chips():
-            raise KeyError(f"unknown chip '{chip}'; available: {', '.join(list_chips())}")
-        chip_stack = get_chip(chip_name)
+        if chip_name not in by_lower:
+            raise KeyError(
+                f"unknown chip '{chip}'; available: {', '.join(known_chips)}"
+            )
+        chip_stack = resolve_chip(by_lower[chip_name])
+        chip_name = chip_stack.name
 
         if powers is not None and total_power_W is not None:
             raise ValueError("specify either 'powers' or 'total_power', not both")
@@ -134,6 +153,7 @@ class ThermalRequest:
         cls,
         payload: Mapping[str, Any],
         allowed_backends: Optional[Sequence[str]] = None,
+        chips: Optional[Any] = None,
     ) -> "ThermalRequest":
         """Build a request from a decoded JSON body (the ``/solve`` route)."""
         if not isinstance(payload, Mapping):
@@ -165,64 +185,10 @@ class ThermalRequest:
             include_maps=payload.get("include_maps", False),
             request_id=payload.get("request_id"),
             allowed_backends=allowed_backends,
+            chips=chips,
         )
 
 
-@dataclass
-class ThermalResult:
-    """Answer to one :class:`ThermalRequest`.
-
-    ``backend`` names the backend that produced the final numbers — when the
-    exact-refine guard re-solved a surrogate answer, it is the refine
-    backend's name and ``refined`` is true.  ``solve_seconds`` is the
-    backend's (amortised) compute share; ``latency_seconds`` the full
-    queue-to-answer time seen by the client; ``batch_size`` how many requests
-    shared the dispatch.
-    """
-
-    request_id: str
-    chip: str
-    resolution: int
-    backend: str
-    max_K: float
-    min_K: float
-    mean_K: float
-    total_power_W: float
-    hotspot: Dict[str, float] = field(default_factory=dict)
-    solve_seconds: float = 0.0
-    latency_seconds: float = 0.0
-    batch_size: int = 1
-    refined: bool = False
-    layer_maps: Optional[Dict[str, np.ndarray]] = None
-
-    def to_json(self) -> Dict[str, Any]:
-        """JSON-serialisable view (arrays become nested lists).
-
-        Non-finite temperatures (a diverged surrogate) become ``null``:
-        ``json.dumps`` would otherwise emit the literal ``NaN``, which strict
-        JSON parsers reject.
-        """
-        def finite(value: float) -> Optional[float]:
-            value = float(value)
-            return round(value, 6) if np.isfinite(value) else None
-
-        body: Dict[str, Any] = {
-            "request_id": self.request_id,
-            "chip": self.chip,
-            "resolution": self.resolution,
-            "backend": self.backend,
-            "max_K": finite(self.max_K),
-            "min_K": finite(self.min_K),
-            "mean_K": finite(self.mean_K),
-            "total_power_W": finite(self.total_power_W),
-            "hotspot": {key: finite(v) for key, v in self.hotspot.items()},
-            "solve_seconds": self.solve_seconds,
-            "latency_seconds": self.latency_seconds,
-            "batch_size": self.batch_size,
-            "refined": self.refined,
-        }
-        if self.layer_maps is not None:
-            body["layer_maps"] = {
-                name: np.asarray(values).tolist() for name, values in self.layer_maps.items()
-            }
-        return body
+#: Deprecation alias: the serving result type and the Python API's answer
+#: type are one class since the :mod:`repro.api` facade merged them.
+ThermalResult = ThermalSolution

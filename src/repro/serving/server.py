@@ -30,6 +30,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
 
 from repro import __version__
+from repro.api.session import ThermalSession
 from repro.chip.designs import get_chip, list_chips
 from repro.data.power import error_message
 from repro.serving.backends import OperatorBackend
@@ -79,7 +80,7 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/models":
             self._send_json(200, {"models": self.server.service.describe_models()})
         elif path == "/stats":
-            self._send_json(200, self.server.service.engine.stats())
+            self._send_json(200, self.server.service.stats())
         else:
             self._send_error_json(404, f"unknown path '{self.path}'")
 
@@ -113,7 +114,9 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             request = ThermalRequest.from_payload(
-                payload, allowed_backends=self.server.service.engine.backends
+                payload,
+                allowed_backends=self.server.service.engine.backends,
+                chips=self.server.service.session,
             )
         except (KeyError, ValueError) as error:
             self._send_error_json(400, error_message(error))
@@ -145,8 +148,19 @@ class ThermalServer:
         host: str = "127.0.0.1",
         port: int = 8471,
         verbose: bool = False,
+        session: Optional["ThermalSession"] = None,
     ):
         self.engine = engine
+        # The session behind the backends (for /stats result-cache counters);
+        # discovered from the backends when not passed explicitly.
+        self.session = session or next(
+            (
+                backend.session
+                for backend in engine.backends.values()
+                if getattr(backend, "session", None) is not None
+            ),
+            None,
+        )
         self._started_at = time.time()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
@@ -178,9 +192,11 @@ class ThermalServer:
         }
 
     def describe_chips(self) -> list:
+        names = self.session.list_chips() if self.session is not None else list_chips()
+        resolve = self.session.get_chip if self.session is not None else get_chip
         chips = []
-        for name in list_chips():
-            chip = get_chip(name)
+        for name in names:
+            chip = resolve(name)
             chips.append(
                 {
                     "name": name,
@@ -194,10 +210,19 @@ class ThermalServer:
         return chips
 
     def describe_models(self) -> list:
+        if self.session is not None:
+            return self.session.models.describe()
         backend = self.engine.backends.get("operator")
         if isinstance(backend, OperatorBackend):
             return backend.registry.describe()
         return []
+
+    def stats(self) -> Dict[str, Any]:
+        """Engine counters plus the shared session's cache/pool statistics."""
+        body = self.engine.stats()
+        if self.session is not None:
+            body["session"] = self.session.stats()
+        return body
 
     # ------------------------------------------------------------------
     def serve_forever(self) -> None:

@@ -1,0 +1,63 @@
+"""Smoke tests for the examples/ scripts.
+
+Every example exposes a ``main()`` whose keyword arguments control the
+experiment scale; here each one runs end-to-end at the tiniest scale that
+still exercises its whole flow (generation, training, every backend it
+touches), so API refactors cannot silently break the documented entry
+points.  Spectral models need ``resolution >= 2 * modes`` (modes = 8 in the
+examples), which sets the floor for the training resolutions.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+#: Tiny-scale keyword arguments per example script.
+TINY_SCALE = {
+    "quickstart": dict(resolution=16, samples=6, epochs=1, batch_size=2),
+    # resolution >= 12 keeps every chip3 block resolvable on the grid
+    "solver_comparison": dict(
+        num_cases=1, fine_resolution=16, standard_resolution=12,
+        fine_cells_per_layer=1, standard_cells_per_layer=1,
+    ),
+    "transient_workload": dict(
+        resolution=8, cells_per_layer=1, steps_per_time_constant=2
+    ),
+    "custom_chip_design": dict(
+        what_if_resolution=12, surrogate_resolution=16, samples=6, epochs=1
+    ),
+    "transfer_learning_chip1": dict(
+        low_resolution=16, high_resolution=20, num_low=6, num_high=4, epochs=1
+    ),
+}
+
+
+def _load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+def test_every_example_is_covered():
+    scripts = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(TINY_SCALE), (
+        "examples/ and TINY_SCALE disagree; add a tiny-scale entry for new examples"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(TINY_SCALE))
+def test_example_runs_at_tiny_scale(name, capsys):
+    module = _load_example(name)
+    module.main(**TINY_SCALE[name])
+    out = capsys.readouterr().out
+    assert out.strip(), f"example '{name}' produced no output"

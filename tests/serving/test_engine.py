@@ -36,7 +36,7 @@ class TestThermalRequest:
         assert request.chip == "chip1"
         assert request.resolution == 16
         assert abs(request.total_power_W - 40.0) < 1e-9
-        assert request.group_key == ("chip1", 16, "fvm")
+        assert request.group_key == ("chip1", 16, "fvm", False)
 
     def test_unknown_chip_and_backend_rejected(self):
         with pytest.raises(KeyError):
@@ -193,12 +193,16 @@ class TestLRUPool:
 
     def test_fvm_backend_pool_eviction(self):
         backend = FVMBackend(pool_size=1)
-        for resolution in (8, 10, 8):
-            backend.solve_batch(_requests("chip1", 1, resolution=resolution))
+        # Distinct power maps per call: identical queries would short-circuit
+        # in the session result cache and never consult the solver pool.
+        for index, resolution in enumerate((8, 10, 8)):
+            backend.solve_batch(
+                _requests("chip1", 1, resolution=resolution, base_power=30.0 + index)
+            )
         stats = backend.pool.stats()
         assert stats["misses"] == 3  # the second res-8 solver was evicted
         assert stats["evictions"] == 2
-        backend.solve_batch(_requests("chip1", 1, resolution=8))
+        backend.solve_batch(_requests("chip1", 1, resolution=8, base_power=60.0))
         assert backend.pool.stats()["hits"] == 1
 
 

@@ -81,7 +81,7 @@ class TestInfoEndpoints:
         assert status == 200
         assert body["status"] == "ok"
         assert body["engine_running"] is True
-        assert set(body["backends"]) == {"fvm", "operator", "hotspot"}
+        assert set(body["backends"]) == {"fvm", "operator", "hotspot", "transient"}
 
     def test_chips_lists_blocks(self, server):
         status, body = _get(server.url + "/chips")
@@ -105,6 +105,22 @@ class TestInfoEndpoints:
         assert status == 200
         assert body["total_requests"] >= 1
         assert "fvm" in body["backends"]
+
+    def test_stats_surfaces_result_cache_hits(self, server):
+        """Repeated same-power-map solves hit the session result cache."""
+        body = {"chip": "chip3", "total_power": 33.5, "resolution": RES}
+        status, first = _post(server.url + "/solve", body)
+        assert status == 200 and "cached" not in first
+        status, second = _post(server.url + "/solve", body)
+        assert status == 200
+        assert second["cached"] is True
+        assert second["max_K"] == first["max_K"]
+        _, stats = _get(server.url + "/stats")
+        cache = stats["session"]["result_cache"]
+        assert cache["hits"] >= 1
+        assert cache["misses"] >= 1
+        # The session-wide cache is reported once, not duplicated per backend.
+        assert "result_cache" not in stats["backends"]["fvm"]
 
     def test_unknown_path_is_404(self, server):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
@@ -157,6 +173,31 @@ class TestSolveEndpoint:
         maps = body["layer_maps"]
         assert set(maps) == set(get_chip("chip1").power_layer_names)
         assert np.asarray(maps["core_layer"]).shape == (RES, RES)
+
+    def test_transient_backend_answers(self, server):
+        status, body = _post(
+            server.url + "/solve",
+            {"chip": "chip1", "resolution": 8, "backend": "transient", "total_power": 30},
+        )
+        assert status == 200
+        assert body["backend"] == "transient"
+        assert body["max_K"] > 300.0
+
+    def test_session_registered_custom_chip_is_servable(self, server):
+        """/chips and /solve agree on the session's chip registry."""
+        import dataclasses
+
+        custom = dataclasses.replace(get_chip("chip1"), name="custom_stack")
+        server.session.register_chip(custom)
+        _, chips = _get(server.url + "/chips")
+        assert "custom_stack" in [chip["name"] for chip in chips["chips"]]
+        status, body = _post(
+            server.url + "/solve",
+            {"chip": "custom_stack", "resolution": RES, "total_power": 20},
+        )
+        assert status == 200
+        assert body["chip"] == "custom_stack"
+        assert body["max_K"] > 300.0
 
     def test_operator_backend_answers(self, server):
         status, body = _post(

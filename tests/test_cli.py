@@ -53,7 +53,7 @@ class TestCommands:
     def test_solve_with_explicit_powers(self, capsys):
         powers = json.dumps({"core_layer/Core": 20.0})
         assert main(["solve", "--chip", "chip1", "--resolution", "12", "--powers", powers]) == 0
-        assert "Steady-state FVM solution" in capsys.readouterr().out
+        assert "Steady-state solution (fvm backend)" in capsys.readouterr().out
 
     def test_solve_malformed_powers_json(self, capsys):
         assert main(["solve", "--chip", "chip1", "--resolution", "12",
@@ -109,3 +109,69 @@ class TestCommands:
               "--output", str(dataset_path)])
         assert main(["train", "--dataset", str(dataset_path), "--model", "gar"]) == 0
         assert "Held-out metrics" in capsys.readouterr().out
+
+    def test_solve_with_hotspot_and_transient_backends(self, capsys):
+        for backend in ("hotspot", "transient"):
+            assert main(["solve", "--chip", "chip1", "--resolution", "10",
+                         "--backend", backend, "--total-power", "30"]) == 0
+            assert f"({backend} backend)" in capsys.readouterr().out
+
+    def test_solve_operator_backend_with_trained_model(self, tmp_path, capsys):
+        dataset_path = tmp_path / "tiny.npz"
+        model_path = tmp_path / "model.npz"
+        main(["generate", "--chip", "chip1", "--resolution", "12", "--samples", "8",
+              "--output", str(dataset_path)])
+        main(["train", "--dataset", str(dataset_path), "--model", "fno", "--epochs", "1",
+              "--batch-size", "4", "--width", "8", "--modes", "3",
+              "--output", str(model_path)])
+        capsys.readouterr()
+        assert main(["solve", "--chip", "chip1", "--resolution", "12",
+                     "--backend", "operator", "--model", str(model_path),
+                     "--total-power", "30"]) == 0
+        assert "(operator backend)" in capsys.readouterr().out
+
+
+class TestErrorHandling:
+    """Every subcommand exits 2 with a one-line message on bad user input."""
+
+    def test_solve_operator_without_model_exits_2(self, capsys):
+        assert main(["solve", "--chip", "chip1", "--backend", "operator",
+                     "--total-power", "30"]) == 2
+        assert "needs at least one --model" in capsys.readouterr().err
+
+    def test_solve_unknown_model_file_exits_2(self, capsys):
+        assert main(["solve", "--chip", "chip1", "--backend", "operator",
+                     "--model", "/nonexistent/weights.npz", "--total-power", "30"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "does not exist" in err
+
+    def test_solve_model_chip_mismatch_exits_2(self, tmp_path, capsys):
+        """A model trained for chip1 cannot answer a chip2 query."""
+        dataset_path = tmp_path / "tiny.npz"
+        model_path = tmp_path / "model.npz"
+        main(["generate", "--chip", "chip1", "--resolution", "12", "--samples", "8",
+              "--output", str(dataset_path)])
+        main(["train", "--dataset", str(dataset_path), "--model", "fno", "--epochs", "1",
+              "--batch-size", "4", "--width", "8", "--modes", "3",
+              "--output", str(model_path)])
+        capsys.readouterr()
+        assert main(["solve", "--chip", "chip2", "--resolution", "12",
+                     "--backend", "operator", "--model", str(model_path),
+                     "--total-power", "30"]) == 2
+        assert "no operator model registered for chip 'chip2'" in capsys.readouterr().err
+
+    def test_train_missing_dataset_exits_2(self, capsys):
+        assert main(["train", "--dataset", "/nonexistent/data.npz"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "does not exist" in err
+
+    def test_train_non_dataset_file_exits_2(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.npz"
+        bogus.write_bytes(b"this is not a dataset")
+        assert main(["train", "--dataset", str(bogus)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_serve_unknown_model_file_exits_2(self, capsys):
+        assert main(["serve", "--model", "/nonexistent/weights.npz", "--port", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "does not exist" in err
