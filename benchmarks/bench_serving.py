@@ -8,15 +8,24 @@ concurrent load, for the exact (fvm) and learned (operator) backends:
   one-shot CLI deployment would pay), with the acceptance bar that batching
   buys >= 5x at batch sizes >= 8;
 * closed-loop p50/p95 latency with a fleet of synchronous clients, the
-  numbers a load balancer in front of ``repro-thermal serve`` would see.
+  numbers a load balancer in front of ``repro-thermal serve`` would see;
+* the multi-worker scaling curve: throughput of a fixed closed-loop
+  mixed-chip fvm load (one interactive trickle stream plus two full-batch
+  burst streams) at ``workers`` in {1, 2, 4}, with the acceptance bar that
+  4 workers buy >= 1.5x over the single-dispatcher engine.  The win is
+  head-of-line blocking: a single dispatcher sleeps inside one group's
+  batching window even while other groups' full batches sit ready, whereas
+  sharded workers overlap one group's window with other groups' solves.
 """
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 import pytest
 
+from repro.api.session import ThermalSession
 from repro.chip.designs import get_chip
 from repro.data.generation import DatasetSpec, generate_dataset
 from repro.operators.factory import build_operator, save_operator
@@ -31,6 +40,12 @@ RESOLUTION = 32
 TOTAL_REQUESTS = 64
 BATCH_SIZE = 16  # forced micro-batch size; the acceptance bar needs >= 8
 CLIENTS = 16
+
+#: Multi-worker scaling workload (see test_serving_multiworker_scaling).
+SCALING_BURST = 8
+SCALING_WAVES = 10
+SCALING_WINDOW_MS = 50.0
+SCALING_WORKERS = (1, 2, 4)
 
 
 def _requests(count, backend="fvm", chip="chip1", offset=0):
@@ -146,6 +161,103 @@ def _closed_loop(engine, backend, clients=CLIENTS, per_client=4):
     with ThreadPoolExecutor(max_workers=clients) as pool:
         list(pool.map(client, range(clients)))
     return engine.stats()
+
+
+def _mixed_chip_round(workers):
+    """One fixed closed-loop mixed-chip fvm round; returns requests/sec.
+
+    Traffic shape: an interactive client streams single chip1 queries (each
+    new query submitted the moment the previous answers, so one young,
+    partial chip1 group is almost always pending), while two burst clients
+    each push ``SCALING_WAVES`` full batches of ``SCALING_BURST`` chip2 /
+    chip3 queries closed-loop.  A single dispatcher anchors its batching
+    window on the interactive group and head-of-line blocks the full bursts
+    behind it; sharded workers dispatch them immediately.
+    """
+    session = ThermalSession()
+    engine = MicroBatchEngine(
+        build_backends(session=session),
+        max_batch_size=SCALING_BURST,
+        max_wait_ms=SCALING_WINDOW_MS,
+        workers=workers,
+    )
+    interactive_answers = [0]
+    stop = threading.Event()
+    with engine:
+        # Warm the three pooled factorisations so the round measures
+        # steady-state serving, not prepare cost.
+        for chip in ("chip1", "chip2", "chip3"):
+            engine.solve(
+                ThermalRequest.create(chip, total_power_W=39.0, resolution=RESOLUTION),
+                timeout=300,
+            )
+
+        def interactive():
+            index = 0
+            while not stop.is_set():
+                request = ThermalRequest.create(
+                    "chip1", total_power_W=41.0 + 0.01 * index, resolution=RESOLUTION
+                )
+                try:
+                    engine.solve(request, timeout=300)
+                except RuntimeError:  # engine stopped while we were queued
+                    return
+                interactive_answers[0] += 1
+                index += 1
+
+        def burst_client(chip, offset):
+            for wave in range(SCALING_WAVES):
+                requests = [
+                    ThermalRequest.create(
+                        chip,
+                        total_power_W=50.0 + offset + 0.01 * (wave * SCALING_BURST + i),
+                        resolution=RESOLUTION,
+                    )
+                    for i in range(SCALING_BURST)
+                ]
+                engine.solve_many(requests, timeout=300)
+
+        trickle = threading.Thread(target=interactive, daemon=True)
+        bursts = [
+            threading.Thread(target=burst_client, args=(chip, 100.0 * position))
+            for position, chip in enumerate(("chip2", "chip3"))
+        ]
+        start = time.perf_counter()
+        trickle.start()
+        for thread in bursts:
+            thread.start()
+        for thread in bursts:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        stop.set()
+    completed = 2 * SCALING_WAVES * SCALING_BURST + interactive_answers[0]
+    return completed / elapsed
+
+
+def test_serving_multiworker_scaling(benchmark):
+    """Acceptance: the same mixed-chip fvm load at resolution 32 through 1,
+    2 and 4 workers; 4 workers must deliver >= 1.5x the single-dispatcher
+    throughput, and the single-worker answers stay bitwise identical (that
+    invariant is asserted separately in tests/serving/test_multiworker.py).
+    """
+    throughput = {}
+
+    def run_curve():
+        for workers in SCALING_WORKERS:
+            throughput[workers] = _mixed_chip_round(workers)
+        return throughput
+
+    benchmark.pedantic(run_curve, rounds=1, iterations=1, warmup_rounds=0)
+    for workers in SCALING_WORKERS:
+        benchmark.extra_info[f"throughput_rps_workers_{workers}"] = throughput[workers]
+    speedup = throughput[4] / throughput[1]
+    benchmark.extra_info["speedup_4_vs_1"] = speedup
+    # Timing assertions are meaningless in --benchmark-disable smoke runs on
+    # loaded machines, so they only gate real benchmark runs.
+    if not benchmark.disabled:
+        assert speedup >= 1.5, (
+            f"4-worker throughput is only {speedup:.2f}x the single dispatcher"
+        )
 
 
 @pytest.mark.parametrize("backend", ["fvm", "operator"])

@@ -14,8 +14,10 @@
 # trajectory (pytest-benchmark's own --benchmark-compare works on the same
 # files).  GC is disabled during timing for stable numbers.
 # bench_serving.py records the serving acceptance numbers: micro-batched fvm
-# requests/sec vs the unbatched per-request baseline (>= 5x at batch >= 8)
-# and closed-loop p50/p95 latency for the fvm and operator backends.
+# requests/sec vs the unbatched per-request baseline (>= 5x at batch >= 8),
+# closed-loop p50/p95 latency for the fvm and operator backends, and the
+# multi-worker scaling curve (>= 1.5x throughput at --workers 4 vs 1 for
+# mixed-chip fvm load at resolution 32).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,6 +30,8 @@ if [[ "${1:-}" == "--smoke" ]]; then
     python -m compileall -q src
     echo "== smoke: CLI surface sanity =="
     python -m repro.cli chips > /dev/null
+    echo "== smoke: serve --workers 2 end-to-end (solve + transient + stats) =="
+    python benchmarks/smoke_serving.py
     echo "== smoke: benchmark bodies (no timing repetitions) =="
     python -m pytest \
         benchmarks/bench_solver_kernels.py \

@@ -1,0 +1,98 @@
+"""Serving smoke check: boot the real CLI server, hit every solve path, shut
+down cleanly.
+
+Launched by ``benchmarks/run_benchmarks.sh --smoke``.  Starts
+``repro-thermal serve --workers 2`` as a subprocess on a free port, performs
+one ``POST /solve``, one ``POST /solve_transient`` and one ``GET /stats``,
+then delivers SIGINT and asserts the process exits 0 (the CLI's clean
+KeyboardInterrupt path).  This is the end-to-end guard the unit tests can't
+give: the actual CLI wiring of workers/queue/cache flags, the actual HTTP
+loop, the actual signal-driven shutdown.
+"""
+
+import json
+import re
+import select
+import signal
+import subprocess
+import sys
+import urllib.request
+
+STARTUP_TIMEOUT_S = 60
+REQUEST_TIMEOUT_S = 120
+
+
+def _readline_with_timeout(stream, timeout_s):
+    """First line of ``stream``, or an assertion failure after ``timeout_s``
+    (a hung server must fail the smoke run, not wedge CI forever)."""
+    ready, _, _ = select.select([stream], [], [], timeout_s)
+    assert ready, f"server printed nothing within {timeout_s}s"
+    return stream.readline()
+
+
+def _post(url, body):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode("utf-8"),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=REQUEST_TIMEOUT_S) as response:
+        return response.status, json.loads(response.read())
+
+
+def main() -> int:
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0",
+            "--workers", "2",
+            "--max-queue", "64",
+            "--cache-ttl", "600",
+            "--cache-max-mb", "32",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        line = _readline_with_timeout(process.stdout, STARTUP_TIMEOUT_S)
+        match = re.search(r"listening on (http://\S+)", line)
+        assert match, f"server did not announce its URL; first line: {line!r}"
+        url = match.group(1)
+
+        status, solved = _post(
+            url + "/solve",
+            {"chip": "chip1", "resolution": 16, "total_power": 40.0},
+        )
+        assert status == 200 and solved["max_K"] > 300.0, solved
+
+        status, transient = _post(
+            url + "/solve_transient",
+            {"chip": "chip1", "resolution": 16, "duration_s": 0.01,
+             "dt_s": 0.002, "total_power": 40.0},
+        )
+        assert status == 200 and transient["backend"] == "transient", transient
+        assert len(transient["history"]["peak_K"]) >= 2, transient
+
+        with urllib.request.urlopen(url + "/stats", timeout=REQUEST_TIMEOUT_S) as response:
+            stats = json.loads(response.read())
+        assert stats["workers"] == 2, stats
+        assert stats["max_queue"] == 64, stats
+        assert stats["total_requests"] >= 1, stats
+        assert stats["transient_endpoint"]["requests"] == 1, stats
+        assert stats["session"]["result_cache"]["ttl_s"] == 600.0, stats
+
+        process.send_signal(signal.SIGINT)
+        returncode = process.wait(timeout=STARTUP_TIMEOUT_S)
+        assert returncode == 0, f"server exited {returncode} on SIGINT"
+        print("serving smoke ok: /solve /solve_transient /stats + clean shutdown")
+        return 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

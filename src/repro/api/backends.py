@@ -22,6 +22,7 @@ ever see the protocol.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Dict, List, Mapping, Optional, Protocol, Sequence, Union, runtime_checkable
 
@@ -113,6 +114,13 @@ class FVMBackendAdapter:
         self.solver = FVMSolver(
             chip, nx=self.resolution, cells_per_layer=cells_per_layer, method=method
         )
+        # Serialise solves: the adapter is pooled per (chip, resolution) and
+        # engine sharding normally gives it one worker, but the exact-refine
+        # path legitimately drives the fvm backend from another backend's
+        # shard, and neither SuperLU back-substitution nor the CG warm-start
+        # state is safe under concurrent use.  Uncontended cost is ~us
+        # against ms-scale solves.
+        self._solver_lock = threading.Lock()
 
     def prepare(self) -> "FVMBackendAdapter":
         """Assemble and factorise eagerly (pools prepare on first build)."""
@@ -148,8 +156,10 @@ class FVMBackendAdapter:
     def solve(
         self, case: Case, *, include_maps: bool = False, include_values: bool = False
     ) -> ThermalSolution:
+        """Answer one power case with the prepared exact solver."""
         assignment = as_assignment(case)
-        field = self.solver.solve(assignment)
+        with self._solver_lock:
+            field = self.solver.solve(assignment)
         return self._solution(field, assignment, include_maps, include_values)
 
     def solve_batch(
@@ -159,14 +169,17 @@ class FVMBackendAdapter:
         include_maps: bool = False,
         include_values: bool = False,
     ) -> List[ThermalSolution]:
+        """Answer many cases with one stacked-RHS back-substitution."""
         assignments = [as_assignment(case) for case in cases]
-        fields = self.solver.solve_batch(assignments)
+        with self._solver_lock:
+            fields = self.solver.solve_batch(assignments)
         return [
             self._solution(field, assignment, include_maps, include_values)
             for field, assignment in zip(fields, assignments)
         ]
 
     def capabilities(self) -> Dict[str, Any]:
+        """Exact, batched, produces layer maps and the full 3-D field."""
         return {
             "exact": True,
             "layer_maps": True,
@@ -176,6 +189,7 @@ class FVMBackendAdapter:
         }
 
     def describe(self) -> Dict[str, Any]:
+        """JSON-friendly identity: chip, resolution, solver method."""
         return {
             "backend": self.name,
             "chip": self.chip.name,
@@ -218,6 +232,7 @@ class HotSpotBackendAdapter:
     def solve(
         self, case: Case, *, include_maps: bool = False, include_values: bool = False
     ) -> ThermalSolution:
+        """Answer one power case from the factorised compact network."""
         assignment = as_assignment(case)
         solution = self.model.solve(assignment)
         return ThermalSolution(
@@ -248,12 +263,14 @@ class HotSpotBackendAdapter:
         include_maps: bool = False,
         include_values: bool = False,
     ) -> List[ThermalSolution]:
+        """Answer cases one by one (each solve is a cheap triangular pass)."""
         return [
             self.solve(case, include_maps=include_maps, include_values=include_values)
             for case in cases
         ]
 
     def capabilities(self) -> Dict[str, Any]:
+        """Approximate block-level estimates; no 3-D field, no batching."""
         return {
             "exact": False,
             "layer_maps": True,
@@ -263,6 +280,7 @@ class HotSpotBackendAdapter:
         }
 
     def describe(self) -> Dict[str, Any]:
+        """JSON-friendly identity: chip, resolution, network size."""
         return {
             "backend": self.name,
             "chip": self.chip.name,
@@ -283,6 +301,13 @@ class TransientBackendAdapter:
     steady answer — and reports the final snapshot, with the integration
     parameters recorded in the provenance.  :meth:`solve_trace` exposes the
     full time-varying API for genuine transient workloads.
+
+    Solves are serialised through an internal lock: the underlying
+    :class:`TransientFVMSolver` keeps a dt-keyed backward-Euler
+    factorisation cache, and this adapter is pooled per
+    ``(chip, resolution)`` and reachable concurrently from engine workers
+    and the HTTP ``/solve_transient`` handler — an unguarded check-then-use
+    of that cache could back-substitute with the wrong factor.
     """
 
     name = "transient"
@@ -305,12 +330,16 @@ class TransientBackendAdapter:
         self.horizon_time_constants = horizon_time_constants
         self.steps_per_time_constant = steps_per_time_constant
         self._time_constant: Optional[float] = None
+        # RLock, not Lock: solve() reads time_constant_s while holding it.
+        self._solver_lock = threading.RLock()
 
     @property
     def time_constant_s(self) -> float:
-        if self._time_constant is None:
-            self._time_constant = self.solver.thermal_time_constant_estimate()
-        return self._time_constant
+        """Lazily estimated thermal time constant driving the horizon."""
+        with self._solver_lock:
+            if self._time_constant is None:
+                self._time_constant = self.solver.thermal_time_constant_estimate()
+            return self._time_constant
 
     def _solution(
         self,
@@ -358,14 +387,17 @@ class TransientBackendAdapter:
     def solve(
         self, case: Case, *, include_maps: bool = False, include_values: bool = False
     ) -> ThermalSolution:
+        """Integrate the constant case to quasi-steady state."""
         assignment = as_assignment(case)
-        tau = self.time_constant_s
-        dt_s = tau / self.steps_per_time_constant
-        duration_s = self.horizon_time_constants * tau
-        num_steps = int(round(duration_s / dt_s))
-        result = self.solver.solve(
-            assignment, duration_s=duration_s, dt_s=dt_s, store_every=max(num_steps // 8, 1)
-        )
+        with self._solver_lock:
+            tau = self.time_constant_s
+            dt_s = tau / self.steps_per_time_constant
+            duration_s = self.horizon_time_constants * tau
+            num_steps = int(round(duration_s / dt_s))
+            result = self.solver.solve(
+                assignment, duration_s=duration_s, dt_s=dt_s,
+                store_every=max(num_steps // 8, 1),
+            )
         return self._solution(
             result,
             _total_power(assignment),
@@ -386,6 +418,7 @@ class TransientBackendAdapter:
         include_maps: bool = False,
         include_values: bool = False,
     ) -> List[ThermalSolution]:
+        """Integrate each case in turn (no stacked-RHS trick exists here)."""
         # No stacked-RHS trick here (each case is a full time integration),
         # but the geometry, conduction matrix and backward-Euler factor are
         # shared across the batch through the underlying solver's caches.
@@ -412,13 +445,14 @@ class TransientBackendAdapter:
         ``solution.history``.
         """
         trace = power_trace if callable(power_trace) else as_assignment(power_trace)
-        result = self.solver.solve(
-            trace,
-            duration_s=duration_s,
-            dt_s=dt_s,
-            initial_field=initial_field,
-            store_every=store_every,
-        )
+        with self._solver_lock:
+            result = self.solver.solve(
+                trace,
+                duration_s=duration_s,
+                dt_s=dt_s,
+                initial_field=initial_field,
+                store_every=store_every,
+            )
         total = _total_power(trace(0.0) if callable(trace) else trace)
         return self._solution(
             result,
@@ -434,6 +468,7 @@ class TransientBackendAdapter:
         )
 
     def capabilities(self) -> Dict[str, Any]:
+        """Exact in the quasi-steady limit; the only transient-capable engine."""
         return {
             "exact": True,
             "layer_maps": True,
@@ -443,6 +478,7 @@ class TransientBackendAdapter:
         }
 
     def describe(self) -> Dict[str, Any]:
+        """JSON-friendly identity: chip, resolution, integration horizon."""
         return {
             "backend": self.name,
             "chip": self.chip.name,
@@ -475,6 +511,7 @@ class OperatorBackendAdapter:
     def solve(
         self, case: Case, *, include_maps: bool = False, include_values: bool = False
     ) -> ThermalSolution:
+        """Answer one power case as a batch of one."""
         return self.solve_batch(
             [case], include_maps=include_maps, include_values=include_values
         )[0]
@@ -486,6 +523,7 @@ class OperatorBackendAdapter:
         include_maps: bool = False,
         include_values: bool = False,
     ) -> List[ThermalSolution]:
+        """Rasterise every case and answer with one vectorised forward pass."""
         assignments = [as_assignment(case) for case in cases]
         start = time.perf_counter()
         inputs = np.stack(
@@ -531,6 +569,7 @@ class OperatorBackendAdapter:
         return solutions
 
     def capabilities(self) -> Dict[str, Any]:
+        """Learned approximation; batched, maps only (no 3-D field)."""
         return {
             "exact": False,
             "layer_maps": True,
@@ -540,4 +579,5 @@ class OperatorBackendAdapter:
         }
 
     def describe(self) -> Dict[str, Any]:
+        """JSON-friendly identity: the loaded model and its provenance."""
         return {"backend": self.name, **self.loaded.describe()}

@@ -4,8 +4,10 @@
 backends: geometry + assembled matrix + sparse LU, factorised compact
 networks) resident with LRU eviction.  :class:`ResultCache` memoises whole
 :class:`~repro.api.solution.ThermalSolution` answers keyed by the query that
-produced them.  Both are thread-safe and expose hit/miss counters that feed
-the service ``/stats`` endpoint and :meth:`ThermalSession.stats`.
+produced them, bounded three ways: entry count, total payload bytes and an
+optional per-entry time-to-live.  Both are thread-safe and expose
+hit/miss/eviction counters that feed the service ``/stats`` endpoint and
+:meth:`ThermalSession.stats`.
 
 Historically ``LRUPool`` lived in :mod:`repro.serving.backends`; it moved
 here when the session facade took ownership of the cross-cutting state, and
@@ -15,8 +17,9 @@ the serving module re-exports it for compatibility.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, NamedTuple, Optional
 
 #: Default number of prepared solvers kept resident per backend pool.
 DEFAULT_POOL_SIZE = 8
@@ -52,6 +55,7 @@ class LRUPool:
         self.evictions = 0
 
     def get(self, key, build: Callable[[], Any]):
+        """The entry for ``key``, building it with ``build`` on a miss."""
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -86,10 +90,12 @@ class LRUPool:
             return len(self._entries)
 
     def keys(self) -> List[Any]:
+        """The currently resident keys, least recently used first."""
         with self._lock:
             return list(self._entries)
 
     def stats(self) -> Dict[str, Any]:
+        """Occupancy and hit/miss/eviction counters for ``/stats``."""
         with self._lock:
             return {
                 "capacity": self.capacity,
@@ -100,8 +106,14 @@ class LRUPool:
             }
 
 
+class _CacheEntry(NamedTuple):
+    value: Any
+    size_bytes: int
+    stored_at: float
+
+
 class ResultCache:
-    """Thread-safe LRU memo of fully computed thermal answers.
+    """Thread-safe memo of fully computed thermal answers.
 
     Keys are built by the session from ``(chip, resolution, backend,
     power-map hash, detail flags)``; a repeated query costs one dictionary
@@ -109,33 +121,75 @@ class ResultCache:
     insertions are explicit (unlike :class:`LRUPool` there is no build
     callback) because batch solves want to collect all misses first and
     answer them with one batched backend call.
+
+    Three bounds apply, each with its own eviction counter:
+
+    * ``capacity`` — entry count, LRU eviction (``evictions_count``),
+    * ``max_bytes`` — total payload bytes, LRU eviction (``evictions_bytes``),
+    * ``ttl_s`` — optional per-entry time-to-live; entries older than it are
+      dropped on access or during insertion sweeps (``expirations``).  A TTL
+      bounds staleness for deployments whose upstream state (chip registry,
+      reloaded models) changes outside the session's invalidation hooks.
+
+    ``clock`` is injectable (monotonic seconds) so TTL behaviour is testable
+    without sleeping.
     """
 
     def __init__(
         self,
         capacity: int = DEFAULT_RESULT_CACHE_SIZE,
         max_bytes: int = DEFAULT_RESULT_CACHE_BYTES,
+        ttl_s: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
     ):
         if capacity < 1:
             raise ValueError("result cache capacity must be >= 1")
         if max_bytes < 1:
             raise ValueError("result cache byte budget must be >= 1")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("result cache ttl_s must be positive (or None)")
         self.capacity = capacity
         self.max_bytes = max_bytes
-        self._entries: "OrderedDict[Any, tuple]" = OrderedDict()  # key -> (value, bytes)
+        self.ttl_s = ttl_s
+        self._clock = clock or time.monotonic
+        self._entries: "OrderedDict[Any, _CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
         self.total_bytes = 0
         self.hits = 0
         self.misses = 0
-        self.evictions = 0
+        self.evictions_count = 0
+        self.evictions_bytes = 0
+        self.expirations = 0
+
+    @property
+    def evictions(self) -> int:
+        """Total LRU evictions (count- plus byte-bound; TTL expiries apart)."""
+        return self.evictions_count + self.evictions_bytes
+
+    def _expired(self, entry: _CacheEntry, now: float) -> bool:
+        return self.ttl_s is not None and now - entry.stored_at >= self.ttl_s
+
+    def _drop(self, key) -> _CacheEntry:
+        entry = self._entries.pop(key)
+        self.total_bytes -= entry.size_bytes
+        return entry
 
     def get(self, key) -> Optional[Any]:
-        """The cached entry for ``key``, counting a hit or a miss."""
+        """The cached entry for ``key``, counting a hit or a miss.
+
+        An entry past its TTL counts as a miss (plus an expiration) and is
+        dropped, so the caller recomputes and re-inserts a fresh answer.
+        """
         with self._lock:
-            if key in self._entries:
+            entry = self._entries.get(key)
+            if entry is not None and self._expired(entry, self._clock()):
+                self._drop(key)
+                self.expirations += 1
+                entry = None
+            if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return self._entries[key][0]
+                return entry.value
             self.misses += 1
             return None
 
@@ -144,25 +198,44 @@ class ResultCache:
         size_bytes = max(int(size_bytes), 0)
         if size_bytes > self.max_bytes:
             return  # one oversized answer must not wipe the whole cache
+        now = self._clock()
         with self._lock:
+            if self.ttl_s is not None and (
+                len(self._entries) >= self.capacity
+                or self.total_bytes + size_bytes > self.max_bytes
+            ):
+                # Sweep expired entries only under bound pressure: it keeps
+                # dead entries from counting as LRU evictions (the counters
+                # stay diagnostic) without paying an O(capacity) scan on
+                # every insert of the hot serving path.  Entries that expire
+                # without pressure are reaped lazily by get().
+                stale = [k for k, e in self._entries.items() if self._expired(e, now)]
+                for k in stale:
+                    self._drop(k)
+                    self.expirations += 1
             if key in self._entries:
-                self.total_bytes -= self._entries.pop(key)[1]
-            self._entries[key] = (value, size_bytes)
+                self._drop(key)
+            self._entries[key] = _CacheEntry(value, size_bytes, now)
             self.total_bytes += size_bytes
-            while len(self._entries) > self.capacity or self.total_bytes > self.max_bytes:
-                _, (_, dropped_bytes) = self._entries.popitem(last=False)
-                self.total_bytes -= dropped_bytes
-                self.evictions += 1
+            while len(self._entries) > self.capacity:
+                _, dropped = self._entries.popitem(last=False)
+                self.total_bytes -= dropped.size_bytes
+                self.evictions_count += 1
+            while self.total_bytes > self.max_bytes:
+                _, dropped = self._entries.popitem(last=False)
+                self.total_bytes -= dropped.size_bytes
+                self.evictions_bytes += 1
 
     def discard_where(self, predicate: Callable[[Any], bool]) -> int:
         """Drop every entry whose key matches; returns how many were dropped."""
         with self._lock:
             stale = [key for key in self._entries if predicate(key)]
             for key in stale:
-                self.total_bytes -= self._entries.pop(key)[1]
+                self._drop(key)
             return len(stale)
 
     def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
         with self._lock:
             self._entries.clear()
             self.total_bytes = 0
@@ -173,10 +246,12 @@ class ResultCache:
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache so far."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     def stats(self) -> Dict[str, Any]:
+        """Occupancy, bounds and per-cause eviction counters for ``/stats``."""
         with self._lock:
             total = self.hits + self.misses
             return {
@@ -184,8 +259,12 @@ class ResultCache:
                 "entries": len(self._entries),
                 "bytes": self.total_bytes,
                 "max_bytes": self.max_bytes,
+                "ttl_s": self.ttl_s,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "evictions_count": self.evictions_count,
+                "evictions_bytes": self.evictions_bytes,
+                "expirations": self.expirations,
                 "hit_rate": round(self.hits / total, 4) if total else 0.0,
             }

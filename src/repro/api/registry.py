@@ -34,6 +34,7 @@ class ModelRegistry:
         self._chip_resolver = chip_resolver or get_chip
 
     def register_file(self, path: str) -> LoadedOperator:
+        """Load a saved operator ``.npz`` and register it by its provenance."""
         loaded = load_operator(path)
         if loaded.chip_name is None or loaded.resolution is None:
             raise ValueError(
@@ -44,6 +45,11 @@ class ModelRegistry:
         return loaded
 
     def register(self, loaded: LoadedOperator, path: str = "<memory>") -> None:
+        """Register a loaded operator after validating its channel counts.
+
+        Replaces any model previously registered for the same
+        ``(chip, resolution)``.
+        """
         chip = self._chip_resolver(loaded.chip_name)
         if loaded.in_channels != chip.num_power_layers:
             raise ValueError(
@@ -61,6 +67,7 @@ class ModelRegistry:
         self._paths[key] = path
 
     def lookup(self, chip_name: str, resolution: int) -> LoadedOperator:
+        """The model serving ``(chip, resolution)``; KeyError when absent."""
         key = (chip_name, int(resolution))
         if key not in self._models:
             available = ", ".join(f"{c}@{r}" for c, r in sorted(self._models)) or "none"
@@ -77,6 +84,7 @@ class ModelRegistry:
         return (key[0], int(key[1])) in self._models
 
     def describe(self) -> List[Dict[str, Any]]:
+        """JSON-friendly description of every registered model (``/models``)."""
         return [
             {**self._models[key].describe(), "path": self._paths[key]}
             for key in sorted(self._models)

@@ -45,7 +45,13 @@ from repro.api.backends import (
     ThermalBackend,
     TransientBackendAdapter,
 )
-from repro.api.pool import DEFAULT_POOL_SIZE, DEFAULT_RESULT_CACHE_SIZE, LRUPool, ResultCache
+from repro.api.pool import (
+    DEFAULT_POOL_SIZE,
+    DEFAULT_RESULT_CACHE_BYTES,
+    DEFAULT_RESULT_CACHE_SIZE,
+    LRUPool,
+    ResultCache,
+)
 from repro.api.registry import ModelRegistry
 from repro.api.solution import ThermalSolution
 from repro.chip import designs
@@ -173,6 +179,7 @@ class TrainedOperator:
 
     @property
     def num_parameters(self) -> int:
+        """Trainable parameter count (components for the GAR baseline)."""
         if isinstance(self.model, GARRegressor):
             return int(self.model.n_components)
         return int(self.model.num_parameters())
@@ -188,6 +195,7 @@ class TrainedOperator:
         return evaluate_all(self.predict(dataset.inputs), dataset.targets)
 
     def inference_seconds_per_case(self, dataset: ThermalDataset, repeats: int = 3) -> float:
+        """Median wall-clock prediction cost per case on a dataset."""
         if len(dataset) == 0:
             raise ValueError("dataset is empty")
         timings = []
@@ -248,6 +256,16 @@ class ThermalSession:
         builds.
     result_cache_size:
         Memoised answers kept in the result cache.
+    result_cache_max_bytes:
+        Byte budget of the result cache; least-recently-used answers are
+        evicted once the summed payload sizes exceed it.
+    result_cache_ttl_s:
+        Optional per-answer time-to-live in seconds; ``None`` (the default)
+        keeps answers until evicted by the count/byte bounds.
+    result_cache:
+        A pre-built :class:`~repro.api.pool.ResultCache` to use instead of
+        constructing one from the knobs above (tests inject a fake clock
+        this way); mutually exclusive with the three cache parameters.
     models:
         An existing :class:`ModelRegistry` to share; a fresh one otherwise.
     operator_batch_size:
@@ -259,6 +277,9 @@ class ThermalSession:
         pool_size: int = DEFAULT_POOL_SIZE,
         cells_per_layer: int = 2,
         result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        result_cache_max_bytes: int = DEFAULT_RESULT_CACHE_BYTES,
+        result_cache_ttl_s: Optional[float] = None,
+        result_cache: Optional[ResultCache] = None,
         models: Optional[ModelRegistry] = None,
         operator_batch_size: int = 32,
     ):
@@ -269,7 +290,26 @@ class ThermalSession:
             name: LRUPool(pool_size) for name in ("fvm", "hotspot", "transient")
         }
         self.models = models if models is not None else ModelRegistry(self.get_chip)
-        self.result_cache = ResultCache(result_cache_size)
+        if result_cache is not None and (
+            result_cache_size != DEFAULT_RESULT_CACHE_SIZE
+            or result_cache_max_bytes != DEFAULT_RESULT_CACHE_BYTES
+            or result_cache_ttl_s is not None
+        ):
+            raise ValueError(
+                "pass either a pre-built result_cache or the cache size/bytes/ttl "
+                "knobs, not both"
+            )
+        # `is not None`, not truthiness: an empty ResultCache has len() == 0
+        # and would be silently replaced.
+        self.result_cache = (
+            result_cache
+            if result_cache is not None
+            else ResultCache(
+                result_cache_size,
+                max_bytes=result_cache_max_bytes,
+                ttl_s=result_cache_ttl_s,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Chips
@@ -300,6 +340,11 @@ class ThermalSession:
         self.result_cache.discard_where(lambda key: key[0] == chip_name)
 
     def get_chip(self, name: str) -> ChipStack:
+        """Resolve a chip name (case-insensitive) to its :class:`ChipStack`.
+
+        Custom designs registered through :meth:`register_chip` shadow the
+        built-in benchmark designs of the same name.
+        """
         if name in self._chips:
             return self._chips[name]
         lowered = str(name).lower()
@@ -309,6 +354,7 @@ class ThermalSession:
         return designs.get_chip(name)
 
     def list_chips(self) -> List[str]:
+        """Every addressable chip name: built-ins first, then custom designs."""
         return list(designs.list_chips()) + sorted(
             name for name in self._chips if name not in designs.list_chips()
         )
@@ -332,6 +378,7 @@ class ThermalSession:
         return loaded
 
     def register_model(self, loaded: LoadedOperator, path: str = "<memory>") -> None:
+        """Register an in-memory operator for its trained chip/resolution."""
         self.models.register(loaded, path=path)
         self._invalidate_operator_answers(loaded)
 
@@ -353,6 +400,7 @@ class ThermalSession:
     # Backends
     # ------------------------------------------------------------------
     def backends(self) -> Tuple[str, ...]:
+        """Names of the backend kinds this session can build, registry order."""
         return BACKEND_NAMES
 
     def pool(self, backend: str) -> LRUPool:
@@ -700,6 +748,7 @@ class ThermalSession:
     # Introspection
     # ------------------------------------------------------------------
     def describe(self) -> Dict[str, Any]:
+        """JSON-friendly inventory: chips, backends, loaded models, settings."""
         return {
             "chips": self.list_chips(),
             "backends": list(BACKEND_NAMES),

@@ -189,6 +189,10 @@ class ThermalSolution:
             body["layer_maps"] = {
                 name: np.asarray(values).tolist() for name, values in self.layer_maps.items()
             }
+        if self.history is not None:
+            body["history"] = {
+                name: np.asarray(values).tolist() for name, values in self.history.items()
+            }
         return body
 
     # ------------------------------------------------------------------

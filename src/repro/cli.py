@@ -115,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trained operator weights (repeatable); enables the "
                             "'operator' backend for the chip/resolution each "
                             "model was trained on")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="dispatcher worker threads; group keys are sharded "
+                            "across them (1 = the classic single dispatcher)")
+    serve.add_argument("--max-queue", type=int, default=None, metavar="N",
+                       help="admission bound on queued requests; beyond it /solve "
+                            "answers 429 immediately (default: unbounded)")
     serve.add_argument("--max-batch-size", type=int, default=32,
                        help="requests dispatched per batched backend call")
     serve.add_argument("--batch-wait-ms", type=float, default=2.0,
@@ -126,6 +132,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="prepared factorisations kept per backend (LRU)")
     serve.add_argument("--result-cache-size", type=int, default=1024,
                        help="memoised answers kept in the session result cache")
+    serve.add_argument("--cache-ttl", type=float, default=None, metavar="SECONDS",
+                       help="time-to-live of memoised answers (default: no expiry)")
+    serve.add_argument("--cache-max-mb", type=float, default=128.0, metavar="MB",
+                       help="byte budget of the result cache in megabytes")
     serve.add_argument("--verbose", action="store_true", help="log HTTP requests")
 
     report = subparsers.add_parser(
@@ -288,9 +298,15 @@ def _cmd_serve(args) -> int:
     from repro.serving.engine import MicroBatchEngine
     from repro.serving.server import ThermalServer
 
+    if args.workers < 1:
+        raise ValueError("--workers must be >= 1")
+    if args.cache_max_mb <= 0:
+        raise ValueError("--cache-max-mb must be positive")
     session = ThermalSession(
         pool_size=args.solver_cache_size,
         result_cache_size=args.result_cache_size,
+        result_cache_max_bytes=int(args.cache_max_mb * 1024 * 1024),
+        result_cache_ttl_s=args.cache_ttl,
     )
     for path in args.models:
         _load_model(session, path)
@@ -300,20 +316,35 @@ def _cmd_serve(args) -> int:
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.batch_wait_ms,
         refine_threshold_K=args.refine_threshold,
+        workers=args.workers,
+        max_queue=args.max_queue,
     )
     server = ThermalServer(
         engine, host=args.host, port=args.port, verbose=args.verbose, session=session
     )
-    print(f"thermal inference service listening on {server.url}")
+    print(f"thermal inference service listening on {server.url}", flush=True)
     print(f"  backends: {', '.join(sorted(backends))}"
           + (f" ({len(args.models)} operator model(s) loaded)" if args.models else ""))
-    print(f"  endpoints: POST /solve · GET /chips /models /healthz /stats")
+    print(f"  workers: {args.workers}"
+          + (f" · max queue: {args.max_queue}" if args.max_queue else ""))
+    print("  endpoints: POST /solve /solve_transient · GET /chips /models /healthz /stats",
+          flush=True)
     print("  example: curl -s -X POST "
           f"{server.url}/solve -d '{{\"chip\": \"chip1\", \"total_power\": 60}}'")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
+        # Close the listening socket; lingering keep-alive handler threads
+        # are daemons and die with the process.  Interpreter finalisation can
+        # race those daemons' stdio teardown (observed as exit status 120),
+        # so flush explicitly and exit hard: for a service process SIGINT ->
+        # clean "shutting down" -> exit 0 must be deterministic.
+        server.close()
+        sys.stdout.flush()
+        sys.stderr.flush()
+        import os
+        os._exit(0)
     return 0
 
 

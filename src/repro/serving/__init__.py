@@ -6,11 +6,14 @@ into a long-running service:
 * :mod:`repro.serving.request` — validated request/response model.
 * :mod:`repro.serving.backends` — exact (FVM, pooled LRU factorisations),
   learned (operator surrogate) and compact (HotSpot) execution backends.
-* :mod:`repro.serving.engine` — the micro-batching dispatcher that groups
-  concurrent requests by ``(chip, resolution, backend)`` and answers each
-  group with one batched solve.
+* :mod:`repro.serving.engine` — the micro-batching engine: N sharded worker
+  threads group concurrent requests by ``(chip, resolution, backend)``,
+  answer each group with one batched solve, order dispatch by backend
+  priority and reject work beyond a bounded queue depth
+  (:class:`QueueFullError` → HTTP 429).
 * :mod:`repro.serving.server` — the stdlib HTTP JSON API
-  (``repro-thermal serve``).
+  (``repro-thermal serve``): ``/solve``, ``/solve_transient``, ``/chips``,
+  ``/models``, ``/healthz``, ``/stats``.
 """
 
 from repro.serving.backends import (
@@ -24,8 +27,13 @@ from repro.serving.backends import (
     TransientBackend,
     build_backends,
 )
-from repro.serving.engine import MicroBatchEngine
-from repro.serving.request import KNOWN_BACKENDS, ThermalRequest, ThermalResult
+from repro.serving.engine import MicroBatchEngine, QueueFullError
+from repro.serving.request import (
+    KNOWN_BACKENDS,
+    ThermalRequest,
+    ThermalResult,
+    TransientRequest,
+)
 from repro.serving.server import ThermalServer
 
 __all__ = [
@@ -35,6 +43,7 @@ __all__ = [
     "LRUPool",
     "ModelRegistry",
     "OperatorBackend",
+    "QueueFullError",
     "SessionBackend",
     "TransientBackend",
     "build_backends",
@@ -43,4 +52,5 @@ __all__ = [
     "ThermalRequest",
     "ThermalResult",
     "ThermalServer",
+    "TransientRequest",
 ]

@@ -68,6 +68,7 @@ class SessionBackend(Backend):
         return self.session.pool(self.name)
 
     def solve_batch(self, requests: Sequence[ThermalRequest]) -> List[ThermalResult]:
+        """Answer one homogeneous micro-batch through the shared session."""
         # Micro-batches are homogeneous in detail level — include_maps is
         # part of ThermalRequest.group_key — so one session call answers the
         # whole group and every answer caches under the right detail key.
@@ -90,6 +91,7 @@ class FVMBackend(SessionBackend):
     name = "fvm"
 
     def stats(self) -> Dict[str, Any]:
+        """Solver-pool occupancy and hit rates for ``/stats``."""
         # The result cache is session-wide (shared by every backend) and
         # reported once under the /stats "session" section, not here.
         return {"solver_pool": self.session.pool("fvm").stats()}
@@ -101,6 +103,7 @@ class HotSpotBackend(SessionBackend):
     name = "hotspot"
 
     def stats(self) -> Dict[str, Any]:
+        """Compact-model pool occupancy and hit rates for ``/stats``."""
         return {"model_pool": self.session.pool("hotspot").stats()}
 
 
@@ -116,6 +119,7 @@ class TransientBackend(SessionBackend):
     name = "transient"
 
     def stats(self) -> Dict[str, Any]:
+        """Transient-solver pool occupancy and hit rates for ``/stats``."""
         return {"solver_pool": self.session.pool("transient").stats()}
 
 
@@ -136,9 +140,11 @@ class OperatorBackend(SessionBackend):
 
     @property
     def registry(self) -> ModelRegistry:
+        """The session's model registry (compat accessor)."""
         return self.session.models
 
     def stats(self) -> Dict[str, Any]:
+        """Loaded-model count for ``/stats``."""
         return {"models": len(self.session.models)}
 
 

@@ -1,26 +1,49 @@
 """Micro-batching request engine of the thermal inference service.
 
 Concurrent clients submit :class:`~repro.serving.request.ThermalRequest`\\ s
-and block on futures; a single dispatcher thread drains the queue, groups
-pending requests by ``(chip, resolution, backend)`` and answers each group
-with one batched backend call.  For the FVM backend that turns N concurrent
-queries into one stacked-RHS back-substitution against a pooled
-factorisation — the serving-time twin of the dataset-generation pipeline's
-prepare-once / solve-many split; for the operator backend it is one
-vectorised forward pass.
+and block on futures; **worker threads** drain the queue, group pending
+requests by ``(chip, resolution, backend)`` and answer each group with one
+batched backend call.  For the FVM backend that turns N concurrent queries
+into one stacked-RHS back-substitution against a pooled factorisation — the
+serving-time twin of the dataset-generation pipeline's prepare-once /
+solve-many split; for the operator backend it is one vectorised forward
+pass.
+
+With ``workers > 1`` the engine shards the key space: requests hash onto
+workers by ``(chip, resolution, backend)`` — deliberately the granularity
+of the session's solver pools, so the prepared fvm/transient adapters and
+the per-``(chip, resolution)`` operator models are each driven by exactly
+one worker thread (the hotspot compact network is pooled per chip and may
+be shared across shards, but it is immutable after construction).  One
+group's batching window or rasterise-plus-back-substitute therefore never
+head-of-line blocks another group that is ready to dispatch.  ``workers=1``
+is the exact degenerate case of the historical single-dispatcher engine.
 
 A short batching window (``max_wait_ms``) lets a micro-batch accumulate
 under concurrent load while adding at most that much latency to a lone
-request.  An optional exact-refine guard re-solves surrogate answers whose
-predicted peak temperature crosses a threshold: near the thermal limits is
-exactly where surrogate error is least affordable, so those queries pay for
-the exact solver.
+request.  Within a shard, dispatch order is by **backend priority** (lower
+number first; by default the microsecond-scale ``hotspot`` and sub-ms
+``operator`` backends outrank ``fvm``, which outranks the time-integrating
+``transient`` backend) with request age breaking ties, so a burst of heavy
+exact solves cannot starve cheap queries.  Priority is aged: a request
+waiting longer than ``starvation_age_s`` outranks every fresh request, so
+a sustained stream of cheap queries cannot starve heavy ones indefinitely
+either.  ``max_queue`` bounds the number of queued-but-undispatched
+requests; beyond it :meth:`submit` fails fast with :class:`QueueFullError`
+(the HTTP layer answers 429) instead of letting latency grow without
+bound.
+
+An optional exact-refine guard re-solves surrogate answers whose predicted
+peak temperature crosses a threshold: near the thermal limits is exactly
+where surrogate error is least affordable, so those queries pay for the
+exact solver.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import zlib
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence
@@ -33,6 +56,24 @@ from repro.serving.request import ThermalRequest, ThermalResult
 #: How many latency samples per backend back the p50/p95 estimates.
 LATENCY_WINDOW = 4096
 
+#: Dispatch priority per backend, lower first: cheap estimate backends jump
+#: the queue ahead of exact solves, exact solves ahead of time integration.
+#: Backends absent from the mapping dispatch at priority 1 (the fvm tier).
+DEFAULT_PRIORITIES: Mapping[str, int] = {
+    "hotspot": 0,
+    "operator": 0,
+    "fvm": 1,
+    "transient": 2,
+}
+
+#: Priority applied to backends missing from the priority mapping.
+DEFAULT_PRIORITY = 1
+
+
+class QueueFullError(RuntimeError):
+    """Raised by :meth:`MicroBatchEngine.submit` when admission control
+    rejects a request because ``max_queue`` requests are already waiting."""
+
 
 @dataclass
 class _Pending:
@@ -41,6 +82,17 @@ class _Pending:
     request: ThermalRequest
     future: Future
     enqueued_at: float
+
+
+@dataclass
+class _Shard:
+    """One worker's slice of the engine: a queue, its condition, a thread."""
+
+    index: int
+    queue: List[_Pending] = field(default_factory=list)
+    wakeup: threading.Condition = field(default_factory=threading.Condition)
+    thread: Optional[threading.Thread] = None
+    closed: bool = False  # set during stop(); rejects racing submits
 
 
 @dataclass
@@ -93,13 +145,31 @@ class MicroBatchEngine:
         Upper bound on requests dispatched in one backend call; bounds the
         stacked-RHS memory of the FVM backend.
     max_wait_ms:
-        Batching window: after the first request arrives the dispatcher
-        waits up to this long (or until ``max_batch_size`` requests are
+        Batching window: after the first request arrives its worker waits up
+        to this long (or until ``max_batch_size`` requests of the group are
         queued) for companions before dispatching.
     refine_threshold_K:
         When set, answers from ``guarded_backends`` whose predicted peak
         temperature reaches this value are re-solved with
         ``refine_backend`` and returned with ``refined=True``.
+    workers:
+        Dispatcher threads.  Requests are hashed onto workers by
+        ``(chip, resolution, backend)`` — the solver pools' granularity —
+        so each pooled adapter is driven by one worker.  ``1`` (the
+        default) reproduces the historical single-dispatcher engine
+        exactly.
+    max_queue:
+        Admission bound on queued-but-undispatched requests across all
+        shards; ``None`` means unbounded.  Beyond it, :meth:`submit` raises
+        :class:`QueueFullError` immediately.
+    priorities:
+        Backend-name to dispatch-priority mapping (lower dispatches first;
+        default :data:`DEFAULT_PRIORITIES`).  Ties dispatch oldest-first.
+    starvation_age_s:
+        Requests queued longer than this outrank every priority tier
+        (oldest first), bounding how long strict priority can defer heavy
+        backends under sustained cheap-query load.  Defaults to ten
+        batching windows, floored at 250 ms.
     """
 
     def __init__(
@@ -110,6 +180,10 @@ class MicroBatchEngine:
         refine_threshold_K: Optional[float] = None,
         refine_backend: str = "fvm",
         guarded_backends: Sequence[str] = ("operator",),
+        workers: int = 1,
+        max_queue: Optional[int] = None,
+        priorities: Optional[Mapping[str, int]] = None,
+        starvation_age_s: Optional[float] = None,
     ):
         if not backends:
             raise ValueError("the engine needs at least one backend")
@@ -117,6 +191,10 @@ class MicroBatchEngine:
             raise ValueError("max_batch_size must be >= 1")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1 (or None for unbounded)")
         if refine_threshold_K is not None and refine_backend not in backends:
             raise ValueError(
                 f"refine backend '{refine_backend}' is not among the configured "
@@ -128,48 +206,73 @@ class MicroBatchEngine:
         self.refine_threshold_K = refine_threshold_K
         self.refine_backend = refine_backend
         self.guarded_backends = tuple(guarded_backends)
+        self.workers = workers
+        self.max_queue = max_queue
+        self.priorities = dict(DEFAULT_PRIORITIES if priorities is None else priorities)
+        if starvation_age_s is not None and starvation_age_s <= 0:
+            raise ValueError("starvation_age_s must be positive (or None for default)")
+        self.starvation_age_s = (
+            starvation_age_s
+            if starvation_age_s is not None
+            else max(10 * self.max_wait_s, 0.25)
+        )
 
-        self._queue: List[_Pending] = []
-        self._lock = threading.Lock()
-        self._wakeup = threading.Condition(self._lock)
+        self._shards = [_Shard(index) for index in range(workers)]
+        self._lock = threading.Lock()  # counters + queue depth + lifecycle
         self._counters: Dict[str, _BackendCounters] = {}
+        self._depth = 0  # queued-but-undispatched requests, all shards
+        self._rejected = 0
         self._running = False
         self._stopped = False
-        self._thread: Optional[threading.Thread] = None
         self._started_at = time.perf_counter()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "MicroBatchEngine":
-        """Launch the dispatcher thread (idempotent)."""
+        """Launch the worker threads (idempotent)."""
         with self._lock:
             if self._running:
                 return self
             self._running = True
             self._stopped = False
             self._started_at = time.perf_counter()
-            self._thread = threading.Thread(
-                target=self._run, name="thermal-dispatch", daemon=True
-            )
-            self._thread.start()
+            for shard in self._shards:
+                with shard.wakeup:
+                    shard.closed = False
+                shard.thread = threading.Thread(
+                    target=self._run,
+                    args=(shard,),
+                    name=f"thermal-dispatch-{shard.index}",
+                    daemon=True,
+                )
+                shard.thread.start()
         return self
 
     def stop(self) -> None:
-        """Stop the dispatcher after draining the queued requests."""
-        with self._wakeup:
+        """Stop the workers after draining the queued requests."""
+        with self._lock:
             self._running = False
             self._stopped = True
-            self._wakeup.notify_all()
-        if self._thread is not None:
-            self._thread.join()
-            self._thread = None
-        # Fail anything that raced into the queue after the dispatcher
-        # drained it — a silently parked future would block its client for
-        # the full solve timeout.
+        for shard in self._shards:
+            with shard.wakeup:
+                shard.wakeup.notify_all()
+        for shard in self._shards:
+            if shard.thread is not None:
+                shard.thread.join()
+                shard.thread = None
+        # Fail anything that raced into the queues after the workers drained
+        # them — a silently parked future would block its client for the full
+        # solve timeout.  Closing the shard under its own condition makes
+        # later racing submits fail fast instead of parking forever.
+        leftovers: List[_Pending] = []
+        for shard in self._shards:
+            with shard.wakeup:
+                shard.closed = True
+                leftovers.extend(shard.queue)
+                shard.queue = []
         with self._lock:
-            leftovers = self._queue
-            self._queue = []
+            self._depth -= len(leftovers)
         for pending in leftovers:
             if pending.future.set_running_or_notify_cancel():
                 pending.future.set_exception(RuntimeError("the engine has been stopped"))
@@ -182,17 +285,35 @@ class MicroBatchEngine:
 
     @property
     def is_running(self) -> bool:
+        """Whether the worker threads are (meant to be) running."""
         return self._running
 
     # ------------------------------------------------------------------
     # Client interface
     # ------------------------------------------------------------------
+    def _shard_of(self, request: ThermalRequest) -> _Shard:
+        """The shard owning this request.
+
+        Sharding is by ``(chip, resolution, backend)`` — coarser than the
+        micro-batch group key (which also separates detail levels) and
+        exactly the granularity of the session's pooled solver resources,
+        so each prepared adapter is only ever driven by one worker.  The
+        hash is deterministic (CRC-32 of the key's repr) so a key always
+        lands on the same worker across restarts.
+        """
+        if self.workers == 1:
+            return self._shards[0]
+        key = (request.chip, request.resolution, request.backend)
+        digest = zlib.crc32(repr(key).encode("utf-8"))
+        return self._shards[digest % self.workers]
+
     def submit(self, request: ThermalRequest) -> Future:
         """Enqueue a request; the returned future resolves to a ThermalResult.
 
         Requests may be submitted before :meth:`start`; they are answered as
-        soon as the dispatcher runs (the tests use this to force determinate
-        batch compositions).
+        soon as the workers run (the tests use this to force determinate
+        batch compositions).  Raises :class:`QueueFullError` when admission
+        control rejects the request (``max_queue`` waiting already).
         """
         if request.backend not in self.backends:
             raise KeyError(
@@ -200,11 +321,28 @@ class MicroBatchEngine:
                 f"available: {', '.join(sorted(self.backends))}"
             )
         pending = _Pending(request=request, future=Future(), enqueued_at=time.perf_counter())
-        with self._wakeup:
+        with self._lock:
             if self._stopped:
                 raise RuntimeError("the engine has been stopped")
-            self._queue.append(pending)
-            self._wakeup.notify_all()
+            if self.max_queue is not None and self._depth >= self.max_queue:
+                self._rejected += 1
+                raise QueueFullError(
+                    f"the service is overloaded: {self._depth} requests are already "
+                    f"queued (max_queue={self.max_queue}); retry later"
+                )
+            self._depth += 1
+        shard = self._shard_of(request)
+        with shard.wakeup:
+            rejected_closed = shard.closed
+            if not rejected_closed:
+                shard.queue.append(pending)
+                shard.wakeup.notify_all()
+        if rejected_closed:
+            # Outside shard.wakeup: start() nests self._lock -> shard.wakeup,
+            # so taking self._lock while holding shard.wakeup could deadlock.
+            with self._lock:
+                self._depth -= 1
+            raise RuntimeError("the engine has been stopped")
         return pending.future
 
     def solve(self, request: ThermalRequest, timeout: Optional[float] = 60.0) -> ThermalResult:
@@ -223,8 +361,13 @@ class MicroBatchEngine:
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
         """Live counters for the ``/stats`` endpoint."""
+        shard_depths = []
+        for shard in self._shards:
+            with shard.wakeup:
+                shard_depths.append(len(shard.queue))
         with self._lock:
-            queue_depth = len(self._queue)
+            queue_depth = self._depth
+            rejected = self._rejected
             counters = {name: c.snapshot() for name, c in self._counters.items()}
             total = sum(c.requests for c in self._counters.values())
         uptime = time.perf_counter() - self._started_at
@@ -232,15 +375,21 @@ class MicroBatchEngine:
         for name, backend in self.backends.items():
             summary = counters.get(name, _BackendCounters().snapshot())
             summary.update(backend.stats())
+            summary["priority"] = self.priorities.get(name, DEFAULT_PRIORITY)
             backends[name] = summary
         return {
             "running": self._running,
             "uptime_seconds": round(uptime, 3),
+            "workers": self.workers,
             "queue_depth": queue_depth,
+            "shard_queue_depths": shard_depths,
+            "max_queue": self.max_queue,
+            "rejected_requests": rejected,
             "total_requests": total,
             "throughput_rps": round(total / uptime, 3) if uptime > 0 else 0.0,
             "max_batch_size": self.max_batch_size,
             "batch_window_ms": self.max_wait_s * 1e3,
+            "starvation_age_s": self.starvation_age_s,
             "refine_threshold_K": self.refine_threshold_K,
             "backends": backends,
         }
@@ -251,47 +400,77 @@ class MicroBatchEngine:
         return self._counters[name]
 
     # ------------------------------------------------------------------
-    # Dispatcher
+    # Dispatcher workers
     # ------------------------------------------------------------------
-    def _run(self) -> None:
+    def _priority(self, request: ThermalRequest) -> int:
+        return self.priorities.get(request.backend, DEFAULT_PRIORITY)
+
+    def _select_head(self, queue: List[_Pending]) -> _Pending:
+        """The request whose group dispatches next from this queue.
+
+        Oldest request of the highest-priority backend present, except
+        that requests older than ``starvation_age_s`` outrank every tier
+        (oldest first) — strict priority alone would let a sustained
+        stream of cheap queries defer a queued heavy request until its
+        client times out.  With one backend class queued this degenerates
+        to plain oldest-first (the historical engine's order).
+        """
+        starved_before = time.perf_counter() - self.starvation_age_s
+
+        def key(pending: _Pending):
+            priority = self._priority(pending.request)
+            if pending.enqueued_at <= starved_before:
+                priority = -1
+            return (priority, pending.enqueued_at)
+
+        return min(queue, key=key)
+
+    def _run(self, shard: _Shard) -> None:
         while True:
-            with self._wakeup:
-                while self._running and not self._queue:
-                    self._wakeup.wait()
-                if not self._queue:
+            with shard.wakeup:
+                while self._running and not shard.queue:
+                    shard.wakeup.wait()
+                if not shard.queue:
                     if not self._running:
                         return
                     continue
                 # Linger briefly so a micro-batch can accumulate under
-                # concurrent load.  Anchoring the deadline to the oldest
+                # concurrent load.  Anchoring the deadline to the head
                 # request's enqueue time means no request waits more than one
                 # window regardless of how many groups are backlogged, and
                 # the early exit counts only the dispatchable group — other
-                # groups' requests don't fill this batch.
-                deadline = self._queue[0].enqueued_at + self.max_wait_s
-                group_key = self._queue[0].request.group_key
-                while (
-                    self._running
-                    and sum(
-                        1 for p in self._queue if p.request.group_key == group_key
-                    ) < self.max_batch_size
-                    and (remaining := deadline - time.perf_counter()) > 0
-                ):
-                    self._wakeup.wait(timeout=remaining)
-                batch = self._pop_group_locked()
+                # groups' requests don't fill this batch.  The head is
+                # re-selected after every wakeup so a newly arrived
+                # higher-priority request preempts a lower-priority window.
+                while True:
+                    head = self._select_head(shard.queue)
+                    group_key = head.request.group_key
+                    group_size = sum(
+                        1 for p in shard.queue if p.request.group_key == group_key
+                    )
+                    remaining = head.enqueued_at + self.max_wait_s - time.perf_counter()
+                    if (
+                        not self._running
+                        or group_size >= self.max_batch_size
+                        or remaining <= 0
+                    ):
+                        break
+                    shard.wakeup.wait(timeout=remaining)
+                batch = self._pop_group_locked(shard, group_key)
+            with self._lock:
+                self._depth -= len(batch)
             self._dispatch(batch)
 
-    def _pop_group_locked(self) -> List[_Pending]:
-        """Take the oldest request's group, up to ``max_batch_size`` entries."""
-        key = self._queue[0].request.group_key
+    def _pop_group_locked(self, shard: _Shard, key) -> List[_Pending]:
+        """Take one group from the shard queue, up to ``max_batch_size``."""
         batch: List[_Pending] = []
         rest: List[_Pending] = []
-        for pending in self._queue:
+        for pending in shard.queue:
             if pending.request.group_key == key and len(batch) < self.max_batch_size:
                 batch.append(pending)
             else:
                 rest.append(pending)
-        self._queue = rest
+        shard.queue = rest
         return batch
 
     def _dispatch(self, batch: List[_Pending]) -> None:

@@ -2,10 +2,12 @@
 
 A :class:`ThermalRequest` is one fully validated power-map query: which chip,
 at what grid resolution, under which per-block power assignment, answered by
-which backend.  Validation happens at construction time (through
-:meth:`ThermalRequest.create` / :meth:`ThermalRequest.from_payload`) so by
-the time a request reaches the micro-batching engine it is guaranteed
-solvable — the engine only groups and dispatches.
+which backend.  A :class:`TransientRequest` is its time-integrating sibling:
+a (possibly piecewise-constant) power schedule integrated over a duration,
+answered with the full quasi-steady trace.  Validation happens at
+construction time (through the ``create`` / ``from_payload`` classmethods)
+so by the time a request reaches the micro-batching engine or the transient
+endpoint it is guaranteed solvable — the engine only groups and dispatches.
 
 Requests carrying the same :attr:`ThermalRequest.group_key` are answered by
 one batched backend call (stacked right-hand sides for the FVM backend, one
@@ -15,12 +17,14 @@ vectorised forward pass for the operator backend).
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass
-from typing import Any, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.backends import BACKEND_NAMES
 from repro.api.solution import ThermalSolution
 from repro.chip.designs import get_chip, list_chips
+from repro.chip.stack import ChipStack
 from repro.data.power import uniform_power_assignment, validate_power_assignment
 
 #: Backends every service deployment knows about — the session's backend
@@ -35,7 +39,64 @@ KNOWN_BACKENDS = BACKEND_NAMES
 MIN_RESOLUTION = 4
 MAX_RESOLUTION = 256
 
+#: Upper bound on backward-Euler steps one ``/solve_transient`` request may
+#: ask for — each step is a full back-substitution, so an unbounded request
+#: could occupy the service for minutes.
+MAX_TRANSIENT_STEPS = 20_000
+
 _REQUEST_COUNTER = itertools.count(1)
+
+
+def _resolve_chip(chip: Any, chips: Optional[Any]) -> ChipStack:
+    """Case-insensitively resolve a chip name against a chip source.
+
+    ``chips`` is an optional object with ``get_chip`` / ``list_chips``
+    (e.g. a :class:`~repro.api.session.ThermalSession`); the built-in
+    benchmark designs otherwise.
+    """
+    known_chips = list(chips.list_chips()) if chips is not None else list_chips()
+    resolve_chip = chips.get_chip if chips is not None else get_chip
+    by_lower = {name.lower(): name for name in known_chips}
+    chip_name = str(chip).lower()
+    if chip_name not in by_lower:
+        raise KeyError(f"unknown chip '{chip}'; available: {', '.join(known_chips)}")
+    return resolve_chip(by_lower[chip_name])
+
+
+def _validate_resolution(resolution: Any) -> int:
+    """Coerce and bound-check a grid resolution."""
+    try:
+        as_float = float(resolution)
+        # OverflowError: JSON happily parses 1e400 as infinity, and int(inf)
+        # raises it — that must surface as a 400, not a crashed handler.
+        if as_float != int(as_float):
+            raise ValueError
+        resolution = int(as_float)
+    except (TypeError, ValueError, OverflowError):
+        raise ValueError(f"resolution must be an integer, got {resolution!r}")
+    if not MIN_RESOLUTION <= resolution <= MAX_RESOLUTION:
+        raise ValueError(
+            f"resolution must be in [{MIN_RESOLUTION}, {MAX_RESOLUTION}], got {resolution}"
+        )
+    return resolution
+
+
+def _validate_assignment(
+    chip_stack: ChipStack,
+    powers: Optional[Mapping[str, Any]],
+    total_power_W: Optional[float],
+    field_name: str = "powers",
+) -> Mapping[str, float]:
+    """One validated flat assignment from either a mapping or a total."""
+    if powers is not None and total_power_W is not None:
+        raise ValueError(f"specify either '{field_name}' or 'total_power', not both")
+    if powers is not None:
+        if not isinstance(powers, Mapping):
+            raise ValueError(
+                f"'{field_name}' must map 'layer/block' to watts, got {type(powers).__name__}"
+            )
+        return validate_power_assignment(chip_stack, powers)
+    return uniform_power_assignment(chip_stack, total_power_W)
 
 
 @dataclass(frozen=True)
@@ -67,6 +128,7 @@ class ThermalRequest:
 
     @property
     def total_power_W(self) -> float:
+        """Total watts dissipated by this request's power assignment."""
         return float(sum(self.assignment.values()))
 
     # ------------------------------------------------------------------
@@ -97,31 +159,8 @@ class ThermalRequest:
         :class:`ValueError` / :class:`KeyError` with messages safe to return
         to an API client.
         """
-        known_chips = list(chips.list_chips()) if chips is not None else list_chips()
-        resolve_chip = chips.get_chip if chips is not None else get_chip
-        by_lower = {name.lower(): name for name in known_chips}
-        chip_name = str(chip).lower()
-        if chip_name not in by_lower:
-            raise KeyError(
-                f"unknown chip '{chip}'; available: {', '.join(known_chips)}"
-            )
-        chip_stack = resolve_chip(by_lower[chip_name])
-        chip_name = chip_stack.name
-
-        if powers is not None and total_power_W is not None:
-            raise ValueError("specify either 'powers' or 'total_power', not both")
-
-        try:
-            as_float = float(resolution)
-            if as_float != int(as_float):
-                raise ValueError
-            resolution = int(as_float)
-        except (TypeError, ValueError):
-            raise ValueError(f"resolution must be an integer, got {resolution!r}")
-        if not MIN_RESOLUTION <= resolution <= MAX_RESOLUTION:
-            raise ValueError(
-                f"resolution must be in [{MIN_RESOLUTION}, {MAX_RESOLUTION}], got {resolution}"
-            )
+        chip_stack = _resolve_chip(chip, chips)
+        resolution = _validate_resolution(resolution)
 
         allowed = tuple(allowed_backends) if allowed_backends is not None else KNOWN_BACKENDS
         backend_name = str(backend).lower()
@@ -130,17 +169,10 @@ class ThermalRequest:
                 f"unknown backend '{backend}'; available: {', '.join(sorted(allowed))}"
             )
 
-        if powers is not None:
-            if not isinstance(powers, Mapping):
-                raise ValueError(
-                    f"'powers' must map 'layer/block' to watts, got {type(powers).__name__}"
-                )
-            assignment = validate_power_assignment(chip_stack, powers)
-        else:
-            assignment = uniform_power_assignment(chip_stack, total_power_W)
+        assignment = _validate_assignment(chip_stack, powers, total_power_W)
 
         return cls(
-            chip=chip_name,
+            chip=chip_stack.name,
             resolution=resolution,
             assignment=assignment,
             backend=backend_name,
@@ -185,6 +217,229 @@ class ThermalRequest:
             include_maps=payload.get("include_maps", False),
             request_id=payload.get("request_id"),
             allowed_backends=allowed_backends,
+            chips=chips,
+        )
+
+
+@dataclass(frozen=True)
+class TransientRequest:
+    """One validated transient (time-integrating) thermal query.
+
+    Use :meth:`create` (keyword-style) or :meth:`from_payload` (JSON body of
+    the HTTP ``/solve_transient`` endpoint) instead of the raw constructor —
+    they run the chip / duration / schedule validation.  The power input is
+    either one constant assignment or a piecewise-constant ``schedule`` of
+    ``(t_s, assignment)`` steps; :meth:`trace` converts it to the
+    :data:`~repro.solvers.transient.PowerTrace` the session integrates.
+    """
+
+    chip: str
+    resolution: int
+    duration_s: float
+    dt_s: float
+    assignment: Mapping[str, float]
+    schedule: Tuple[Tuple[float, Mapping[str, float]], ...] = ()
+    store_every: int = 1
+    include_maps: bool = False
+    request_id: str = ""
+
+    @property
+    def num_steps(self) -> int:
+        """Backward-Euler steps this request asks the integrator for."""
+        return max(int(round(self.duration_s / self.dt_s)), 1)
+
+    @property
+    def total_power_W(self) -> float:
+        """Total watts of the initial (t=0) power assignment."""
+        return float(sum(self.assignment.values()))
+
+    def trace(self) -> Union[Mapping[str, float], Callable[[float], Mapping[str, float]]]:
+        """The power trace to integrate.
+
+        The constant assignment for schedule-free requests; otherwise a
+        step function holding each schedule entry's assignment until the
+        next entry's start time.
+        """
+        if not self.schedule:
+            return self.assignment
+        times = [t for t, _ in self.schedule]
+        assignments = [a for _, a in self.schedule]
+
+        def step(t: float) -> Mapping[str, float]:
+            active = 0
+            for index, start in enumerate(times):
+                if start <= t:
+                    active = index
+                else:
+                    break
+            return assignments[active]
+
+        return step
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        chip: str,
+        duration_s: float,
+        dt_s: float,
+        powers: Optional[Mapping[str, Any]] = None,
+        total_power_W: Optional[float] = None,
+        schedule: Optional[Sequence[Mapping[str, Any]]] = None,
+        resolution: int = 32,
+        store_every: int = 1,
+        include_maps: bool = False,
+        request_id: Optional[str] = None,
+        chips: Optional[Any] = None,
+    ) -> "TransientRequest":
+        """Validate every field and build a transient request.
+
+        ``schedule`` is a sequence of ``{"t_s": seconds, "powers": {...}}``
+        (or ``"total_power"``) entries with strictly increasing start times,
+        the first at ``t_s=0``; it is mutually exclusive with the constant
+        ``powers`` / ``total_power_W`` forms.  The request is bounded by
+        :data:`MAX_TRANSIENT_STEPS` so one query cannot occupy the service
+        for minutes.  Raises :class:`ValueError` / :class:`KeyError` with
+        messages safe to return to an API client.
+        """
+        chip_stack = _resolve_chip(chip, chips)
+        resolution = _validate_resolution(resolution)
+
+        try:
+            duration_s = float(duration_s)
+            dt_s = float(dt_s)
+        except (TypeError, ValueError):
+            raise ValueError("'duration_s' and 'dt_s' must be numbers")
+        if not (math.isfinite(duration_s) and math.isfinite(dt_s)):
+            # JSON parses 1e400 as infinity; int(round(inf/dt)) would raise
+            # OverflowError past the 400 handling.
+            raise ValueError("'duration_s' and 'dt_s' must be finite")
+        if duration_s <= 0 or dt_s <= 0:
+            raise ValueError("'duration_s' and 'dt_s' must be positive")
+        if dt_s > duration_s:
+            raise ValueError("'dt_s' must not exceed 'duration_s'")
+        num_steps = int(round(duration_s / dt_s))
+        if num_steps > MAX_TRANSIENT_STEPS:
+            raise ValueError(
+                f"the request asks for {num_steps} time steps; the service accepts "
+                f"at most {MAX_TRANSIENT_STEPS} (raise dt_s or shorten duration_s)"
+            )
+
+        try:
+            store_every = int(store_every)
+        except (TypeError, ValueError, OverflowError):
+            raise ValueError(f"'store_every' must be an integer, got {store_every!r}")
+        if store_every < 1:
+            raise ValueError("'store_every' must be >= 1")
+
+        validated_schedule: Tuple[Tuple[float, Mapping[str, float]], ...] = ()
+        if schedule is not None:
+            if powers is not None or total_power_W is not None:
+                raise ValueError(
+                    "specify either a 'schedule' or a constant 'powers'/'total_power', "
+                    "not both"
+                )
+            if not isinstance(schedule, Sequence) or isinstance(schedule, (str, bytes)):
+                raise ValueError("'schedule' must be a list of {t_s, powers} steps")
+            if not schedule:
+                raise ValueError("'schedule' must contain at least one step")
+            steps = []
+            previous_t = None
+            for position, entry in enumerate(schedule):
+                if not isinstance(entry, Mapping):
+                    raise ValueError(
+                        f"schedule step {position} must be an object with 't_s' and "
+                        "'powers' (or 'total_power')"
+                    )
+                unknown = set(entry) - {"t_s", "powers", "total_power"}
+                if unknown:
+                    raise ValueError(
+                        f"schedule step {position} has unknown fields: "
+                        f"{', '.join(sorted(unknown))}"
+                    )
+                try:
+                    t_s = float(entry["t_s"])
+                except (KeyError, TypeError, ValueError):
+                    raise ValueError(f"schedule step {position} needs a numeric 't_s'")
+                if position == 0 and t_s != 0.0:
+                    raise ValueError("the first schedule step must start at t_s=0")
+                if previous_t is not None and t_s <= previous_t:
+                    raise ValueError("schedule step times must be strictly increasing")
+                if t_s >= duration_s:
+                    raise ValueError(
+                        f"schedule step {position} starts at {t_s}s, beyond the "
+                        f"{duration_s}s duration"
+                    )
+                previous_t = t_s
+                step_total = entry.get("total_power")
+                if step_total is not None:
+                    try:
+                        step_total = float(step_total)
+                    except (TypeError, ValueError):
+                        raise ValueError(
+                            f"schedule step {position} 'total_power' must be a "
+                            f"number, got {step_total!r}"
+                        )
+                step_assignment = _validate_assignment(
+                    chip_stack, entry.get("powers"), step_total
+                )
+                steps.append((t_s, step_assignment))
+            validated_schedule = tuple(steps)
+            assignment = validated_schedule[0][1]
+        else:
+            assignment = _validate_assignment(chip_stack, powers, total_power_W)
+
+        return cls(
+            chip=chip_stack.name,
+            resolution=resolution,
+            duration_s=duration_s,
+            dt_s=dt_s,
+            assignment=assignment,
+            schedule=validated_schedule,
+            store_every=store_every,
+            include_maps=bool(include_maps),
+            request_id=request_id or f"req-{next(_REQUEST_COUNTER)}",
+        )
+
+    @classmethod
+    def from_payload(
+        cls, payload: Mapping[str, Any], chips: Optional[Any] = None
+    ) -> "TransientRequest":
+        """Build a request from a decoded JSON body (``/solve_transient``)."""
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"request body must be a JSON object, got {type(payload).__name__}"
+            )
+        known_keys = {
+            "chip", "resolution", "duration_s", "dt_s", "powers", "total_power",
+            "schedule", "store_every", "include_maps", "request_id",
+        }
+        unknown = set(payload) - known_keys
+        if unknown:
+            raise ValueError(
+                f"unknown request fields: {', '.join(sorted(unknown))}; "
+                f"accepted: {', '.join(sorted(known_keys))}"
+            )
+        for required in ("chip", "duration_s", "dt_s"):
+            if required not in payload:
+                raise ValueError(f"request is missing the required '{required}' field")
+        total_power = payload.get("total_power")
+        if total_power is not None:
+            try:
+                total_power = float(total_power)
+            except (TypeError, ValueError):
+                raise ValueError(f"'total_power' must be a number, got {total_power!r}")
+        return cls.create(
+            chip=payload["chip"],
+            duration_s=payload["duration_s"],
+            dt_s=payload["dt_s"],
+            powers=payload.get("powers"),
+            total_power_W=total_power,
+            schedule=payload.get("schedule"),
+            resolution=payload.get("resolution", 32),
+            store_every=payload.get("store_every", 1),
+            include_maps=payload.get("include_maps", False),
+            request_id=payload.get("request_id"),
             chips=chips,
         )
 

@@ -2,22 +2,34 @@
 
 Endpoints
 ---------
-* ``POST /solve`` — answer one thermal query.  Body::
+* ``POST /solve`` — answer one steady-state thermal query.  Body::
 
       {"chip": "chip1", "resolution": 32, "backend": "fvm",
        "powers": {"core_layer/Core": 20.0}, "include_maps": false}
 
   ``powers`` may be omitted in favour of ``"total_power": <watts>`` spread
   uniformly over all blocks.
+* ``POST /solve_transient`` — integrate a constant or piecewise-constant
+  power schedule and return the full quasi-steady trace.  Body::
+
+      {"chip": "chip1", "resolution": 16, "duration_s": 0.05, "dt_s": 0.005,
+       "total_power": 40.0, "store_every": 1}
+
+  (or ``"schedule": [{"t_s": 0.0, "total_power": 40.0}, ...]``); the
+  response carries ``history.times_s`` / ``history.peak_K`` /
+  ``history.mean_K`` arrays.
 * ``GET /chips`` — built-in benchmark chips and their block names.
 * ``GET /models`` — operator surrogates loaded into the model registry.
 * ``GET /healthz`` — liveness probe.
 * ``GET /stats`` — engine/backend counters (throughput, latency
-  percentiles, solver-pool hit rates).
+  percentiles, worker queue depths, admission rejections, solver-pool and
+  result-cache hit/eviction rates).
 
 The server is a :class:`http.server.ThreadingHTTPServer`: each client
 connection blocks in its own thread on the engine future, which is exactly
-what lets concurrent requests coalesce into micro-batches.
+what lets concurrent requests coalesce into micro-batches.  When the
+engine's admission control rejects a request the client gets a fast ``429``
+with a ``Retry-After`` hint instead of queueing without bound.
 """
 
 from __future__ import annotations
@@ -34,14 +46,22 @@ from repro.api.session import ThermalSession
 from repro.chip.designs import get_chip, list_chips
 from repro.data.power import error_message
 from repro.serving.backends import OperatorBackend
-from repro.serving.engine import MicroBatchEngine
-from repro.serving.request import ThermalRequest
+from repro.serving.engine import MicroBatchEngine, QueueFullError
+from repro.serving.request import ThermalRequest, TransientRequest
 
 #: Largest accepted ``/solve`` body; far above any legitimate power map.
 MAX_BODY_BYTES = 1 << 20
 
 #: How long one ``/solve`` may wait on the engine before answering 504.
 SOLVE_TIMEOUT_S = 120.0
+
+#: ``Retry-After`` seconds suggested on 429 admission rejections.
+RETRY_AFTER_S = 1
+
+#: Most ``/solve_transient`` requests admitted at once (running + waiting).
+#: A trace is up to 20k back-substitutions in the handler thread, so beyond
+#: this bound the endpoint answers 429 instead of stacking handler threads.
+TRANSIENT_MAX_PENDING = 4
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -60,6 +80,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
+        if status == 429:
+            self.send_header("Retry-After", str(RETRY_AFTER_S))
         if self.close_connection:
             # Set when the request body was not (fully) read: the unread
             # bytes would desync the next keep-alive request on this socket.
@@ -84,33 +106,45 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_error_json(404, f"unknown path '{self.path}'")
 
-    def do_POST(self) -> None:  # noqa: N802
-        path = self.path.split("?", 1)[0].rstrip("/")
-        if path != "/solve":
-            self.close_connection = True  # body never read — see _send_json
-            self._send_error_json(404, f"unknown path '{self.path}'")
-            return
+    def _read_json_body(self) -> Optional[Any]:
+        """Read and decode the request body; answers the error and returns
+        ``None`` when the body is missing, oversized or malformed."""
         try:
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
             self.close_connection = True
             self._send_error_json(400, "invalid Content-Length header")
-            return
+            return None
         if length <= 0:
             # Covers chunked bodies too (no Content-Length): nothing is
             # read, so the connection must close to stay in sync.
             self.close_connection = True
             self._send_error_json(400, "request body with a Content-Length is required")
-            return
+            return None
         if length > MAX_BODY_BYTES:
             self.close_connection = True
             self._send_error_json(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
-            return
+            return None
         raw = self.rfile.read(length)
         try:
-            payload = json.loads(raw.decode("utf-8"))
+            return json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             self._send_error_json(400, f"malformed JSON body: {error}")
+            return None
+
+    def do_POST(self) -> None:  # noqa: N802
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/solve":
+            self._post_solve()
+        elif path == "/solve_transient":
+            self._post_solve_transient()
+        else:
+            self.close_connection = True  # body never read — see _send_json
+            self._send_error_json(404, f"unknown path '{self.path}'")
+
+    def _post_solve(self) -> None:
+        payload = self._read_json_body()
+        if payload is None:
             return
         try:
             request = ThermalRequest.from_payload(
@@ -123,6 +157,9 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             result = self.server.service.engine.solve(request, timeout=SOLVE_TIMEOUT_S)
+        except QueueFullError as error:
+            self._send_error_json(429, str(error))
+            return
         except FutureTimeoutError:
             self._send_error_json(504, "solve timed out; the service is overloaded")
             return
@@ -131,6 +168,34 @@ class _Handler(BaseHTTPRequestHandler):
             return
         except Exception as error:  # noqa: BLE001 — surface backend failures as 500s
             self._send_error_json(500, f"solve failed: {error}")
+            return
+        self._send_json(200, result.to_json())
+
+    def _post_solve_transient(self) -> None:
+        payload = self._read_json_body()
+        if payload is None:
+            return
+        service = self.server.service
+        if service.session is None:
+            self._send_error_json(
+                503, "this deployment has no session; the transient endpoint is disabled"
+            )
+            return
+        try:
+            request = TransientRequest.from_payload(payload, chips=service.session)
+        except (KeyError, ValueError) as error:
+            self._send_error_json(400, error_message(error))
+            return
+        try:
+            result = service.solve_transient(request)
+        except QueueFullError as error:
+            self._send_error_json(429, str(error))
+            return
+        except (KeyError, ValueError) as error:
+            self._send_error_json(400, error_message(error))
+            return
+        except Exception as error:  # noqa: BLE001
+            self._send_error_json(500, f"transient solve failed: {error}")
             return
         self._send_json(200, result.to_json())
 
@@ -167,22 +232,77 @@ class ThermalServer:
         self._httpd.service = self
         self._httpd.verbose = verbose
         self._thread: Optional[threading.Thread] = None
+        # Transient bookkeeping.  This lock guards only the counters (it is
+        # never held across an integration, so /stats cannot block behind a
+        # minutes-long trace); the solves themselves serialise inside the
+        # pooled TransientBackendAdapter, per (chip, resolution).
+        self._transient_stats_lock = threading.Lock()
+        self._transient_pending = 0
+        self._transient_requests = 0
+        self._transient_errors = 0
+        self._transient_seconds = 0.0
 
     # ------------------------------------------------------------------
     @property
     def host(self) -> str:
+        """Bound interface of the HTTP listener."""
         return self._httpd.server_address[0]
 
     @property
     def port(self) -> int:
+        """Bound TCP port (useful with ``port=0`` free-port binding)."""
         return self._httpd.server_address[1]
 
     @property
     def url(self) -> str:
+        """Base URL of the running service."""
         return f"http://{self.host}:{self.port}"
 
     # ------------------------------------------------------------------
+    def solve_transient(self, request: "TransientRequest"):
+        """Integrate one validated transient request through the session.
+
+        Runs in the calling (HTTP handler) thread: a trace integration is
+        hundreds of back-substitutions, so it is not micro-batched; the
+        pooled transient adapter serialises concurrent traces per
+        ``(chip, resolution)`` internally.  At most
+        :data:`TRANSIENT_MAX_PENDING` requests are admitted at once —
+        beyond that the caller gets :class:`QueueFullError` (HTTP 429)
+        instead of an unbounded pile-up of handler threads.
+        """
+        with self._transient_stats_lock:
+            if self._transient_pending >= TRANSIENT_MAX_PENDING:
+                raise QueueFullError(
+                    f"{self._transient_pending} transient requests are already "
+                    f"running or queued (limit {TRANSIENT_MAX_PENDING}); retry later"
+                )
+            self._transient_pending += 1
+        start = time.perf_counter()
+        try:
+            solution = self.session.solve_transient(
+                request.chip,
+                request.trace(),
+                request.duration_s,
+                request.dt_s,
+                resolution=request.resolution,
+                store_every=request.store_every,
+                include_maps=request.include_maps,
+            )
+        except Exception:
+            with self._transient_stats_lock:
+                self._transient_pending -= 1
+                self._transient_errors += 1
+            raise
+        solution.request_id = request.request_id
+        with self._transient_stats_lock:
+            self._transient_pending -= 1
+            self._transient_requests += 1
+            self._transient_seconds += time.perf_counter() - start
+        return solution
+
+    # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
+        """Liveness payload of ``GET /healthz``."""
         return {
             "status": "ok",
             "version": __version__,
@@ -192,6 +312,7 @@ class ThermalServer:
         }
 
     def describe_chips(self) -> list:
+        """Chip inventory of ``GET /chips`` (built-ins plus custom designs)."""
         names = self.session.list_chips() if self.session is not None else list_chips()
         resolve = self.session.get_chip if self.session is not None else get_chip
         chips = []
@@ -210,6 +331,7 @@ class ThermalServer:
         return chips
 
     def describe_models(self) -> list:
+        """Loaded operator surrogates of ``GET /models``."""
         if self.session is not None:
             return self.session.models.describe()
         backend = self.engine.backends.get("operator")
@@ -220,6 +342,18 @@ class ThermalServer:
     def stats(self) -> Dict[str, Any]:
         """Engine counters plus the shared session's cache/pool statistics."""
         body = self.engine.stats()
+        with self._transient_stats_lock:
+            body["transient_endpoint"] = {
+                "requests": self._transient_requests,
+                "pending": self._transient_pending,
+                "max_pending": TRANSIENT_MAX_PENDING,
+                "errors": self._transient_errors,
+                "mean_seconds": (
+                    round(self._transient_seconds / self._transient_requests, 4)
+                    if self._transient_requests
+                    else 0.0
+                ),
+            }
         if self.session is not None:
             body["session"] = self.session.stats()
         return body
@@ -243,12 +377,22 @@ class ThermalServer:
         return self
 
     def shutdown(self) -> None:
+        """Stop the HTTP loop, close the socket and stop the engine."""
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join()
             self._thread = None
         self.engine.stop()
+
+    def close(self) -> None:
+        """Close the listening socket after ``serve_forever`` has returned.
+
+        The foreground (CLI) path exits ``serve_forever`` via
+        ``KeyboardInterrupt``, so the usual :meth:`shutdown` handshake with a
+        background thread does not apply; this just releases the port.
+        """
+        self._httpd.server_close()
 
     def __enter__(self) -> "ThermalServer":
         return self.start_background()

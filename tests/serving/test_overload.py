@@ -1,0 +1,324 @@
+"""Overload behaviour: admission control, priority, TTL and size eviction.
+
+Everything here is deterministic: queue compositions are forced by
+submitting before :meth:`MicroBatchEngine.start`, slow backends are gated on
+events rather than sleeps, and cache-expiry tests drive a fake clock.
+"""
+
+import threading
+
+import pytest
+
+from repro.api.pool import ResultCache
+from repro.api.session import ThermalSession
+from repro.serving.backends import Backend, build_backends
+from repro.serving.engine import DEFAULT_PRIORITIES, MicroBatchEngine, QueueFullError
+from repro.serving.request import ThermalRequest, ThermalResult
+
+RES = 8
+
+
+def _request(backend="fvm", power=20.0, chip="chip1"):
+    return ThermalRequest.create(
+        chip, total_power_W=power, resolution=RES, backend=backend
+    )
+
+
+class _RecordingBackend(Backend):
+    """Answers instantly and records the dispatch order of its batches."""
+
+    def __init__(self, name, log):
+        self.name = name
+        self._log = log
+
+    def solve_batch(self, requests):
+        self._log.append((self.name, len(requests)))
+        return [
+            ThermalResult(
+                request_id=r.request_id, chip=r.chip, resolution=r.resolution,
+                backend=self.name, max_K=350.0, min_K=300.0, mean_K=320.0,
+                total_power_W=r.total_power_W,
+            )
+            for r in requests
+        ]
+
+
+class _GatedBackend(Backend):
+    """Blocks inside solve_batch until released (deterministic busy worker)."""
+
+    def __init__(self, name="fvm"):
+        self.name = name
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def solve_batch(self, requests):
+        self.entered.set()
+        assert self.release.wait(timeout=60), "test forgot to release the gate"
+        return [
+            ThermalResult(
+                request_id=r.request_id, chip=r.chip, resolution=r.resolution,
+                backend=self.name, max_K=350.0, min_K=300.0, mean_K=320.0,
+                total_power_W=r.total_power_W,
+            )
+            for r in requests
+        ]
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejects_fast(self):
+        engine = MicroBatchEngine(build_backends(), max_queue=2)
+        engine.submit(_request(power=20))
+        engine.submit(_request(power=21))
+        with pytest.raises(QueueFullError, match="overloaded"):
+            engine.submit(_request(power=22))
+        assert engine.stats()["rejected_requests"] == 1
+        assert engine.stats()["queue_depth"] == 2
+        # The queued requests still complete once the engine runs.
+        engine.start()
+        engine.stop()
+        assert engine.stats()["total_requests"] == 2
+
+    def test_dispatch_frees_queue_slots(self):
+        gated = _GatedBackend()
+        engine = MicroBatchEngine({"fvm": gated}, max_queue=1, max_wait_ms=0.0)
+        with engine:
+            first = engine.submit(_request(power=20))
+            # Once the worker picks the request up it no longer counts
+            # against max_queue, so the next submit is admitted.
+            assert gated.entered.wait(timeout=60)
+            second = engine.submit(_request(power=21))
+            gated.release.set()
+            assert first.result(timeout=60).max_K == 350.0
+            assert second.result(timeout=60).max_K == 350.0
+        assert engine.stats()["rejected_requests"] == 0
+
+    def test_unbounded_by_default(self):
+        engine = MicroBatchEngine(build_backends())
+        for index in range(64):
+            engine.submit(_request(power=20 + index))
+        assert engine.stats()["queue_depth"] == 64
+        engine.start()
+        engine.stop()
+
+    def test_max_queue_validation(self):
+        with pytest.raises(ValueError, match="max_queue"):
+            MicroBatchEngine(build_backends(), max_queue=0)
+
+
+class TestPriorityOrdering:
+    def test_cheap_backends_jump_heavy_queues(self):
+        log = []
+        backends = {
+            "fvm": _RecordingBackend("fvm", log),
+            "hotspot": _RecordingBackend("hotspot", log),
+            "transient": _RecordingBackend("transient", log),
+        }
+        engine = MicroBatchEngine(backends, max_wait_ms=0.0)
+        # Submission order: heavy first.  Priority dispatch must still answer
+        # the hotspot group before fvm, and fvm before transient.
+        for power in (20, 21):
+            engine.submit(_request("transient", power))
+        for power in (22, 23):
+            engine.submit(_request("fvm", power))
+        for power in (24, 25):
+            engine.submit(_request("hotspot", power))
+        engine.start()
+        engine.stop()
+        assert [name for name, _ in log] == ["hotspot", "fvm", "transient"]
+        assert [count for _, count in log] == [2, 2, 2]
+
+    def test_equal_priority_dispatches_oldest_first(self):
+        log = []
+        backends = {"fvm": _RecordingBackend("fvm", log)}
+        engine = MicroBatchEngine(backends, max_wait_ms=0.0)
+        engine.submit(_request("fvm", 20, chip="chip2"))
+        engine.submit(_request("fvm", 21, chip="chip1"))
+        engine.submit(_request("fvm", 22, chip="chip2"))
+        engine.start()
+        engine.stop()
+        # chip2's group is oldest -> dispatches first and takes both chip2
+        # requests; chip1 follows.
+        assert [count for _, count in log] == [2, 1]
+
+    def test_custom_priorities_override_defaults(self):
+        log = []
+        backends = {
+            "fvm": _RecordingBackend("fvm", log),
+            "hotspot": _RecordingBackend("hotspot", log),
+        }
+        engine = MicroBatchEngine(
+            backends, max_wait_ms=0.0, priorities={"fvm": 0, "hotspot": 5}
+        )
+        engine.submit(_request("hotspot", 20))
+        engine.submit(_request("fvm", 21))
+        engine.start()
+        engine.stop()
+        assert [name for name, _ in log] == ["fvm", "hotspot"]
+
+    def test_default_priorities_are_exposed_in_stats(self):
+        engine = MicroBatchEngine(build_backends())
+        stats = engine.stats()
+        assert stats["starvation_age_s"] > 0
+        for name, priority in DEFAULT_PRIORITIES.items():
+            assert stats["backends"][name]["priority"] == priority
+
+    def test_starved_low_priority_request_outranks_fresh_high_priority(self):
+        """Aging bounds strict priority: a request older than the starvation
+        age dispatches before fresh higher-priority arrivals."""
+        import time as time_module
+        from concurrent.futures import Future
+
+        from repro.serving.engine import _Pending
+
+        engine = MicroBatchEngine(build_backends(), starvation_age_s=5.0)
+        now = time_module.perf_counter()
+
+        def pending(backend, age_s):
+            return _Pending(
+                request=_request(backend), future=Future(), enqueued_at=now - age_s
+            )
+
+        fresh_hotspot = pending("hotspot", 0.001)
+        young_fvm = pending("fvm", 1.0)
+        starved_fvm = pending("fvm", 6.0)
+        # Without starvation, hotspot (priority 0) wins over a young fvm.
+        assert engine._select_head([young_fvm, fresh_hotspot]) is fresh_hotspot
+        # Past the starvation age, the old fvm request outranks every tier.
+        assert (
+            engine._select_head([starved_fvm, fresh_hotspot, young_fvm]) is starved_fvm
+        )
+
+    def test_starvation_age_validation(self):
+        with pytest.raises(ValueError, match="starvation_age_s"):
+            MicroBatchEngine(build_backends(), starvation_age_s=0.0)
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+class TestResultCacheTTL:
+    def test_entries_expire_after_ttl(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=8, ttl_s=10.0, clock=clock)
+        cache.put("a", "answer", 16)
+        assert cache.get("a") == "answer"
+        clock.advance(9.999)
+        assert cache.get("a") == "answer"
+        clock.advance(0.001)  # exactly at the TTL boundary -> expired
+        assert cache.get("a") is None
+        stats = cache.stats()
+        assert stats["expirations"] == 1
+        assert stats["entries"] == 0
+        assert stats["evictions"] == 0  # expiry is not an LRU eviction
+        assert stats["hits"] == 2 and stats["misses"] == 1
+
+    def test_put_sweeps_expired_entries_under_bound_pressure(self):
+        """When an insert would otherwise LRU-evict, expired entries are
+        swept first and counted as expirations, not evictions."""
+        clock = FakeClock()
+        cache = ResultCache(capacity=2, ttl_s=5.0, clock=clock)
+        cache.put("a", "old", 16)
+        cache.put("b", "old", 16)
+        clock.advance(6.0)
+        cache.put("c", "new", 16)  # at capacity -> sweep, not LRU eviction
+        stats = cache.stats()
+        assert stats["expirations"] == 2
+        assert stats["evictions"] == 0
+        assert stats["entries"] == 1
+        assert cache.get("c") == "new"
+
+    def test_put_without_pressure_skips_the_sweep(self):
+        """No bound pressure -> O(1) insert; expired entries linger until a
+        get() reaps them or pressure triggers a sweep."""
+        clock = FakeClock()
+        cache = ResultCache(capacity=8, ttl_s=5.0, clock=clock)
+        cache.put("a", "old", 16)
+        clock.advance(6.0)
+        cache.put("b", "new", 16)
+        assert len(cache) == 2  # 'a' still resident, just dead
+        assert cache.get("a") is None  # lazily reaped on access
+        assert cache.stats()["expirations"] == 1
+
+    def test_reinsert_refreshes_the_ttl(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=8, ttl_s=10.0, clock=clock)
+        cache.put("a", "v1", 16)
+        clock.advance(8.0)
+        cache.put("a", "v2", 16)
+        clock.advance(8.0)  # 16s after first insert, 8s after refresh
+        assert cache.get("a") == "v2"
+
+    def test_ttl_validation(self):
+        with pytest.raises(ValueError, match="ttl"):
+            ResultCache(ttl_s=0.0)
+
+    def test_session_ttl_expires_cached_answers(self):
+        clock = FakeClock()
+        session = ThermalSession(
+            result_cache=ResultCache(capacity=8, ttl_s=30.0, clock=clock)
+        )
+        first = session.solve("chip1", total_power_W=20, resolution=RES)
+        assert not first.cached
+        assert session.solve("chip1", total_power_W=20, resolution=RES).cached
+        clock.advance(31.0)
+        stale = session.solve("chip1", total_power_W=20, resolution=RES)
+        assert not stale.cached
+        assert session.stats()["result_cache"]["expirations"] == 1
+        # The recomputed answer is identical and re-cached.
+        assert stale.max_K == first.max_K
+        assert session.solve("chip1", total_power_W=20, resolution=RES).cached
+
+    def test_session_rejects_conflicting_cache_configuration(self):
+        with pytest.raises(ValueError, match="not both"):
+            ThermalSession(result_cache=ResultCache(), result_cache_ttl_s=5.0)
+
+
+class TestSizeAwareEviction:
+    def test_byte_budget_evicts_lru_first(self):
+        cache = ResultCache(capacity=100, max_bytes=100)
+        cache.put("a", "A", 40)
+        cache.put("b", "B", 40)
+        cache.get("a")  # refresh 'a' -> 'b' is now least recently used
+        cache.put("c", "C", 40)
+        assert cache.get("b") is None
+        assert cache.get("a") == "A"
+        assert cache.get("c") == "C"
+        stats = cache.stats()
+        assert stats["evictions_bytes"] == 1
+        assert stats["evictions_count"] == 0
+        assert stats["evictions"] == 1
+        assert stats["bytes"] <= 100
+
+    def test_count_and_byte_evictions_are_counted_separately(self):
+        by_count = ResultCache(capacity=2, max_bytes=1000)
+        for key in ("a", "b", "c"):
+            by_count.put(key, key, 10)
+        assert by_count.stats()["evictions_count"] == 1
+        assert by_count.stats()["evictions_bytes"] == 0
+
+        by_bytes = ResultCache(capacity=100, max_bytes=25)
+        for key in ("a", "b", "c"):
+            by_bytes.put(key, key, 10)
+        assert by_bytes.stats()["evictions_count"] == 0
+        assert by_bytes.stats()["evictions_bytes"] == 1
+        assert by_bytes.stats()["evictions"] == 1
+
+    def test_session_surfaces_eviction_counters(self):
+        session = ThermalSession(result_cache_max_bytes=1)
+        # Summary answers are ~512 bytes, far above the 1-byte budget, so
+        # nothing caches (oversized single answers are skipped outright).
+        session.solve("chip1", total_power_W=20, resolution=RES)
+        stats = session.stats()["result_cache"]
+        assert set(stats) >= {
+            "evictions", "evictions_count", "evictions_bytes", "expirations",
+            "ttl_s", "max_bytes",
+        }
+        assert stats["entries"] == 0
