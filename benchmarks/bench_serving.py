@@ -7,8 +7,9 @@ concurrent load, for the exact (fvm) and learned (operator) backends:
   per-request baseline (a fresh solver per request — the cost model a naive
   one-shot CLI deployment would pay), with the acceptance bar that batching
   buys >= 5x at batch sizes >= 8;
-* closed-loop p50/p95 latency with a fleet of synchronous clients, the
-  numbers a load balancer in front of ``repro-thermal serve`` would see;
+* closed-loop p50/p95/p99 latency alongside requests/sec with a fleet of
+  synchronous clients, the numbers a load balancer in front of
+  ``repro-thermal serve`` would see;
 * the multi-worker scaling curve: throughput of a fixed closed-loop
   mixed-chip fvm load (one interactive trickle stream plus two full-batch
   burst streams) at ``workers`` in {1, 2, 4}, with the acceptance bar that
@@ -262,7 +263,7 @@ def test_serving_multiworker_scaling(benchmark):
 
 @pytest.mark.parametrize("backend", ["fvm", "operator"])
 def test_serving_closed_loop_latency(benchmark, backend, trained_model_path):
-    """Closed-loop load (16 clients): requests/sec and p50/p95 per backend."""
+    """Closed-loop load (16 clients): requests/sec and p50/p95/p99 per backend."""
     engine = MicroBatchEngine(
         build_backends(model_paths=[trained_model_path]),
         max_batch_size=BATCH_SIZE,
@@ -280,6 +281,7 @@ def test_serving_closed_loop_latency(benchmark, backend, trained_model_path):
     benchmark.extra_info["mean_batch_size"] = summary["mean_batch_size"]
     benchmark.extra_info["latency_ms_p50"] = summary["latency_ms"]["p50"]
     benchmark.extra_info["latency_ms_p95"] = summary["latency_ms"]["p95"]
+    benchmark.extra_info["latency_ms_p99"] = summary["latency_ms"]["p99"]
     benchmark.extra_info["throughput_rps"] = stats["throughput_rps"]
     assert summary["requests"] == CLIENTS * 4 + 1
     assert summary["errors"] == 0

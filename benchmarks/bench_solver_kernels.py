@@ -2,9 +2,9 @@
 
 Not a paper table by itself, but the cost model behind them: FVM assembly and
 solve at the two Table II resolutions — cold (per-case factorisation, the
-seed pipeline's cost model) and warm (cached factorisation, batched RHS) —
-the HotSpot network solve, one forward pass of each operator family, and one
-training step of SAU-FNO.  Useful for tracking performance regressions of
+seed pipeline's cost model), warm (cached factorisation, batched RHS) and the
+float32 stacked-RHS variant — the HotSpot network solve, one forward pass of
+each operator family, and one training step of SAU-FNO.  Useful for tracking performance regressions of
 the substrates; the cached-vs-cold pair reports the amortised speedup the
 prepare-once / solve-many refactor buys dataset generation.
 """
@@ -64,6 +64,38 @@ def test_fvm_solve_batch_amortized(benchmark, chip_and_case):
     fields = benchmark(lambda: solver.solve_batch(assignments))
     assert len(fields) == 16
     benchmark.extra_info["cases_per_round"] = 16
+
+
+def test_fvm_solve_batch_float32(benchmark, chip_and_case):
+    """The float32 RHS-stacking datapoint: the same 16-case batch at
+    resolution 48 through the single-precision factorisation (ambient-shift
+    + one mixed-precision refinement sweep).  ``extra_info`` records the
+    measured ratio against the float64 batch and the worst-case error —
+    the refinement sweep costs a second triangular pass, so the honest
+    number here (not a naive 2x) is what capacity planning should use."""
+    chip, _ = chip_and_case
+    sampler = PowerSampler(chip)
+    cases = sampler.sample_many(16, np.random.default_rng(1))
+    assignments = [case.assignment for case in cases]
+    solver = FVMSolver(chip, nx=48, cells_per_layer=2)
+    solver.prepare()
+    reference = solver.solve_batch(assignments)  # also warms the float64 LU
+    solver.solve_batch(assignments, dtype="float32")  # warm the float32 LU
+
+    start = time.perf_counter()
+    solver.solve_batch(assignments)
+    float64_seconds = time.perf_counter() - start
+
+    fields = benchmark(lambda: solver.solve_batch(assignments, dtype="float32"))
+    assert len(fields) == 16
+    worst = max(
+        float(np.abs(f32.values.astype(np.float64) - f64.values).max())
+        for f32, f64 in zip(fields, reference)
+    )
+    assert worst <= 1e-3
+    benchmark.extra_info["cases_per_round"] = 16
+    benchmark.extra_info["float64_batch_seconds"] = float64_seconds
+    benchmark.extra_info["max_abs_error_K"] = worst
 
 
 def test_dataset_generation_cached_vs_cold(benchmark, chip_and_case):

@@ -15,9 +15,12 @@
 # files).  GC is disabled during timing for stable numbers.
 # bench_serving.py records the serving acceptance numbers: micro-batched fvm
 # requests/sec vs the unbatched per-request baseline (>= 5x at batch >= 8),
-# closed-loop p50/p95 latency for the fvm and operator backends, and the
+# closed-loop p50/p95/p99 latency for the fvm and operator backends, and the
 # multi-worker scaling curve (>= 1.5x throughput at --workers 4 vs 1 for
-# mixed-chip fvm load at resolution 32).
+# mixed-chip fvm load at resolution 32).  bench_exec.py records the
+# execution-plane scaling numbers: fvm dataset generation through a 4-worker
+# ProcessPlane vs SerialPlane (>= 1.7x on hosts with >= 4 cores, bitwise
+# identical outputs) and serving throughput inline vs on a process plane.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,12 +33,21 @@ if [[ "${1:-}" == "--smoke" ]]; then
     python -m compileall -q src
     echo "== smoke: CLI surface sanity =="
     python -m repro.cli chips > /dev/null
+    echo "== smoke: generate --exec processes (2-worker dataset generation) =="
+    SMOKE_DATASET="$(mktemp -t repro_smoke_dataset_XXXXXX.npz)"
+    trap 'rm -f "$SMOKE_DATASET"' EXIT
+    python -m repro.cli generate --chip chip1 --resolution 12 --samples 8 \
+        --batch-size 4 --exec processes --exec-workers 2 \
+        --output "$SMOKE_DATASET" > /dev/null
     echo "== smoke: serve --workers 2 end-to-end (solve + transient + stats) =="
     python benchmarks/smoke_serving.py
+    echo "== smoke: serve --exec processes end-to-end (plane-backed solves) =="
+    python benchmarks/smoke_serving.py --exec processes --exec-workers 2
     echo "== smoke: benchmark bodies (no timing repetitions) =="
     python -m pytest \
         benchmarks/bench_solver_kernels.py \
         benchmarks/bench_serving.py \
+        benchmarks/bench_exec.py \
         --benchmark-disable \
         -q "$@"
     echo "smoke benchmarks ok"
@@ -49,6 +61,7 @@ mkdir -p "$(dirname "$OUTPUT")"
 python -m pytest \
     benchmarks/bench_solver_kernels.py \
     benchmarks/bench_serving.py \
+    benchmarks/bench_exec.py \
     --benchmark-only \
     --benchmark-disable-gc \
     --benchmark-json="$OUTPUT" \

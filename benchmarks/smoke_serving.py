@@ -8,6 +8,12 @@ then delivers SIGINT and asserts the process exits 0 (the CLI's clean
 KeyboardInterrupt path).  This is the end-to-end guard the unit tests can't
 give: the actual CLI wiring of workers/queue/cache flags, the actual HTTP
 loop, the actual signal-driven shutdown.
+
+Extra command-line arguments are forwarded to ``repro-thermal serve``, which
+the smoke runner uses for a second pass with ``--exec processes
+--exec-workers 2`` — the multi-core execution plane booted through the real
+CLI, with ``/stats`` asserting the plane is live and SIGINT asserting its
+worker processes die with the server.
 """
 
 import json
@@ -42,6 +48,7 @@ def _post(url, body):
 
 
 def main() -> int:
+    extra_args = sys.argv[1:]
     process = subprocess.Popen(
         [
             sys.executable, "-m", "repro.cli", "serve",
@@ -50,6 +57,7 @@ def main() -> int:
             "--max-queue", "64",
             "--cache-ttl", "600",
             "--cache-max-mb", "32",
+            *extra_args,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -82,11 +90,17 @@ def main() -> int:
         assert stats["total_requests"] >= 1, stats
         assert stats["transient_endpoint"]["requests"] == 1, stats
         assert stats["session"]["result_cache"]["ttl_s"] == 600.0, stats
+        if "--exec" in extra_args:
+            exec_kind = extra_args[extra_args.index("--exec") + 1]
+            plane = stats["session"]["plane"]
+            assert plane and plane["kind"] == exec_kind, stats
+            assert plane["tasks"] >= 1, stats  # /solve actually rode the plane
 
         process.send_signal(signal.SIGINT)
         returncode = process.wait(timeout=STARTUP_TIMEOUT_S)
         assert returncode == 0, f"server exited {returncode} on SIGINT"
-        print("serving smoke ok: /solve /solve_transient /stats + clean shutdown")
+        suffix = f" (exec: {' '.join(extra_args)})" if extra_args else ""
+        print("serving smoke ok: /solve /solve_transient /stats + clean shutdown" + suffix)
         return 0
     finally:
         if process.poll() is None:

@@ -61,6 +61,7 @@ from repro.data.generation import (
     DEFAULT_BATCH_SIZE,
     DatasetSpec,
     generate_dataset as _generate_dataset,
+    generate_multifidelity_pair as _generate_multifidelity_pair,
 )
 from repro.data.power import (
     PowerCase,
@@ -75,6 +76,13 @@ from repro.operators.factory import (
     save_operator,
 )
 from repro.operators.gar import GARRegressor
+from repro.runtime.plane import ExecutionPlane, PlaneTask
+from repro.runtime.tasks import (
+    BackendSpec,
+    backend_state_key,
+    build_backend_adapter,
+    solve_cases,
+)
 from repro.solvers.hotspot import HotSpotModel
 from repro.solvers.transient import PowerTrace
 from repro.training.trainer import Trainer, TrainingConfig, TrainingHistory
@@ -82,47 +90,24 @@ from repro.training.trainer import Trainer, TrainingConfig, TrainingHistory
 #: Grid resolution used when a query does not specify one.
 DEFAULT_RESOLUTION = 32
 
+#: Backends a session dispatches onto its execution plane.  ``operator``
+#: surrogates live in the parent session's model registry and solve inline;
+#: ``hotspot`` answers in microseconds, so shipping it across a process
+#: boundary would cost more than the solve — it stays inline too (its state
+#: *can* be rebuilt on a worker, see :mod:`repro.runtime.tasks`).
+PLANE_BACKENDS = ("fvm", "transient")
+
 ChipLike = Union[str, ChipStack]
 
 
 def _chip_fingerprint(chip: ChipStack) -> str:
-    """Structural identity of a chip design.
+    """Structural identity of a chip design (see :meth:`ChipStack.fingerprint`).
 
-    Two independently built :class:`ChipStack` objects describing the same
-    design must fingerprint equally (``Floorplan`` is a plain class, so
-    ``==`` cannot tell a rebuilt design from a changed one), and any change
-    that affects the discretisation — dimensions, layers, materials,
-    floorplans, cooling — must change the fingerprint.  Used to decide when
-    re-registering a chip name must invalidate pooled factorisations and
-    cached answers.
+    Kept as a module-level helper for compatibility; the logic moved onto
+    :class:`~repro.chip.stack.ChipStack` so the execution planes can embed
+    the same identity in warm-state keys without importing the session.
     """
-    parts = [
-        chip.name,
-        repr((chip.die_width_mm, chip.die_height_mm, chip.power_budget_W)),
-        repr(chip.cooling),
-    ]
-    for layer in chip.layers:
-        floorplan = None
-        if layer.floorplan is not None:
-            floorplan = (
-                layer.floorplan.name,
-                layer.floorplan.width,
-                layer.floorplan.height,
-                tuple(layer.floorplan.blocks),
-            )
-        parts.append(
-            repr(
-                (
-                    layer.name,
-                    layer.thickness_mm,
-                    layer.material,
-                    layer.is_power_layer,
-                    layer.tsv_array,
-                    floorplan,
-                )
-            )
-        )
-    return "\x00".join(parts)
+    return chip.fingerprint()
 
 
 def _solution_nbytes(solution: ThermalSolution) -> int:
@@ -270,6 +255,13 @@ class ThermalSession:
         An existing :class:`ModelRegistry` to share; a fresh one otherwise.
     operator_batch_size:
         Forward-pass batch size of the operator backend.
+    plane:
+        An optional :class:`~repro.runtime.plane.ExecutionPlane` this
+        session dispatches its batched field solves onto (see
+        :data:`PLANE_BACKENDS`).  ``None`` — the default — solves inline on
+        the calling thread, exactly the historical behaviour.  The caller
+        owns the plane's lifecycle (``close()`` it, or use it as a context
+        manager); one plane may be shared by several sessions.
     """
 
     def __init__(
@@ -282,9 +274,11 @@ class ThermalSession:
         result_cache: Optional[ResultCache] = None,
         models: Optional[ModelRegistry] = None,
         operator_batch_size: int = 32,
+        plane: Optional[ExecutionPlane] = None,
     ):
         self.cells_per_layer = cells_per_layer
         self.operator_batch_size = operator_batch_size
+        self.plane = plane
         self._chips: Dict[str, ChipStack] = {}
         self._pools: Dict[str, LRUPool] = {
             name: LRUPool(pool_size) for name in ("fvm", "hotspot", "transient")
@@ -523,12 +517,21 @@ class ThermalSession:
         include_maps: bool = False,
         include_values: bool = False,
         use_cache: bool = True,
+        plane: Optional[ExecutionPlane] = None,
     ) -> List[ThermalSolution]:
         """Answer many power cases in one batched backend call.
 
         Cached answers are returned immediately; only the misses reach the
         backend, together, so a warm cache turns a batch into one dictionary
         pass and the cold remainder still amortises the factorisation.
+
+        ``plane`` (default: the session's configured plane) routes the miss
+        batch of a plane-eligible backend (:data:`PLANE_BACKENDS`) onto an
+        execution plane: small batches travel whole to the worker owning
+        the key's warm state, while batches large enough to feed every
+        worker are split into per-worker chunks — each worker warms its own
+        factorisation, so a big batch genuinely runs on several cores.  The
+        answers are bitwise-identical to inline solving either way.
         """
         chip_stack = self._resolve_chip(chip)
         assignments = [self._coerce_assignment(chip_stack, case) for case in cases]
@@ -561,17 +564,30 @@ class ThermalSession:
                 else:
                     misses.append(index)
         if misses:
-            adapter = self.backend(backend, chip_stack, resolution)
-            if include_values and not adapter.capabilities().get("values", False):
-                raise ValueError(
-                    f"backend '{backend}' cannot produce a 3-D field; drop "
-                    "include_values or use a field backend (fvm, transient)"
+            plane = plane if plane is not None else self.plane
+            miss_assignments = [assignments[index] for index in misses]
+            if plane is not None and backend in PLANE_BACKENDS:
+                solved = self._solve_batch_on_plane(
+                    plane,
+                    chip_stack,
+                    resolution,
+                    backend,
+                    miss_assignments,
+                    include_maps=include_maps,
+                    include_values=include_values,
                 )
-            solved = adapter.solve_batch(
-                [assignments[index] for index in misses],
-                include_maps=include_maps,
-                include_values=include_values,
-            )
+            else:
+                adapter = self.backend(backend, chip_stack, resolution)
+                if include_values and not adapter.capabilities().get("values", False):
+                    raise ValueError(
+                        f"backend '{backend}' cannot produce a 3-D field; drop "
+                        "include_values or use a field backend (fvm, transient)"
+                    )
+                solved = adapter.solve_batch(
+                    miss_assignments,
+                    include_maps=include_maps,
+                    include_values=include_values,
+                )
             for index, solution in zip(misses, solved):
                 solutions[index] = solution
                 if use_cache:
@@ -581,6 +597,61 @@ class ThermalSession:
                         keys[index], solution.clone(), _solution_nbytes(solution)
                     )
         return solutions  # type: ignore[return-value]
+
+    def _solve_batch_on_plane(
+        self,
+        plane: ExecutionPlane,
+        chip_stack: ChipStack,
+        resolution: int,
+        backend: str,
+        assignments: List[Dict[str, float]],
+        *,
+        include_maps: bool,
+        include_values: bool,
+    ) -> List[ThermalSolution]:
+        """Dispatch one homogeneous miss batch onto an execution plane.
+
+        The batch becomes one task (routed by warm-state key affinity) when
+        it is small, or ``plane.workers`` chunk tasks pinned to distinct
+        worker slots when it can feed every worker — the chunk results are
+        re-concatenated in order, so callers see exactly the inline answer
+        list.
+        """
+        spec = BackendSpec(
+            chip=chip_stack,
+            resolution=resolution,
+            backend=backend,
+            cells_per_layer=self.cells_per_layer,
+        )
+        key = backend_state_key(spec)
+        if plane.workers > 1 and len(assignments) >= 2 * plane.workers:
+            bounds = np.linspace(0, len(assignments), plane.workers + 1).astype(int)
+            chunks = [
+                (slot, assignments[bounds[slot]:bounds[slot + 1]])
+                for slot in range(plane.workers)
+                if bounds[slot] < bounds[slot + 1]
+            ]
+        else:
+            chunks = [(None, assignments)]
+        tasks = [
+            PlaneTask(
+                fn=solve_cases,
+                payload={
+                    "assignments": chunk,
+                    "include_maps": include_maps,
+                    "include_values": include_values,
+                },
+                state_key=key,
+                state_factory=build_backend_adapter,
+                state_spec=spec,
+                affinity=slot,
+            )
+            for slot, chunk in chunks
+        ]
+        solved: List[ThermalSolution] = []
+        for chunk_solutions in plane.run_all(tasks):
+            solved.extend(chunk_solutions)
+        return solved
 
     def solve_transient(
         self,
@@ -623,14 +694,16 @@ class ThermalSession:
         seed: int = 0,
         batch_size: int = DEFAULT_BATCH_SIZE,
         verbose: bool = False,
+        plane: Optional[ExecutionPlane] = None,
         **spec_options: Any,
     ) -> ThermalDataset:
         """Generate a (power map -> temperature field) training dataset.
 
-        Runs the prepare-once / solve-many FVM pipeline; ``spec_options``
-        forwards the remaining :class:`~repro.data.generation.DatasetSpec`
-        fields (``core_bias``, ``idle_probability``,
-        ``total_power_range_W``).
+        Runs the prepare-once / solve-many FVM pipeline, sharded across
+        ``plane`` (default: the session's configured plane, else inline
+        serial); ``spec_options`` forwards the remaining
+        :class:`~repro.data.generation.DatasetSpec` fields (``core_bias``,
+        ``idle_probability``, ``total_power_range_W``).
         """
         chip_stack = self._resolve_chip(chip)
         spec = DatasetSpec(
@@ -641,7 +714,13 @@ class ThermalSession:
             cells_per_layer=self.cells_per_layer,
             **spec_options,
         )
-        return _generate_dataset(spec, chip=chip_stack, verbose=verbose, batch_size=batch_size)
+        return _generate_dataset(
+            spec,
+            chip=chip_stack,
+            verbose=verbose,
+            batch_size=batch_size,
+            plane=plane if plane is not None else self.plane,
+        )
 
     def generate_multifidelity_pair(
         self,
@@ -652,19 +731,31 @@ class ThermalSession:
         num_high: int,
         seed: int = 0,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        plane: Optional[ExecutionPlane] = None,
+        share_geometry: bool = True,
     ) -> Tuple[ThermalDataset, ThermalDataset]:
-        """The low/high-fidelity dataset pair used by transfer learning."""
-        if low_resolution >= high_resolution:
-            raise ValueError("low_resolution must be strictly smaller than high_resolution")
-        low = self.generate_dataset(
-            chip, resolution=low_resolution, num_samples=num_low, seed=seed,
+        """The low/high-fidelity dataset pair used by transfer learning.
+
+        When the high resolution is an integer multiple of the low (and
+        ``share_geometry`` is left on), the chip is voxelised once at the
+        high resolution and the low-fidelity geometry is derived by
+        :meth:`~repro.solvers.voxelize.GridGeometry.coarsen`, sharing the
+        vertical layout and floorplan rasters across the pair.
+        """
+        chip_stack = self._resolve_chip(chip)
+        return _generate_multifidelity_pair(
+            chip_stack.name,
+            low_resolution,
+            high_resolution,
+            num_low,
+            num_high,
+            seed=seed,
+            cells_per_layer=self.cells_per_layer,
             batch_size=batch_size,
+            chip=chip_stack,
+            plane=plane if plane is not None else self.plane,
+            share_geometry=share_geometry,
         )
-        high = self.generate_dataset(
-            chip, resolution=high_resolution, num_samples=num_high, seed=seed + 1,
-            batch_size=batch_size,
-        )
-        return low, high
 
     # ------------------------------------------------------------------
     # Training and evaluation
@@ -763,6 +854,7 @@ class ThermalSession:
             "pools": {name: pool.stats() for name, pool in self._pools.items()},
             "models": len(self.models),
             "custom_chips": sorted(self._chips),
+            "plane": self.plane.stats() if self.plane is not None else None,
         }
 
 

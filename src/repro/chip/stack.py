@@ -146,6 +146,47 @@ class ChipStack:
         """Total power (W) of a flat ``"layer/block" -> power`` assignment."""
         return float(sum(assignment.values()))
 
+    def fingerprint(self) -> str:
+        """Structural identity of this design.
+
+        Two independently built :class:`ChipStack` objects describing the
+        same design must fingerprint equally (``Floorplan`` is a plain
+        class, so ``==`` cannot tell a rebuilt design from a changed one),
+        and any change that affects the discretisation — dimensions,
+        layers, materials, floorplans, cooling — must change the
+        fingerprint.  The session uses it to decide when re-registering a
+        chip name must invalidate pooled factorisations, and the execution
+        planes embed a digest of it in warm-state keys so two different
+        designs sharing a name never share a factorisation.
+        """
+        parts = [
+            self.name,
+            repr((self.die_width_mm, self.die_height_mm, self.power_budget_W)),
+            repr(self.cooling),
+        ]
+        for layer in self.layers:
+            floorplan = None
+            if layer.floorplan is not None:
+                floorplan = (
+                    layer.floorplan.name,
+                    layer.floorplan.width,
+                    layer.floorplan.height,
+                    tuple(layer.floorplan.blocks),
+                )
+            parts.append(
+                repr(
+                    (
+                        layer.name,
+                        layer.thickness_mm,
+                        layer.material,
+                        layer.is_power_layer,
+                        layer.tsv_array,
+                        floorplan,
+                    )
+                )
+            )
+        return "\x00".join(parts)
+
     def summary(self) -> str:
         """A human-readable description used by examples and benches."""
         lines = [

@@ -51,6 +51,7 @@ from repro.chip.designs import get_chip, list_chips
 from repro.data.dataset import ThermalDataset
 from repro.data.generation import DEFAULT_BATCH_SIZE
 from repro.data.power import error_message, parse_power_spec
+from repro.runtime.plane import PLANE_KINDS
 from repro.evaluation.reporting import ascii_heatmap, format_table
 from repro.operators.factory import OPERATOR_REGISTRY
 from repro.training.trainer import TrainingConfig
@@ -73,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
                           help="power cases solved per batched factorization pass")
+    generate.add_argument("--exec", dest="exec_plane", default="serial",
+                          choices=list(PLANE_KINDS),
+                          help="execution plane solving the batches: 'serial' "
+                               "(inline, the default), 'threads', or 'processes' "
+                               "(worker processes with warm per-process "
+                               "factorizations — true multi-core generation)")
+    generate.add_argument("--exec-workers", type=int, default=None, metavar="N",
+                          help="workers of the execution plane (default: the "
+                               "host CPU count; ignored for --exec serial)")
     generate.add_argument("--output", required=True, help="output .npz path")
 
     train = subparsers.add_parser("train", help="train an operator on a generated dataset")
@@ -118,6 +128,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1,
                        help="dispatcher worker threads; group keys are sharded "
                             "across them (1 = the classic single dispatcher)")
+    serve.add_argument("--exec", dest="exec_plane", default="serial",
+                       choices=list(PLANE_KINDS),
+                       help="where each group's batched solve runs: 'serial' "
+                            "(inline in the dispatcher thread, the default), "
+                            "'threads', or 'processes' (worker processes with "
+                            "warm per-process factorizations — multi-core "
+                            "serving on multi-core hosts)")
+    serve.add_argument("--exec-workers", type=int, default=None, metavar="N",
+                       help="workers of the execution plane (default: the host "
+                            "CPU count; ignored for --exec serial)")
     serve.add_argument("--max-queue", type=int, default=None, metavar="N",
                        help="admission bound on queued requests; beyond it /solve "
                             "answers 429 immediately (default: unbounded)")
@@ -170,17 +190,39 @@ def _cmd_chips(_args) -> int:
     return 0
 
 
+def _make_plane(args):
+    """Build the execution plane a subcommand asked for (None for serial).
+
+    ``--exec serial`` maps to no plane at all: the inline code path is the
+    historical single-core pipeline, bitwise-identical by construction.
+    """
+    if args.exec_plane == "serial":
+        return None
+    from repro.runtime import create_plane
+
+    if args.exec_workers is not None and args.exec_workers < 1:
+        raise ValueError("--exec-workers must be >= 1")
+    return create_plane(args.exec_plane, workers=args.exec_workers)
+
+
 def _cmd_generate(args) -> int:
-    session = ThermalSession()
-    print(f"generating {args.samples} cases for {args.chip} at {args.resolution}x{args.resolution} ...")
-    dataset = session.generate_dataset(
-        args.chip,
-        resolution=args.resolution,
-        num_samples=args.samples,
-        seed=args.seed,
-        batch_size=args.batch_size,
-        verbose=True,
-    )
+    plane = _make_plane(args)
+    session = ThermalSession(plane=plane)
+    where = f" on a {plane.kind} plane ({plane.workers} workers)" if plane is not None else ""
+    print(f"generating {args.samples} cases for {args.chip} "
+          f"at {args.resolution}x{args.resolution}{where} ...")
+    try:
+        dataset = session.generate_dataset(
+            args.chip,
+            resolution=args.resolution,
+            num_samples=args.samples,
+            seed=args.seed,
+            batch_size=args.batch_size,
+            verbose=True,
+        )
+    finally:
+        if plane is not None:
+            plane.close()
     dataset.save(args.output)
     print(f"wrote {args.output}: inputs {dataset.inputs.shape}, targets {dataset.targets.shape}")
     return 0
@@ -302,11 +344,13 @@ def _cmd_serve(args) -> int:
         raise ValueError("--workers must be >= 1")
     if args.cache_max_mb <= 0:
         raise ValueError("--cache-max-mb must be positive")
+    plane = _make_plane(args)
     session = ThermalSession(
         pool_size=args.solver_cache_size,
         result_cache_size=args.result_cache_size,
         result_cache_max_bytes=int(args.cache_max_mb * 1024 * 1024),
         result_cache_ttl_s=args.cache_ttl,
+        plane=plane,
     )
     for path in args.models:
         _load_model(session, path)
@@ -326,7 +370,8 @@ def _cmd_serve(args) -> int:
     print(f"  backends: {', '.join(sorted(backends))}"
           + (f" ({len(args.models)} operator model(s) loaded)" if args.models else ""))
     print(f"  workers: {args.workers}"
-          + (f" · max queue: {args.max_queue}" if args.max_queue else ""))
+          + (f" · max queue: {args.max_queue}" if args.max_queue else "")
+          + (f" · exec: {plane.kind} ({plane.workers} workers)" if plane is not None else ""))
     print("  endpoints: POST /solve /solve_transient · GET /chips /models /healthz /stats",
           flush=True)
     print("  example: curl -s -X POST "
@@ -339,12 +384,19 @@ def _cmd_serve(args) -> int:
         # are daemons and die with the process.  Interpreter finalisation can
         # race those daemons' stdio teardown (observed as exit status 120),
         # so flush explicitly and exit hard: for a service process SIGINT ->
-        # clean "shutting down" -> exit 0 must be deterministic.
+        # clean "shutting down" -> exit 0 must be deterministic.  The plane's
+        # worker processes must be stopped *before* os._exit, which skips the
+        # atexit hooks that would otherwise reap them.
         server.close()
+        if plane is not None:
+            plane.close()
         sys.stdout.flush()
         sys.stderr.flush()
         import os
         os._exit(0)
+    finally:
+        if plane is not None:
+            plane.close()
     return 0
 
 

@@ -1,0 +1,37 @@
+"""Unified multi-core execution plane.
+
+One abstraction — :class:`~repro.runtime.plane.ExecutionPlane` — decides
+*who runs the solve*: inline on the calling thread
+(:class:`~repro.runtime.plane.SerialPlane`, the bitwise-identical default),
+on a pool of threads (:class:`~repro.runtime.plane.ThreadPlane`), or on
+spawned worker processes that keep warm per-process solver state
+(:class:`~repro.runtime.plane.ProcessPlane`).  Dataset generation, the API
+session's ``solve_batch`` and the serving engine all submit their batched
+solver work through this one interface, so multi-core scaling lands in
+every layer at once (``repro-thermal generate/serve --exec processes``).
+
+:mod:`repro.runtime.tasks` holds the picklable task functions and
+warm-state recipes those layers submit.
+"""
+
+from repro.runtime.plane import (
+    DEFAULT_STATE_CAPACITY,
+    PLANE_KINDS,
+    ExecutionPlane,
+    PlaneTask,
+    ProcessPlane,
+    SerialPlane,
+    ThreadPlane,
+    create_plane,
+)
+
+__all__ = [
+    "DEFAULT_STATE_CAPACITY",
+    "PLANE_KINDS",
+    "ExecutionPlane",
+    "PlaneTask",
+    "ProcessPlane",
+    "SerialPlane",
+    "ThreadPlane",
+    "create_plane",
+]

@@ -1,0 +1,716 @@
+"""Execution planes: who runs the solve, and on which core.
+
+Every compute layer of the reproduction — dataset generation, the session's
+``solve_batch``, the serving engine's micro-batch dispatch — ultimately asks
+the same question: *run this batched solver call against warm per-key state
+(prepared geometry + sparse LU factorisation) somewhere*.  Historically the
+answer was always "inline, on the calling thread", which caps every layer at
+one core.  An :class:`ExecutionPlane` abstracts that answer behind one
+submission interface so the three layers scale together:
+
+* :class:`SerialPlane` — runs tasks inline on the calling thread, one at a
+  time, with a warm-state LRU.  Bitwise-identical to the historical inline
+  pipelines and the default everywhere.
+* :class:`ThreadPlane` — a fixed pool of worker threads, each owning its own
+  warm states.  Overlaps batching windows and releases the GIL inside SciPy
+  back-substitutions, but heavy Python-side work still contends.
+* :class:`ProcessPlane` — spawned worker **processes**, each keeping warm
+  per-process solver state, so batched solves run on separate cores with no
+  GIL in sight.  Task functions and state factories must be module-level
+  (picklable by reference); payloads and results cross process boundaries by
+  pickling.
+
+Tasks carry a ``state_key``: workers cache the expensive state (a prepared
+solver) under that key, so a factorisation is computed at most once per
+worker and amortised across every task routed to it.  Routing is by stable
+key-affinity hashing (CRC-32 of the key's repr), overridable per task with
+an explicit ``affinity`` slot — dataset generation uses that to shard one
+key's batches round-robin across all workers, each of which then warms its
+own copy of the factorisation.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import queue as queue_module
+import signal
+import threading
+import time
+import zlib
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+
+#: Warm solver states kept per worker before LRU eviction.  Each state can
+#: hold a full sparse LU factorisation, so the bound is deliberately small.
+DEFAULT_STATE_CAPACITY = 4
+
+#: The plane kinds :func:`create_plane` understands.
+PLANE_KINDS = ("serial", "threads", "processes")
+
+#: How many warm keys a plane lists verbatim per worker in :meth:`stats`
+#: before truncating to a count (keeps ``/stats`` payloads bounded).
+_STATS_KEY_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class PlaneTask:
+    """One unit of work for an execution plane.
+
+    Attributes
+    ----------
+    fn:
+        Module-level callable ``fn(state, payload) -> result`` (picklable by
+        reference for :class:`ProcessPlane`).  ``state`` is ``None`` for
+        stateless tasks.
+    payload:
+        Picklable argument forwarded to ``fn``.
+    state_key:
+        Hashable identity of the warm state this task needs; workers build
+        it once (via ``state_factory(state_spec)``) and reuse it for every
+        later task carrying the same key.  ``None`` means stateless.
+    state_factory:
+        Module-level callable building the state from ``state_spec`` on a
+        worker's first encounter with ``state_key``.
+    state_spec:
+        Picklable construction recipe handed to ``state_factory``.
+    affinity:
+        Optional explicit worker slot (taken modulo the worker count).
+        ``None`` routes by stable hash of ``state_key``, keeping every task
+        of one key on one worker; an integer shards a single key's tasks
+        across workers (each warms its own state copy).
+    """
+
+    fn: Callable[[Any, Any], Any]
+    payload: Any = None
+    state_key: Optional[Hashable] = None
+    state_factory: Optional[Callable[[Any], Any]] = None
+    state_spec: Any = None
+    affinity: Optional[int] = None
+
+
+def _stable_slot(key: Hashable, workers: int) -> int:
+    """Deterministic worker slot for a state key (stable across restarts)."""
+    return zlib.crc32(repr(key).encode("utf-8")) % workers
+
+
+class _WarmStates:
+    """A small LRU of per-worker warm states (not thread-safe by itself)."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("state capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def get(self, task: PlaneTask) -> Any:
+        """The warm state for ``task`` (built on first use), or ``None``."""
+        if task.state_key is None:
+            return None
+        if task.state_key in self._entries:
+            self._entries.move_to_end(task.state_key)
+            return self._entries[task.state_key]
+        if task.state_factory is None:
+            raise ValueError(
+                f"task carries state_key {task.state_key!r} but no state_factory"
+            )
+        state = task.state_factory(task.state_spec)
+        self._entries[task.state_key] = state
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return state
+
+    def keys(self) -> List[Hashable]:
+        """Currently resident state keys, least recently used first."""
+        return list(self._entries)
+
+
+class _WorkerStats:
+    """Parent-side bookkeeping of one worker slot (guarded by plane lock)."""
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.errors = 0
+        self.warm_keys: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def snapshot(self) -> Dict[str, Any]:
+        keys = list(self.warm_keys)
+        summary: Dict[str, Any] = {
+            "tasks": self.submitted,
+            "completed": self.completed,
+            "errors": self.errors,
+            "queue_depth": self.submitted - self.completed,
+            "warm_keys": len(keys),
+        }
+        if keys:
+            summary["keys"] = [str(key) for key in keys[-_STATS_KEY_LIMIT:]]
+        return summary
+
+
+class ExecutionPlane:
+    """Common submission surface and statistics of every plane kind."""
+
+    #: Plane kind reported in :meth:`stats` (``serial``/``threads``/``processes``).
+    kind = "base"
+
+    #: Whether :meth:`submit` runs the task to completion before returning
+    #: (true only for :class:`SerialPlane`).  Callers that interleave
+    #: submission with progress reporting check this to submit lazily —
+    #: eagerly submitting to a synchronous plane would run the whole
+    #: workload inside the submission loop.
+    synchronous = False
+
+    def __init__(self, workers: int, state_capacity: int = DEFAULT_STATE_CAPACITY):
+        if workers < 1:
+            raise ValueError("an execution plane needs at least one worker")
+        self.workers = workers
+        self.state_capacity = state_capacity
+        self._stats_lock = threading.Lock()
+        self._worker_stats = [_WorkerStats() for _ in range(workers)]
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _slot_of(self, task: PlaneTask) -> int:
+        if self.workers == 1:
+            return 0
+        if task.affinity is not None:
+            return int(task.affinity) % self.workers
+        if task.state_key is not None:
+            return _stable_slot(task.state_key, self.workers)
+        # Stateless tasks with no affinity spread round-robin by submit order.
+        with self._stats_lock:
+            total = sum(w.submitted for w in self._worker_stats)
+        return total % self.workers
+
+    def _record_submit(self, slot: int, task: PlaneTask) -> bool:
+        """Record a routed task; returns whether its state was already warm.
+
+        The per-slot ``warm_keys`` mirror the worker-side LRU exactly: the
+        worker touches its state cache in this same routing order (one FIFO
+        queue per worker), so evicting here keeps the reported ``warm_keys``
+        equal to what is actually resident (docs tell operators to budget
+        memory from this number) — and a key present in the mirror is
+        guaranteed resident on the worker by the time this task reaches it,
+        which :class:`ProcessPlane` uses to skip re-pickling state specs.
+        """
+        with self._stats_lock:
+            stats = self._worker_stats[slot]
+            stats.submitted += 1
+            if task.state_key is None:
+                return False
+            already_warm = task.state_key in stats.warm_keys
+            stats.warm_keys[task.state_key] = None
+            stats.warm_keys.move_to_end(task.state_key)
+            while len(stats.warm_keys) > self.state_capacity:
+                stats.warm_keys.popitem(last=False)
+            return already_warm
+
+    def _record_done(self, slot: int, failed: bool) -> None:
+        with self._stats_lock:
+            self._worker_stats[slot].completed += 1
+            if failed:
+                self._worker_stats[slot].errors += 1
+
+    # ------------------------------------------------------------------
+    def submit(self, task: PlaneTask) -> Future:
+        """Enqueue one task; the returned future resolves to ``fn``'s result."""
+        raise NotImplementedError
+
+    def run_all(self, tasks: Sequence[PlaneTask], timeout: Optional[float] = None) -> List[Any]:
+        """Submit every task and collect their results in submission order.
+
+        Raises the first task exception encountered (in order), after all
+        futures settle or ``timeout`` (per future) expires.
+        """
+        futures = [self.submit(task) for task in tasks]
+        return [future.result(timeout=timeout) for future in futures]
+
+    def close(self) -> None:
+        """Release the plane's workers (idempotent; no-op for serial)."""
+        self._closed = True
+
+    def __enter__(self) -> "ExecutionPlane":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (closed planes reject submits)."""
+        return self._closed
+
+    def stats(self) -> Dict[str, Any]:
+        """Task counters, per-worker warm keys and queue depths for ``/stats``."""
+        with self._stats_lock:
+            per_worker = [w.snapshot() for w in self._worker_stats]
+        return {
+            "kind": self.kind,
+            "workers": self.workers,
+            "tasks": sum(w["tasks"] for w in per_worker),
+            "completed": sum(w["completed"] for w in per_worker),
+            "errors": sum(w["errors"] for w in per_worker),
+            "queue_depth": sum(w["queue_depth"] for w in per_worker),
+            "per_worker": per_worker,
+        }
+
+
+# ----------------------------------------------------------------------
+# Serial
+# ----------------------------------------------------------------------
+class SerialPlane(ExecutionPlane):
+    """Inline execution on the calling thread — the historical behaviour.
+
+    Tasks run synchronously inside :meth:`submit`, one at a time (a
+    plane-wide lock serialises concurrent submitters), against a single
+    warm-state LRU.  Results are therefore bitwise-identical to the
+    pre-plane pipelines; this is the default plane everywhere.
+    """
+
+    kind = "serial"
+    synchronous = True
+
+    def __init__(self, state_capacity: int = DEFAULT_STATE_CAPACITY):
+        super().__init__(workers=1, state_capacity=state_capacity)
+        self._states = _WarmStates(state_capacity)
+        self._execute_lock = threading.Lock()
+
+    def submit(self, task: PlaneTask) -> Future:
+        """Run ``task`` inline and return its already-settled future."""
+        if self._closed:
+            raise RuntimeError("the execution plane has been closed")
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        self._record_submit(0, task)
+        failed = False
+        with self._execute_lock:
+            try:
+                state = self._states.get(task)
+                result = task.fn(state, task.payload)
+            except BaseException as error:  # noqa: BLE001 — travels to caller
+                failed = True
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+        self._record_done(0, failed)
+        return future
+
+    def stats(self) -> Dict[str, Any]:
+        """Serial stats additionally reflect the live warm-state cache."""
+        summary = super().stats()
+        with self._execute_lock:
+            keys = self._states.keys()
+        summary["per_worker"][0]["warm_keys"] = len(keys)
+        summary["per_worker"][0]["keys"] = [str(key) for key in keys[-_STATS_KEY_LIMIT:]]
+        return summary
+
+
+# ----------------------------------------------------------------------
+# Threads
+# ----------------------------------------------------------------------
+class ThreadPlane(ExecutionPlane):
+    """A fixed pool of worker threads, each owning its own warm states.
+
+    Buys overlap (SciPy's factorisations and back-substitutions release the
+    GIL) without process-spawn or pickling costs, but pure-Python task work
+    still serialises under the GIL — for full multi-core scaling use
+    :class:`ProcessPlane`.
+    """
+
+    kind = "threads"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        state_capacity: int = DEFAULT_STATE_CAPACITY,
+    ):
+        workers = workers if workers is not None else (os.cpu_count() or 1)
+        super().__init__(workers=workers, state_capacity=state_capacity)
+        self._queues: List[deque] = [deque() for _ in range(self.workers)]
+        self._wakeups = [threading.Condition() for _ in range(self.workers)]
+        self._threads: List[threading.Thread] = []
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._run, args=(index,), name=f"plane-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def submit(self, task: PlaneTask) -> Future:
+        """Route ``task`` to its worker thread's queue."""
+        slot = self._slot_of(task)
+        future: Future = Future()
+        with self._wakeups[slot]:
+            # Checked under the worker's condition: a submit racing close()
+            # must fail fast rather than park a future no worker will drain.
+            if self._closed:
+                raise RuntimeError("the execution plane has been closed")
+            self._record_submit(slot, task)
+            self._queues[slot].append((task, future))
+            self._wakeups[slot].notify()
+        return future
+
+    def _run(self, index: int) -> None:
+        states = _WarmStates(self.state_capacity)
+        wakeup = self._wakeups[index]
+        queue = self._queues[index]
+        while True:
+            with wakeup:
+                while not queue and not self._closed:
+                    wakeup.wait()
+                if not queue:
+                    return  # closed and drained
+                task, future = queue.popleft()
+            if not future.set_running_or_notify_cancel():
+                self._record_done(index, failed=False)
+                continue
+            failed = False
+            try:
+                state = states.get(task)
+                result = task.fn(state, task.payload)
+            except BaseException as error:  # noqa: BLE001
+                failed = True
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+            self._record_done(index, failed)
+
+    def close(self) -> None:
+        """Drain the queues, then stop and join every worker thread."""
+        if self._closed:
+            return
+        self._closed = True
+        for wakeup in self._wakeups:
+            with wakeup:
+                wakeup.notify_all()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+
+
+# ----------------------------------------------------------------------
+# Processes
+# ----------------------------------------------------------------------
+def _process_worker_main(index, parent_pid, task_queue, result_queue, state_capacity):
+    """Loop of one spawned worker: build warm state on demand, run tasks.
+
+    SIGINT is ignored — on Ctrl+C the parent coordinates shutdown through
+    the queues, so workers must not die mid-task with corrupted pipes.  The
+    loop also exits when the parent disappears (re-parented), so killed
+    parents do not leave orphan solver processes behind.
+
+    Results are pickled *explicitly* (not left to the queue's feeder
+    thread): a feeder-thread pickling error is printed and swallowed, which
+    would strand the caller's future forever, whereas pickling inside the
+    task's try block turns an unpicklable result into an error the caller
+    actually receives.
+
+    A per-key *recipe* cache (the last shipped ``(state_factory,
+    state_spec)``, evicted in lockstep with the state LRU) lets the worker
+    rebuild state for spec-elided tasks — the parent stops shipping the
+    construction recipe once it believes a key is warm, and without the
+    recipe a single failed factory call (e.g. an OOM during factorisation)
+    would poison that key for the plane's lifetime instead of being retried.
+    """
+    import pickle
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    states = _WarmStates(state_capacity)
+    recipes: "OrderedDict[Hashable, tuple]" = OrderedDict()
+    while True:
+        try:
+            message = task_queue.get(timeout=1.0)
+        except queue_module.Empty:
+            if os.getppid() != parent_pid:
+                return  # the parent is gone; do not linger as an orphan
+            continue
+        if message is None:
+            return
+        task_id, fn, state_key, state_factory, state_spec, payload = pickle.loads(message)
+        if state_key is not None:
+            if state_factory is not None:
+                recipes[state_key] = (state_factory, state_spec)
+            if state_key in recipes:
+                recipes.move_to_end(state_key)
+                while len(recipes) > state_capacity:
+                    recipes.popitem(last=False)
+                if state_factory is None:
+                    state_factory, state_spec = recipes[state_key]
+        try:
+            task = PlaneTask(
+                fn=fn,
+                payload=payload,
+                state_key=state_key,
+                state_factory=state_factory,
+                state_spec=state_spec,
+            )
+            result = fn(states.get(task), payload)
+            blob = pickle.dumps((True, result), protocol=pickle.HIGHEST_PROTOCOL)
+        except BaseException as error:  # noqa: BLE001 — shipped to the parent
+            try:
+                blob = pickle.dumps((False, error), protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:  # noqa: BLE001 — unpicklable exception objects
+                blob = pickle.dumps(
+                    (False, RuntimeError(f"{type(error).__name__}: {error}")),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+        result_queue.put((task_id, blob))
+
+
+class ProcessPlane(ExecutionPlane):
+    """Spawned worker processes with warm per-process solver state.
+
+    Each worker keeps an LRU of prepared solver states keyed by the tasks'
+    ``state_key`` — a factorisation is computed once per worker and then
+    amortised across every task routed to it — and runs its tasks strictly
+    in order, so a warm state is never driven concurrently.  This is the
+    plane that buys true multi-core scaling: batched back-substitutions,
+    rasterisation and result assembly all run outside the parent's GIL.
+
+    Workers ignore SIGINT (the parent coordinates shutdown), exit when the
+    parent disappears, and are terminated by :meth:`close` — which the
+    context-manager exit and an ``atexit`` hook both invoke, so no orphan
+    solver processes outlive the session.
+    """
+
+    kind = "processes"
+
+    #: Seconds :meth:`close` waits for workers to finish their current task
+    #: before escalating to ``terminate()``.
+    SHUTDOWN_GRACE_S = 10.0
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        state_capacity: int = DEFAULT_STATE_CAPACITY,
+    ):
+        import multiprocessing
+
+        workers = workers if workers is not None else (os.cpu_count() or 1)
+        super().__init__(workers=workers, state_capacity=state_capacity)
+        context = multiprocessing.get_context("spawn")
+        self._task_queues = [context.Queue() for _ in range(self.workers)]
+        self._result_queue = context.Queue()
+        self._processes = []
+        for index in range(self.workers):
+            process = context.Process(
+                target=_process_worker_main,
+                args=(
+                    index,
+                    os.getpid(),
+                    self._task_queues[index],
+                    self._result_queue,
+                    state_capacity,
+                ),
+                name=f"plane-worker-{index}",
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+        self._lock = threading.Lock()
+        self._next_task_id = 0
+        self._pending: Dict[int, tuple] = {}  # task_id -> (future, slot)
+        self._collector = threading.Thread(
+            target=self._collect, name="plane-collector", daemon=True
+        )
+        self._collector.start()
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    def submit(self, task: PlaneTask) -> Future:
+        """Ship ``task`` to its worker process' queue.
+
+        The pending registration, warm-key record and enqueue happen under
+        one lock: that keeps a submit racing :meth:`close` failing fast
+        (instead of hitting a torn-down queue), and keeps the warm-key
+        mirror's order identical to the queue order, which the state-spec
+        elision below depends on.
+        """
+        import pickle
+
+        slot = self._slot_of(task)
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("the execution plane has been closed")
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            already_warm = self._record_submit(slot, task)
+            # A key the mirror marks warm is resident on the worker by the
+            # time this (FIFO-ordered) task arrives, so the construction
+            # recipe need not be re-pickled — state specs carry whole chip
+            # descriptions and optionally shared geometries, which would
+            # otherwise ride along with every batch.  (The worker keeps the
+            # last shipped recipe per key, so it can rebuild after a failed
+            # factory call.)
+            factory = None if already_warm else task.state_factory
+            spec = None if already_warm else task.state_spec
+            try:
+                # Pickle explicitly: an error in the queue's feeder thread
+                # would be swallowed and the future never resolved, whereas
+                # here the submitter gets the TypeError immediately.
+                blob = pickle.dumps(
+                    (task_id, task.fn, task.state_key, factory, spec, task.payload),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            except Exception as error:
+                self._record_done(slot, failed=True)
+                if not already_warm and task.state_key is not None:
+                    # The recipe never reached the worker: un-mark the key
+                    # so a retry ships the spec again instead of eliding it.
+                    with self._stats_lock:
+                        self._worker_stats[slot].warm_keys.pop(task.state_key, None)
+                raise ValueError(
+                    f"plane task is not picklable for process execution: {error}"
+                ) from error
+            self._pending[task_id] = (future, slot)
+            self._task_queues[slot].put(blob)
+        return future
+
+    def _collect(self) -> None:
+        """Drain worker results into futures; fail tasks of dead workers."""
+        import pickle
+
+        while True:
+            try:
+                task_id, blob = self._result_queue.get(timeout=0.25)
+            except queue_module.Empty:
+                with self._lock:
+                    drained = self._closed and not self._pending
+                if drained:
+                    return
+                self._fail_dead_workers()
+                continue
+            ok, value = pickle.loads(blob)
+            with self._lock:
+                entry = self._pending.pop(task_id, None)
+            if entry is None:
+                continue  # already failed by the dead-worker watchdog
+            future, slot = entry
+            self._record_done(slot, failed=not ok)
+            if not future.set_running_or_notify_cancel():
+                continue
+            if ok:
+                future.set_result(value)
+            else:
+                future.set_exception(value)
+
+    def _fail_dead_workers(self) -> None:
+        """Fail pending futures routed to workers that have exited.
+
+        Without this, a crashed worker (OOM kill, hard fault inside native
+        code) would leave its callers blocked on futures forever.
+        """
+        dead = {
+            slot
+            for slot, process in enumerate(self._processes)
+            if process.exitcode is not None
+        }
+        if not dead:
+            return
+        with self._lock:
+            if self._closed:
+                return  # close() fails the stragglers itself
+            doomed = [
+                (task_id, future, slot)
+                for task_id, (future, slot) in self._pending.items()
+                if slot in dead
+            ]
+            for task_id, _, _ in doomed:
+                del self._pending[task_id]
+        for _, future, slot in doomed:
+            self._record_done(slot, failed=True)
+            if future.set_running_or_notify_cancel():
+                future.set_exception(
+                    RuntimeError(
+                        f"plane worker {slot} exited "
+                        f"(exit code {self._processes[slot].exitcode}) "
+                        "before answering this task"
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker process; escalate politely (sentinel → terminate
+        → kill) and fail any still-pending futures.  Idempotent, and also
+        registered via ``atexit`` so forgotten planes cannot orphan workers.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        atexit.unregister(self.close)  # the hook held the last plane reference
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(None)
+            except (OSError, ValueError):
+                pass  # queue already torn down
+        # One shared wall-clock budget for every worker, not a grace period
+        # per worker — with many workers mid-solve, sequential full-length
+        # joins would multiply the documented shutdown latency.
+        deadline = time.monotonic() + self.SHUTDOWN_GRACE_S
+        for process in self._processes:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            if process.is_alive():
+                process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover — terminate() refused
+                process.kill()
+                process.join(timeout=2.0)
+        # Fail whatever never got answered (workers died holding tasks).
+        with self._lock:
+            leftovers = list(self._pending.items())
+            self._pending.clear()
+        for _, (future, slot) in leftovers:
+            self._record_done(slot, failed=True)
+            if future.set_running_or_notify_cancel():
+                future.set_exception(RuntimeError("the execution plane has been closed"))
+        if self._collector.is_alive() and threading.current_thread() is not self._collector:
+            self._collector.join(timeout=5.0)
+        for task_queue in self._task_queues:
+            task_queue.cancel_join_thread()
+            task_queue.close()
+        self._result_queue.cancel_join_thread()
+        self._result_queue.close()
+        # Drop the queue references so their semaphores finalise now rather
+        # than at interpreter exit — the serve CLI's deterministic-shutdown
+        # path ends in os._exit, which would otherwise skip those finalisers
+        # and leave the multiprocessing resource tracker warning about
+        # leaked semaphores.
+        self._task_queues = []
+        self._result_queue = None
+        import gc
+
+        gc.collect()
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the spawned workers (the shutdown tests watch these)."""
+        return [process.pid for process in self._processes if process.pid is not None]
+
+
+def create_plane(
+    kind: str,
+    workers: Optional[int] = None,
+    state_capacity: int = DEFAULT_STATE_CAPACITY,
+) -> ExecutionPlane:
+    """Build an execution plane from a CLI-style spec.
+
+    ``kind`` is one of :data:`PLANE_KINDS`; ``workers`` defaults to the host
+    CPU count for ``threads``/``processes`` and is ignored for ``serial``.
+    """
+    kind = str(kind).lower()
+    if kind == "serial":
+        return SerialPlane(state_capacity=state_capacity)
+    if kind == "threads":
+        return ThreadPlane(workers=workers, state_capacity=state_capacity)
+    if kind == "processes":
+        return ProcessPlane(workers=workers, state_capacity=state_capacity)
+    raise ValueError(
+        f"unknown execution plane '{kind}'; available: {', '.join(PLANE_KINDS)}"
+    )

@@ -37,6 +37,16 @@ An optional exact-refine guard re-solves surrogate answers whose predicted
 peak temperature crosses a threshold: near the thermal limits is exactly
 where surrogate error is least affordable, so those queries pay for the
 exact solver.
+
+Worker threads buy window overlap, not parallel compute: one group's
+batched back-substitution still holds a core while the GIL serialises the
+Python around it.  For true multi-core serving the session behind the
+backends is given an execution plane
+(:class:`~repro.runtime.plane.ProcessPlane`; ``repro-thermal serve --exec
+processes``): the sharded dispatcher threads keep doing the queueing,
+batching and priority work, but each group's batched solve that they
+dispatch runs on a warm-state worker *process*, so concurrent groups solve
+on separate cores.  Answers are bitwise-identical either way.
 """
 
 from __future__ import annotations
@@ -125,10 +135,12 @@ class _BackendCounters:
         }
         if self.latencies:
             values = np.asarray(self.latencies)
+            percentiles = np.percentile(values, [50, 95, 99])
             summary["latency_ms"] = {
                 "mean": round(float(values.mean()) * 1e3, 3),
-                "p50": round(float(np.percentile(values, 50)) * 1e3, 3),
-                "p95": round(float(np.percentile(values, 95)) * 1e3, 3),
+                "p50": round(float(percentiles[0]) * 1e3, 3),
+                "p95": round(float(percentiles[1]) * 1e3, 3),
+                "p99": round(float(percentiles[2]) * 1e3, 3),
             }
         return summary
 

@@ -129,6 +129,9 @@ class _PreparedSystem:
     cell_volumes: np.ndarray
     lu: Optional[sparse_linalg.SuperLU] = None
     diagonal: Optional[np.ndarray] = None
+    #: Single-precision factorisation backing ``solve_batch(dtype="float32")``;
+    #: built lazily on first use, independent of the float64 ``lu``.
+    lu_single: Optional[sparse_linalg.SuperLU] = None
 
 
 class FVMSolver:
@@ -149,6 +152,12 @@ class FVMSolver:
         or ``"cg"`` (conjugate gradients with a diagonal preconditioner,
         warm-started from the previous solution).  Direct is faster for the
         grid sizes used in the benchmarks.
+    geometry:
+        An optional pre-built :class:`~repro.solvers.voxelize.GridGeometry`
+        to adopt instead of voxelising ``chip`` lazily — callers that share
+        one geometry across solvers (the multifidelity dataset pair, plane
+        workers handed a coarsened geometry) pass it here.  Must describe
+        the same chip at exactly ``nx`` x ``ny``.
     """
 
     def __init__(
@@ -159,6 +168,7 @@ class FVMSolver:
         cells_per_layer: int = 2,
         method: str = "direct",
         cg_tolerance: float = 1e-9,
+        geometry: Optional[GridGeometry] = None,
     ):
         if method not in ("direct", "cg"):
             raise ValueError(f"unknown method '{method}'")
@@ -168,7 +178,22 @@ class FVMSolver:
         self.cells_per_layer = cells_per_layer
         self.method = method
         self.cg_tolerance = cg_tolerance
-        self._geometry: Optional[GridGeometry] = None
+        if geometry is not None:
+            # Structural fingerprints, not names: a same-named but modified
+            # design would otherwise pair this solver's cooling/dimensions
+            # with the geometry's conductivity field and silently produce
+            # plausible-but-wrong temperatures.
+            if geometry.chip is not chip and geometry.chip.fingerprint() != chip.fingerprint():
+                raise ValueError(
+                    f"geometry was built for a different chip design "
+                    f"('{geometry.chip.name}', not '{chip.name}')"
+                )
+            if (geometry.nx, geometry.ny) != (self.nx, self.ny):
+                raise ValueError(
+                    f"geometry resolution {geometry.nx}x{geometry.ny} does not "
+                    f"match the solver's {self.nx}x{self.ny}"
+                )
+        self._geometry: Optional[GridGeometry] = geometry
         self._prepared: Optional[_PreparedSystem] = None
         self._warm_start: Optional[np.ndarray] = None
 
@@ -182,11 +207,13 @@ class FVMSolver:
             )
         return self._geometry
 
-    def prepare(self) -> _PreparedSystem:
-        """Assemble (and for the direct method, factorise) the system once.
+    def _prepare_assembly(self) -> _PreparedSystem:
+        """Assemble the power-independent system without factorising it.
 
-        Subsequent :meth:`solve` / :meth:`solve_batch` calls only pay for
-        the power rasterisation and the triangular back-substitution.
+        The float32 batch path uses this directly: it needs the matrix and
+        boundary data but factorises in single precision, so building the
+        float64 LU would double its time-to-first-solve and hold an unused
+        factorisation for the solver's lifetime.
         """
         if self._prepared is None:
             geometry = self.geometry
@@ -194,7 +221,15 @@ class FVMSolver:
             self._prepared = _PreparedSystem(
                 matrix=matrix, rhs_boundary=rhs_boundary, cell_volumes=cell_volumes
             )
-        prepared = self._prepared
+        return self._prepared
+
+    def prepare(self) -> _PreparedSystem:
+        """Assemble (and for the direct method, factorise) the system once.
+
+        Subsequent :meth:`solve` / :meth:`solve_batch` calls only pay for
+        the power rasterisation and the triangular back-substitution.
+        """
+        prepared = self._prepare_assembly()
         if self.method == "direct" and prepared.lu is None:
             prepared.lu = sparse_linalg.splu(prepared.matrix.tocsc())
         if self.method == "cg" and prepared.diagonal is None:
@@ -216,7 +251,9 @@ class FVMSolver:
         return TemperatureField(chip=self.chip, grid=grid, values=values, solve_seconds=elapsed)
 
     def solve_batch(
-        self, power_assignments: Sequence[Mapping[str, float]]
+        self,
+        power_assignments: Sequence[Mapping[str, float]],
+        dtype: Optional[str] = None,
     ) -> List[TemperatureField]:
         """Solve many power cases against the single cached factorisation.
 
@@ -225,25 +262,75 @@ class FVMSolver:
         are paid once for the whole batch.  The CG path falls back to a loop
         that warm-starts each case from the previous solution.
 
+        ``dtype`` selects the precision of the stacked back-substitution:
+        ``None``/``"float64"`` is the exact historical path; ``"float32"``
+        solves against a lazily built single-precision factorisation whose
+        L/U factors are half the bytes, halving the memory traffic of each
+        triangular sweep.  A float32 factorisation of this matrix alone is
+        only good to a few mK (the conduction matrix is ill-conditioned), so
+        the path solves for the temperature *rise* above ambient and applies
+        one mixed-precision refinement sweep, landing within ~3e-5 K of the
+        float64 answer — the refinement costs a second sweep, so use the
+        benchmark's measured ratio, not the naive 2x, when sizing a
+        deployment.  Only the direct method supports it; the returned
+        fields carry float32 values.
+
         Each returned :class:`TemperatureField` carries the amortised
         per-case wall-clock time in ``solve_seconds``.
         """
+        resolved_dtype = np.dtype(np.float64 if dtype is None else dtype)
+        if resolved_dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(
+                f"unsupported solve_batch dtype '{dtype}'; use float64 or float32"
+            )
+        single = resolved_dtype == np.dtype(np.float32)
+        if single and self.method != "direct":
+            raise ValueError(
+                "float32 RHS stacking requires the direct method (the CG path "
+                "iterates in float64)"
+            )
         if not power_assignments:
             return []
         start = time.perf_counter()
-        prepared = self.prepare()
+        # The float32 path factorises in single precision only; do not build
+        # (or wait for) the float64 LU it would never use.
+        prepared = self._prepare_assembly() if single else self.prepare()
         geometry = self.geometry
         sources = [geometry.rasterize_power(a) for a in power_assignments]
-        rhs_columns = np.stack(
-            [prepared.rhs_boundary + (s * prepared.cell_volumes).ravel() for s in sources],
-            axis=1,
-        )
-        if self.method == "direct":
-            solutions = prepared.lu.solve(rhs_columns)
+        if single:
+            # Solve for the temperature *rise* above ambient: the boundary
+            # RHS equals ``A @ (ambient * 1)`` exactly (interior row sums are
+            # zero; boundary rows sum to their Robin conductance), so
+            # ``A u = power_rhs`` with ``T = ambient + u``.  The rise is
+            # tens of kelvin instead of ~350 K, which keeps the float32
+            # round-off well below 1e-3 K.
+            if prepared.lu_single is None:
+                prepared.lu_single = sparse_linalg.splu(
+                    prepared.matrix.astype(np.float32).tocsc()
+                )
+            power_columns = np.stack(
+                [(s * prepared.cell_volumes).ravel() for s in sources], axis=1
+            )
+            rises = prepared.lu_single.solve(power_columns.astype(np.float32))
+            # One step of mixed-precision iterative refinement: the residual
+            # is computed with the float64 matrix (a cheap SpMV against the
+            # two float32 triangular sweeps) and its correction re-solved in
+            # float32.  This wipes out the factorisation's condition-number
+            # amplification and keeps the error well under 1e-3 K.
+            residual = power_columns - prepared.matrix @ rises.astype(np.float64)
+            rises = rises + prepared.lu_single.solve(residual.astype(np.float32))
+            solutions = rises + np.float32(self.chip.cooling.ambient_K)
         else:
-            solutions = np.empty_like(rhs_columns)
-            for column in range(rhs_columns.shape[1]):
-                solutions[:, column] = self._solve_linear(prepared, rhs_columns[:, column])
+            rhs_columns = np.stack(
+                [prepared.rhs_boundary + (s * prepared.cell_volumes).ravel() for s in sources],
+                axis=1,
+            )
+            if self.method == "direct":
+                solutions = prepared.lu.solve(rhs_columns)
+            else:
+                solutions = np.empty_like(rhs_columns)
+                for column in range(rhs_columns.shape[1]):
+                    solutions[:, column] = self._solve_linear(prepared, rhs_columns[:, column])
         per_case = (time.perf_counter() - start) / len(power_assignments)
 
         fields = []

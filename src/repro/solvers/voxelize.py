@@ -184,6 +184,43 @@ class GridGeometry:
         """Build a full :class:`VoxelGrid` for one power assignment."""
         return self.grid_with_source(self.rasterize_power(power_assignment))
 
+    def coarsen(self, factor: int) -> "GridGeometry":
+        """A geometry for the same chip at ``1/factor`` the in-plane resolution.
+
+        The vertical layout (``dz_mm``, ``layer_of_cell``, power-layer
+        slices, floorplan rasters) is resolution-independent and **shared**
+        with this geometry; only the in-plane conductivity field is
+        re-sampled.  Because :func:`build_geometry` fills each vertical
+        cell's conductivity with one per-layer constant, the result is
+        bitwise-identical to building the coarse geometry directly — the
+        multifidelity dataset pair uses this to voxelise its chip once for
+        both fidelities.
+
+        ``factor`` must divide both ``nx`` and ``ny`` exactly.
+        """
+        factor = int(factor)
+        if factor < 1:
+            raise ValueError("coarsening factor must be >= 1")
+        if factor == 1:
+            return self
+        if self.nx % factor or self.ny % factor:
+            raise ValueError(
+                f"coarsening factor {factor} does not divide the geometry's "
+                f"{self.nx}x{self.ny} resolution"
+            )
+        return GridGeometry(
+            chip=self.chip,
+            nx=self.nx // factor,
+            ny=self.ny // factor,
+            dz_mm=self.dz_mm,
+            conductivity=np.ascontiguousarray(
+                self.conductivity[:, ::factor, ::factor]
+            ),
+            layer_of_cell=self.layer_of_cell,
+            power_layer_slices=self.power_layer_slices,
+            rasters=self.rasters,
+        )
+
 
 def build_geometry(
     chip: ChipStack,

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.chip.designs import get_chip
+from repro.solvers.voxelize import build_geometry
 from repro.data import (
     DatasetCache,
     DatasetSpec,
@@ -215,3 +216,48 @@ class TestGeneration:
         second = cache.get(spec)
         np.testing.assert_allclose(first.inputs, second.inputs)
         assert cache.clear() == 1
+
+
+class TestMultifidelityGeometrySharing:
+    """The low/high pair shares one voxelisation when resolutions allow."""
+
+    def test_coarsened_geometry_equals_direct_build(self):
+        chip = get_chip("chip1")
+        high = build_geometry(chip, nx=16, cells_per_layer=2)
+        derived = high.coarsen(2)
+        direct = build_geometry(chip, nx=8, cells_per_layer=2)
+        assert (derived.nx, derived.ny) == (direct.nx, direct.ny)
+        np.testing.assert_array_equal(derived.conductivity, direct.conductivity)
+        np.testing.assert_array_equal(derived.dz_mm, direct.dz_mm)
+        np.testing.assert_array_equal(derived.layer_of_cell, direct.layer_of_cell)
+        assert derived.power_layer_slices == direct.power_layer_slices
+        # The vertical layout is shared, not copied.
+        assert derived.dz_mm is high.dz_mm and derived.rasters is high.rasters
+
+    def test_coarsen_validates_factor(self):
+        geometry = build_geometry(get_chip("chip1"), nx=12)
+        assert geometry.coarsen(1) is geometry
+        with pytest.raises(ValueError):
+            geometry.coarsen(5)
+        with pytest.raises(ValueError):
+            geometry.coarsen(0)
+
+    def test_shared_pair_equivalent_to_independent(self):
+        shared = generate_multifidelity_pair(
+            "chip1", low_resolution=8, high_resolution=16, num_low=3, num_high=2,
+            seed=2, share_geometry=True,
+        )
+        independent = generate_multifidelity_pair(
+            "chip1", low_resolution=8, high_resolution=16, num_low=3, num_high=2,
+            seed=2, share_geometry=False,
+        )
+        for left, right in zip(shared, independent):
+            np.testing.assert_array_equal(left.inputs, right.inputs)
+            np.testing.assert_array_equal(left.targets, right.targets)
+
+    def test_non_divisible_resolutions_fall_back(self):
+        low, high = generate_multifidelity_pair(
+            "chip1", low_resolution=10, high_resolution=16, num_low=2, num_high=2,
+            seed=1, share_geometry=True,
+        )
+        assert low.resolution == 10 and high.resolution == 16

@@ -218,3 +218,73 @@ class TestHotSpotModel:
         HotSpotModel(tiny_chip).solve(assignment)
         compact_time = time.perf_counter() - start
         assert compact_time < fvm_time
+
+
+class TestFloat32BatchSolve:
+    """The float32 RHS-stacking option of FVMSolver.solve_batch."""
+
+    def test_matches_float64_within_millikelvin(self, tiny_chip):
+        cases = [_uniform_assignment(tiny_chip, total) for total in (10.0, 25.0, 40.0)]
+        solver = FVMSolver(tiny_chip, nx=16)
+        exact = solver.solve_batch(cases)
+        single = solver.solve_batch(cases, dtype="float32")
+        assert single[0].values.dtype == np.float32
+        for a, b in zip(single, exact):
+            assert np.abs(a.values.astype(np.float64) - b.values).max() <= 1e-3
+
+    def test_benchmark_chips_within_millikelvin(self):
+        from repro.chip.designs import get_chip
+
+        chip = get_chip("chip1")
+        cases = [_uniform_assignment(chip, total) for total in (40.0, 80.0)]
+        solver = FVMSolver(chip, nx=24)
+        exact = solver.solve_batch(cases)
+        single = solver.solve_batch(cases, dtype="float32")
+        for a, b in zip(single, exact):
+            assert np.abs(a.values.astype(np.float64) - b.values).max() <= 1e-3
+
+    def test_default_dtype_is_bitwise_float64(self, tiny_chip):
+        cases = [_uniform_assignment(tiny_chip, 20.0)]
+        solver = FVMSolver(tiny_chip, nx=12)
+        assert np.array_equal(
+            solver.solve_batch(cases)[0].values,
+            solver.solve_batch(cases, dtype="float64")[0].values,
+        )
+
+    def test_float32_requires_direct_method(self, tiny_chip):
+        solver = FVMSolver(tiny_chip, nx=8, method="cg")
+        with pytest.raises(ValueError, match="direct"):
+            solver.solve_batch([_uniform_assignment(tiny_chip, 10.0)], dtype="float32")
+
+    def test_unsupported_dtype_rejected(self, tiny_chip):
+        solver = FVMSolver(tiny_chip, nx=8)
+        with pytest.raises(ValueError, match="dtype"):
+            solver.solve_batch([_uniform_assignment(tiny_chip, 10.0)], dtype="int32")
+
+
+class TestInjectedGeometry:
+    """FVMSolver accepts (and validates) a pre-built GridGeometry."""
+
+    def test_shared_geometry_matches_lazy_build(self, tiny_chip):
+        from repro.solvers.voxelize import build_geometry
+
+        geometry = build_geometry(tiny_chip, nx=12, cells_per_layer=2)
+        assignment = _uniform_assignment(tiny_chip, 15.0)
+        shared = FVMSolver(tiny_chip, nx=12, geometry=geometry).solve(assignment)
+        lazy = FVMSolver(tiny_chip, nx=12).solve(assignment)
+        assert np.array_equal(shared.values, lazy.values)
+
+    def test_resolution_mismatch_rejected(self, tiny_chip):
+        from repro.solvers.voxelize import build_geometry
+
+        geometry = build_geometry(tiny_chip, nx=12)
+        with pytest.raises(ValueError, match="resolution"):
+            FVMSolver(tiny_chip, nx=16, geometry=geometry)
+
+    def test_chip_mismatch_rejected(self, tiny_chip):
+        from repro.chip.designs import get_chip
+        from repro.solvers.voxelize import build_geometry
+
+        geometry = build_geometry(get_chip("chip1"), nx=12)
+        with pytest.raises(ValueError, match="chip"):
+            FVMSolver(tiny_chip, nx=12, geometry=geometry)

@@ -1,10 +1,11 @@
 """Docstring lint for the public API surface.
 
 A ``pydocstyle``-flavoured guard without the dependency: every public module,
-class, function, method and property in :mod:`repro.api` and
-:mod:`repro.serving` must carry a non-empty docstring.  The facade and the
-service are the surfaces other people program against; an undocumented
-symbol there is a bug the same way a missing validation is.
+class, function, method and property in :mod:`repro.api`,
+:mod:`repro.serving` and :mod:`repro.runtime` must carry a non-empty
+docstring.  The facade, the service and the execution planes are the
+surfaces other people program against; an undocumented symbol there is a
+bug the same way a missing validation is.
 """
 
 import importlib
@@ -14,9 +15,10 @@ import pkgutil
 import pytest
 
 import repro.api
+import repro.runtime
 import repro.serving
 
-PACKAGES = (repro.api, repro.serving)
+PACKAGES = (repro.api, repro.serving, repro.runtime)
 
 
 def _iter_modules():
@@ -77,6 +79,8 @@ def test_audited_packages_are_the_expected_ones():
     assert "repro.api.pool" in names
     assert "repro.serving.engine" in names
     assert "repro.serving.server" in names
+    assert "repro.runtime.plane" in names
+    assert "repro.runtime.tasks" in names
 
 
 def test_every_public_symbol_has_a_docstring():
