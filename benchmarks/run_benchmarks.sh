@@ -43,6 +43,9 @@ if [[ "${1:-}" == "--smoke" ]]; then
     python benchmarks/smoke_serving.py
     echo "== smoke: serve --exec processes end-to-end (plane-backed solves) =="
     python benchmarks/smoke_serving.py --exec processes --exec-workers 2
+    echo "== smoke: serve --chaos (killed plane worker, zero failed requests) =="
+    python benchmarks/smoke_serving.py --exec processes --exec-workers 2 \
+        --chaos kill-worker:0@5
     echo "== smoke: benchmark bodies (no timing repetitions) =="
     python -m pytest \
         benchmarks/bench_solver_kernels.py \

@@ -14,6 +14,14 @@ the smoke runner uses for a second pass with ``--exec processes
 --exec-workers 2`` — the multi-core execution plane booted through the real
 CLI, with ``/stats`` asserting the plane is live and SIGINT asserting its
 worker processes die with the server.
+
+When ``--chaos`` is among the forwarded arguments the smoke switches to the
+reliability drill: it pins a closed-loop stream of unique ``/solve``
+requests onto plane worker 0 (by warm-state key), lets the injected
+``kill-worker`` directive kill that worker mid-run, and asserts every
+single client request still answered 200 (the lost task recovered by
+retry), that ``/stats`` reports the retry and the dead worker, and that
+``/healthz`` degraded.
 """
 
 import json
@@ -47,8 +55,56 @@ def _post(url, body):
         return response.status, json.loads(response.read())
 
 
+def _get(url):
+    with urllib.request.urlopen(url, timeout=REQUEST_TIMEOUT_S) as response:
+        return json.loads(response.read())
+
+
+def _slot0_resolution(workers):
+    """A resolution whose fvm warm-state key routes to plane worker 0."""
+    from repro.chip.designs import get_chip
+    from repro.runtime.plane import _stable_slot
+    from repro.runtime.tasks import BackendSpec, backend_state_key
+
+    chip = get_chip("chip1")
+    for resolution in range(8, 32):
+        spec = BackendSpec(chip=chip, resolution=resolution, backend="fvm")
+        if _stable_slot(backend_state_key(spec), workers) == 0:
+            return resolution
+    raise AssertionError("no resolution maps to plane slot 0 — routing changed?")
+
+
+def _chaos_drill(url, extra_args):
+    """Closed-loop kill-worker drill: every request answered, retry counted."""
+    workers = 2
+    if "--exec-workers" in extra_args:
+        workers = int(extra_args[extra_args.index("--exec-workers") + 1])
+    resolution = _slot0_resolution(workers)
+    requests = 8  # enough to cross a kill-worker:0@<m> directive with m < 8
+    for index in range(requests):
+        status, solved = _post(
+            url + "/solve",
+            {"chip": "chip1", "resolution": resolution, "backend": "fvm",
+             "total_power": 30.0 + index},  # unique powers dodge the result cache
+        )
+        assert status == 200 and solved["max_K"] > 300.0, (index, solved)
+
+    stats = _get(url + "/stats")
+    plane = stats["session"]["plane"]
+    assert plane["workers_dead"] == 1, plane
+    assert plane["retried"] >= 1, plane
+    assert plane["errors"] == 0, plane
+    assert stats["backends"]["fvm"]["errors"] == 0, stats["backends"]["fvm"]
+
+    health = _get(url + "/healthz")
+    assert health["status"] == "degraded", health
+    assert health["plane_workers_dead"] == 1, health
+    return requests
+
+
 def main() -> int:
     extra_args = sys.argv[1:]
+    chaos = "--chaos" in extra_args
     process = subprocess.Popen(
         [
             sys.executable, "-m", "repro.cli", "serve",
@@ -68,6 +124,15 @@ def main() -> int:
         match = re.search(r"listening on (http://\S+)", line)
         assert match, f"server did not announce its URL; first line: {line!r}"
         url = match.group(1)
+
+        if chaos:
+            requests = _chaos_drill(url, extra_args)
+            process.send_signal(signal.SIGINT)
+            returncode = process.wait(timeout=STARTUP_TIMEOUT_S)
+            assert returncode == 0, f"server exited {returncode} on SIGINT"
+            print(f"serving chaos smoke ok: {requests}/{requests} requests answered "
+                  "despite a killed plane worker + clean shutdown")
+            return 0
 
         status, solved = _post(
             url + "/solve",

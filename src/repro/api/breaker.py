@@ -1,0 +1,137 @@
+"""Per-backend circuit breakers for graceful degradation.
+
+A backend that failed five times in a row will, with high probability, fail
+the sixth time too — and some failure modes (a solver stuck in a pathological
+factorisation, a dead accelerator) make that sixth attempt *expensive*.  The
+classic answer is a circuit breaker: after ``failure_threshold`` consecutive
+failures the breaker **opens** and the session stops sending work to that
+backend; after ``cooldown_s`` it lets exactly one probe through
+(**half-open**); a successful probe **closes** the breaker again, a failed
+one re-opens it for another cooldown.
+
+:class:`~repro.api.session.ThermalSession` keeps one
+:class:`CircuitBreaker` per backend name and consults it in ``solve_batch``
+— combined with the opt-in fallback chain this turns "backend down" into a
+provenance-stamped degraded answer instead of an error on every request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict
+
+
+class CircuitOpenError(RuntimeError):
+    """A backend's circuit breaker is open and no fallback could answer.
+
+    The request was refused *without* attempting the solve; the server maps
+    this to HTTP 503 so clients can tell "backend resting" from a genuine
+    solver error.
+    """
+
+
+class CircuitBreaker:
+    """One backend's failure gate (closed → open → half-open → closed).
+
+    Thread-safe; time is read through an injectable ``clock`` (monotonic
+    seconds) so tests can drive the cooldown without sleeping.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s < 0.0:
+            raise ValueError("cooldown_s must be >= 0")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._failures = 0
+        self._successes = 0
+        self._opened_count = 0
+        self._opened_at: float = 0.0
+        self._open = False
+        self._probe_in_flight = False
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state: ``closed``, ``open`` or ``half_open``."""
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if not self._open:
+            return "closed"
+        if self._clock() - self._opened_at >= self.cooldown_s:
+            return "half_open"
+        return "open"
+
+    def allow(self) -> bool:
+        """Whether one request may proceed against this backend now.
+
+        Closed: always.  Open: never, until the cooldown elapses.
+        Half-open: exactly one caller gets ``True`` (the probe); everybody
+        else keeps being refused until that probe reports back.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return True
+            if state == "half_open" and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """Report a successful solve: closes the breaker, resets the streak."""
+        with self._lock:
+            self._successes += 1
+            self._consecutive_failures = 0
+            self._open = False
+            self._probe_in_flight = False
+
+    def release_probe(self) -> None:
+        """Abandon an in-flight half-open probe without a verdict.
+
+        Used when the probe never actually exercised the backend (e.g. the
+        request's deadline expired first): the breaker stays open and the
+        next caller after the cooldown gets to probe instead.
+        """
+        with self._lock:
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """Report a failed solve; may open (or re-open) the breaker."""
+        with self._lock:
+            self._failures += 1
+            self._consecutive_failures += 1
+            if self._probe_in_flight:
+                # The half-open probe failed: back to a full cooldown.
+                self._probe_in_flight = False
+                self._open = True
+                self._opened_at = self._clock()
+            elif not self._open and self._consecutive_failures >= self.failure_threshold:
+                self._open = True
+                self._opened_count += 1
+                self._opened_at = self._clock()
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters and state for ``session.stats()`` / ``/stats``."""
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "consecutive_failures": self._consecutive_failures,
+                "failures": self._failures,
+                "successes": self._successes,
+                "opened": self._opened_count,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_s": self.cooldown_s,
+            }

@@ -30,9 +30,10 @@ from __future__ import annotations
 
 import hashlib
 import struct
+import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -45,6 +46,7 @@ from repro.api.backends import (
     ThermalBackend,
     TransientBackendAdapter,
 )
+from repro.api.breaker import CircuitBreaker, CircuitOpenError
 from repro.api.pool import (
     DEFAULT_POOL_SIZE,
     DEFAULT_RESULT_CACHE_BYTES,
@@ -76,7 +78,8 @@ from repro.operators.factory import (
     save_operator,
 )
 from repro.operators.gar import GARRegressor
-from repro.runtime.plane import ExecutionPlane, PlaneTask
+from repro.runtime.faults import FaultPlan
+from repro.runtime.plane import DeadlineExceeded, ExecutionPlane, PlaneTask
 from repro.runtime.tasks import (
     BackendSpec,
     backend_state_key,
@@ -96,6 +99,24 @@ DEFAULT_RESOLUTION = 32
 #: boundary would cost more than the solve — it stays inline too (its state
 #: *can* be rebuilt on a worker, see :mod:`repro.runtime.tasks`).
 PLANE_BACKENDS = ("fvm", "transient")
+
+#: The opt-in graceful-degradation order (``fallback=True``): when a
+#: requested backend fails or its circuit breaker is open, the session walks
+#: this chain and returns the first answer it can get, stamped
+#: ``degraded: true`` in provenance.  Chains prefer physically faithful
+#: surrogates first (a trained operator where one is registered) and end on
+#: ``hotspot``, the compact model that practically cannot fail.
+DEFAULT_FALLBACK_CHAIN: Dict[str, Tuple[str, ...]] = {
+    "fvm": ("operator", "hotspot"),
+    "transient": ("fvm", "hotspot"),
+    "operator": ("hotspot",),
+}
+
+#: Consecutive failures that open a backend's circuit breaker.
+DEFAULT_BREAKER_THRESHOLD = 5
+
+#: Seconds an open breaker rests before letting one half-open probe through.
+DEFAULT_BREAKER_COOLDOWN_S = 30.0
 
 ChipLike = Union[str, ChipStack]
 
@@ -262,6 +283,22 @@ class ThermalSession:
         the calling thread, exactly the historical behaviour.  The caller
         owns the plane's lifecycle (``close()`` it, or use it as a context
         manager); one plane may be shared by several sessions.
+    breaker_threshold:
+        Consecutive solve failures that open a backend's circuit breaker
+        (see :class:`~repro.api.breaker.CircuitBreaker`).
+    breaker_cooldown_s:
+        Seconds an open breaker rests before letting one probe through.
+    fallback:
+        Graceful degradation.  ``False`` (default): a failing backend
+        raises, an open breaker raises
+        :class:`~repro.api.breaker.CircuitOpenError`.  ``True``: walk
+        :data:`DEFAULT_FALLBACK_CHAIN` and return the first obtainable
+        answer, stamped ``degraded: true`` in provenance (and never
+        cached).  A mapping of ``backend -> (fallback, ...)`` names
+        customises the chains.
+    faults:
+        An optional chaos :class:`~repro.runtime.faults.FaultPlan`; its
+        backend directives fire inside this session's solve path.
     """
 
     def __init__(
@@ -275,10 +312,31 @@ class ThermalSession:
         models: Optional[ModelRegistry] = None,
         operator_batch_size: int = 32,
         plane: Optional[ExecutionPlane] = None,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_cooldown_s: float = DEFAULT_BREAKER_COOLDOWN_S,
+        fallback: Union[bool, Mapping[str, Sequence[str]]] = False,
+        faults: Optional[FaultPlan] = None,
     ):
         self.cells_per_layer = cells_per_layer
         self.operator_batch_size = operator_batch_size
         self.plane = plane
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown_s = float(breaker_cooldown_s)
+        self.faults = faults
+        if fallback is True:
+            self.fallback_chain: Dict[str, Tuple[str, ...]] = dict(DEFAULT_FALLBACK_CHAIN)
+        elif fallback is False or fallback is None:
+            self.fallback_chain = {}
+        else:
+            self.fallback_chain = {
+                str(name): tuple(str(alt) for alt in alternates)
+                for name, alternates in dict(fallback).items()
+            }
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
+        self._reliability_lock = threading.Lock()
+        self._fallbacks = 0
+        self._breaker_rejections = 0
         self._chips: Dict[str, ChipStack] = {}
         self._pools: Dict[str, LRUPool] = {
             name: LRUPool(pool_size) for name in ("fvm", "hotspot", "transient")
@@ -518,6 +576,7 @@ class ThermalSession:
         include_values: bool = False,
         use_cache: bool = True,
         plane: Optional[ExecutionPlane] = None,
+        deadline: Optional[float] = None,
     ) -> List[ThermalSolution]:
         """Answer many power cases in one batched backend call.
 
@@ -532,6 +591,17 @@ class ThermalSession:
         worker are split into per-worker chunks — each worker warms its own
         factorisation, so a big batch genuinely runs on several cores.  The
         answers are bitwise-identical to inline solving either way.
+
+        ``deadline`` (absolute ``time.monotonic()`` seconds) propagates to
+        the plane tasks and is re-checked before each solve attempt;
+        expired work raises :class:`~repro.runtime.plane.DeadlineExceeded`
+        instead of burning solver time.  Cached answers are still served —
+        a dictionary lookup beats any deadline worth having.
+
+        When the session was built with ``fallback`` enabled, a failing (or
+        breaker-open) backend degrades to its fallback chain instead of
+        raising; degraded answers carry ``degraded: true`` plus the
+        ``requested_backend`` in provenance and are never cached.
         """
         chip_stack = self._resolve_chip(chip)
         assignments = [self._coerce_assignment(chip_stack, case) for case in cases]
@@ -566,37 +636,177 @@ class ThermalSession:
         if misses:
             plane = plane if plane is not None else self.plane
             miss_assignments = [assignments[index] for index in misses]
-            if plane is not None and backend in PLANE_BACKENDS:
-                solved = self._solve_batch_on_plane(
-                    plane,
-                    chip_stack,
-                    resolution,
-                    backend,
-                    miss_assignments,
-                    include_maps=include_maps,
-                    include_values=include_values,
-                )
-            else:
-                adapter = self.backend(backend, chip_stack, resolution)
-                if include_values and not adapter.capabilities().get("values", False):
-                    raise ValueError(
-                        f"backend '{backend}' cannot produce a 3-D field; drop "
-                        "include_values or use a field backend (fvm, transient)"
-                    )
-                solved = adapter.solve_batch(
-                    miss_assignments,
-                    include_maps=include_maps,
-                    include_values=include_values,
-                )
+            solved, producer = self._solve_misses(
+                plane,
+                chip_stack,
+                resolution,
+                backend,
+                miss_assignments,
+                include_maps=include_maps,
+                include_values=include_values,
+                deadline=deadline,
+            )
+            degraded = producer != backend
             for index, solution in zip(misses, solved):
                 solutions[index] = solution
-                if use_cache:
+                if use_cache and not degraded:
                     # Store a pristine clone: consumers (the serving engine)
                     # stamp latency/batch metadata onto what we return.
+                    # Degraded answers are never cached — the real backend
+                    # must get to answer again once it recovers.
                     self.result_cache.put(
                         keys[index], solution.clone(), _solution_nbytes(solution)
                     )
         return solutions  # type: ignore[return-value]
+
+    def _solve_misses(
+        self,
+        plane: Optional[ExecutionPlane],
+        chip_stack: ChipStack,
+        resolution: int,
+        backend: str,
+        assignments: List[Dict[str, float]],
+        *,
+        include_maps: bool,
+        include_values: bool,
+        deadline: Optional[float],
+    ) -> Tuple[List[ThermalSolution], str]:
+        """Solve one miss batch through the breaker + fallback chain.
+
+        Returns ``(solutions, producer)`` where ``producer`` is the backend
+        that actually answered.  Walks ``(backend, *fallback_chain)``: a
+        candidate whose breaker is open is skipped (counted as a
+        rejection), a candidate that cannot serve the request shape (no
+        registered model, no 3-D field capability) is skipped without
+        touching its breaker, and a candidate whose *solve* fails records a
+        breaker failure before the next one is tried.  With no fallback
+        configured the chain is just the requested backend and errors
+        surface exactly as before.
+        """
+        chain = (backend,) + self.fallback_chain.get(backend, ())
+        first_error: Optional[BaseException] = None
+        for candidate in chain:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise DeadlineExceeded(
+                    f"request deadline expired before backend '{candidate}' "
+                    "could start solving"
+                )
+            try:
+                solve = self._prepare_candidate(
+                    plane,
+                    chip_stack,
+                    resolution,
+                    candidate,
+                    assignments,
+                    include_maps=include_maps,
+                    include_values=include_values,
+                    deadline=deadline,
+                )
+            except Exception as error:  # noqa: BLE001 — config, not health
+                # The candidate cannot serve this request *shape* (unknown
+                # backend, no registered model, no field capability): skip
+                # it without charging its breaker.
+                first_error = first_error if first_error is not None else error
+                continue
+            breaker = self._breaker(candidate)
+            if not breaker.allow():
+                with self._reliability_lock:
+                    self._breaker_rejections += 1
+                if first_error is None:
+                    first_error = CircuitOpenError(
+                        f"circuit breaker for backend '{candidate}' is open "
+                        f"(cooldown {breaker.cooldown_s:.0f}s)"
+                    )
+                continue
+            try:
+                if self.faults is not None:
+                    self.faults.on_backend_solve(candidate)
+                solved = solve()
+            except DeadlineExceeded:
+                # A shed is the deadline's fault, not the backend's: leave
+                # the breaker verdict-free and stop the whole chain.
+                breaker.release_probe()
+                raise
+            except Exception as error:  # noqa: BLE001 — fall through chain
+                breaker.record_failure()
+                first_error = first_error if first_error is not None else error
+                continue
+            breaker.record_success()
+            if candidate != backend:
+                with self._reliability_lock:
+                    self._fallbacks += len(assignments)
+                for solution in solved:
+                    solution.provenance["degraded"] = True
+                    solution.provenance["requested_backend"] = backend
+            return solved, candidate
+        assert first_error is not None  # chain is never empty
+        raise first_error
+
+    def _prepare_candidate(
+        self,
+        plane: Optional[ExecutionPlane],
+        chip_stack: ChipStack,
+        resolution: int,
+        candidate: str,
+        assignments: List[Dict[str, float]],
+        *,
+        include_maps: bool,
+        include_values: bool,
+        deadline: Optional[float],
+    ) -> Callable[[], List[ThermalSolution]]:
+        """A zero-argument solve closure for one fallback-chain candidate.
+
+        Raises immediately (before any breaker bookkeeping) when the
+        candidate cannot serve the request shape at all.
+        """
+        if plane is not None and candidate in PLANE_BACKENDS:
+            return lambda: self._solve_batch_on_plane(
+                plane,
+                chip_stack,
+                resolution,
+                candidate,
+                assignments,
+                include_maps=include_maps,
+                include_values=include_values,
+                deadline=deadline,
+            )
+        adapter = self.backend(candidate, chip_stack, resolution)
+        if include_values and not adapter.capabilities().get("values", False):
+            raise ValueError(
+                f"backend '{candidate}' cannot produce a 3-D field; drop "
+                "include_values or use a field backend (fvm, transient)"
+            )
+        return lambda: adapter.solve_batch(
+            assignments,
+            include_maps=include_maps,
+            include_values=include_values,
+        )
+
+    # ------------------------------------------------------------------
+    # Reliability
+    # ------------------------------------------------------------------
+    def _breaker(self, backend: str) -> CircuitBreaker:
+        """The (lazily created) circuit breaker of one backend name."""
+        with self._breaker_lock:
+            breaker = self._breakers.get(backend)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.breaker_threshold,
+                    cooldown_s=self.breaker_cooldown_s,
+                )
+                self._breakers[backend] = breaker
+            return breaker
+
+    def open_breakers(self) -> List[str]:
+        """Backends currently refusing work (open *or* half-open breakers).
+
+        ``/healthz`` reports ``degraded`` while this list is non-empty: a
+        half-open breaker is still recovering and most traffic to it is
+        refused until its probe succeeds.
+        """
+        with self._breaker_lock:
+            breakers = list(self._breakers.items())
+        return sorted(name for name, breaker in breakers if breaker.state != "closed")
 
     def _solve_batch_on_plane(
         self,
@@ -608,6 +818,7 @@ class ThermalSession:
         *,
         include_maps: bool,
         include_values: bool,
+        deadline: Optional[float] = None,
     ) -> List[ThermalSolution]:
         """Dispatch one homogeneous miss batch onto an execution plane.
 
@@ -645,6 +856,7 @@ class ThermalSession:
                 state_factory=build_backend_adapter,
                 state_spec=spec,
                 affinity=slot,
+                deadline=deadline,
             )
             for slot, chunk in chunks
         ]
@@ -849,12 +1061,27 @@ class ThermalSession:
 
     def stats(self) -> Dict[str, Any]:
         """Counters for ``/stats`` and interactive inspection."""
+        with self._breaker_lock:
+            breakers = {name: b.stats() for name, b in sorted(self._breakers.items())}
+        with self._reliability_lock:
+            fallbacks = self._fallbacks
+            rejections = self._breaker_rejections
         return {
             "result_cache": self.result_cache.stats(),
             "pools": {name: pool.stats() for name, pool in self._pools.items()},
             "models": len(self.models),
             "custom_chips": sorted(self._chips),
             "plane": self.plane.stats() if self.plane is not None else None,
+            "reliability": {
+                "breakers": breakers,
+                "open_breakers": self.open_breakers(),
+                "fallbacks": fallbacks,
+                "breaker_rejections": rejections,
+                "fallback_chain": {
+                    name: list(chain) for name, chain in self.fallback_chain.items()
+                },
+                "faults": self.faults.stats() if self.faults is not None else None,
+            },
         }
 
 

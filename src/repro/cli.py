@@ -156,6 +156,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="time-to-live of memoised answers (default: no expiry)")
     serve.add_argument("--cache-max-mb", type=float, default=128.0, metavar="MB",
                        help="byte budget of the result cache in megabytes")
+    serve.add_argument("--fallback", action="store_true",
+                       help="degrade gracefully: when a backend fails or its "
+                            "circuit breaker is open, answer from the next "
+                            "backend in its fallback chain (fvm -> operator -> "
+                            "hotspot), provenance-stamped 'degraded'")
+    serve.add_argument("--breaker-threshold", type=int, default=5, metavar="N",
+                       help="consecutive backend failures that open its circuit "
+                            "breaker (default: 5)")
+    serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="seconds an open breaker rests before letting one "
+                            "probe request through (default: 30)")
+    serve.add_argument("--chaos", type=str, default=None, metavar="SPEC",
+                       help="inject faults for reliability drills, e.g. "
+                            "'kill-worker:0@5,fail-backend:fvm@3' (worker "
+                            "directives need --exec processes); see "
+                            "repro.runtime.faults.FaultPlan.parse")
     serve.add_argument("--verbose", action="store_true", help="log HTTP requests")
 
     report = subparsers.add_parser(
@@ -190,19 +207,26 @@ def _cmd_chips(_args) -> int:
     return 0
 
 
-def _make_plane(args):
+def _make_plane(args, faults=None):
     """Build the execution plane a subcommand asked for (None for serial).
 
     ``--exec serial`` maps to no plane at all: the inline code path is the
     historical single-core pipeline, bitwise-identical by construction.
+    ``faults`` (a :class:`~repro.runtime.faults.FaultPlan`) arms chaos
+    injection on the plane's workers.
     """
     if args.exec_plane == "serial":
+        if faults is not None and faults.has_worker_faults:
+            raise ValueError(
+                "worker fault injection (kill-worker / drop-result) requires "
+                "--exec processes"
+            )
         return None
     from repro.runtime import create_plane
 
     if args.exec_workers is not None and args.exec_workers < 1:
         raise ValueError("--exec-workers must be >= 1")
-    return create_plane(args.exec_plane, workers=args.exec_workers)
+    return create_plane(args.exec_plane, workers=args.exec_workers, faults=faults)
 
 
 def _cmd_generate(args) -> int:
@@ -344,13 +368,26 @@ def _cmd_serve(args) -> int:
         raise ValueError("--workers must be >= 1")
     if args.cache_max_mb <= 0:
         raise ValueError("--cache-max-mb must be positive")
-    plane = _make_plane(args)
+    if args.breaker_threshold < 1:
+        raise ValueError("--breaker-threshold must be >= 1")
+    if args.breaker_cooldown < 0:
+        raise ValueError("--breaker-cooldown must be >= 0")
+    faults = None
+    if args.chaos:
+        from repro.runtime.faults import FaultPlan
+
+        faults = FaultPlan.parse(args.chaos)  # ValueError -> exit 2 with message
+    plane = _make_plane(args, faults=faults)
     session = ThermalSession(
         pool_size=args.solver_cache_size,
         result_cache_size=args.result_cache_size,
         result_cache_max_bytes=int(args.cache_max_mb * 1024 * 1024),
         result_cache_ttl_s=args.cache_ttl,
         plane=plane,
+        fallback=args.fallback,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        faults=faults,
     )
     for path in args.models:
         _load_model(session, path)
@@ -372,6 +409,13 @@ def _cmd_serve(args) -> int:
     print(f"  workers: {args.workers}"
           + (f" · max queue: {args.max_queue}" if args.max_queue else "")
           + (f" · exec: {plane.kind} ({plane.workers} workers)" if plane is not None else ""))
+    if args.fallback or faults is not None:
+        print("  reliability: "
+              + ("fallback on" if args.fallback else "fallback off")
+              + f" · breaker threshold {args.breaker_threshold}"
+              + f" · cooldown {args.breaker_cooldown:g}s"
+              + (f" · CHAOS ARMED: {faults.spec}" if faults is not None else ""),
+              flush=True)
     print("  endpoints: POST /solve /solve_transient · GET /chips /models /healthz /stats",
           flush=True)
     print("  example: curl -s -X POST "

@@ -11,14 +11,20 @@ solver work through this one interface, so multi-core scaling lands in
 every layer at once (``repro-thermal generate/serve --exec processes``).
 
 :mod:`repro.runtime.tasks` holds the picklable task functions and
-warm-state recipes those layers submit.
+warm-state recipes those layers submit.  :mod:`repro.runtime.faults` makes
+the runtime's failure modes injectable (``serve --chaos``) so the retry,
+shed and fallback paths are tested deterministically, and tasks carry
+deadlines the planes enforce (:class:`~repro.runtime.plane.DeadlineExceeded`).
 """
 
+from repro.runtime.faults import BackendFault, FaultPlan, InjectedFault, WorkerFault
 from repro.runtime.plane import (
     DEFAULT_STATE_CAPACITY,
     PLANE_KINDS,
+    DeadlineExceeded,
     ExecutionPlane,
     PlaneTask,
+    PlaneTimeout,
     ProcessPlane,
     SerialPlane,
     ThreadPlane,
@@ -28,10 +34,16 @@ from repro.runtime.plane import (
 __all__ = [
     "DEFAULT_STATE_CAPACITY",
     "PLANE_KINDS",
+    "BackendFault",
+    "DeadlineExceeded",
     "ExecutionPlane",
+    "FaultPlan",
+    "InjectedFault",
     "PlaneTask",
+    "PlaneTimeout",
     "ProcessPlane",
     "SerialPlane",
     "ThreadPlane",
+    "WorkerFault",
     "create_plane",
 ]

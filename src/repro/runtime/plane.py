@@ -40,8 +40,11 @@ import time
 import zlib
 from collections import OrderedDict, deque
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.runtime.faults import FaultPlan, WorkerFault
 
 #: Warm solver states kept per worker before LRU eviction.  Each state can
 #: hold a full sparse LU factorisation, so the bound is deliberately small.
@@ -53,6 +56,43 @@ PLANE_KINDS = ("serial", "threads", "processes")
 #: How many warm keys a plane lists verbatim per worker in :meth:`stats`
 #: before truncating to a count (keeps ``/stats`` payloads bounded).
 _STATS_KEY_LIMIT = 8
+
+#: Times one task may be shipped in total (first attempt + retries) before
+#: a lost task is failed instead of resubmitted.
+DEFAULT_MAX_TASK_ATTEMPTS = 2
+
+#: Retries charged against one ``state_key`` across the plane's lifetime
+#: before further losses on that key fail fast — a task whose factorisation
+#: reliably kills workers must not take down the whole pool one by one.
+DEFAULT_MAX_KEY_RETRIES = 4
+
+#: Base delay before a lost task is reshipped; doubles per attempt.
+DEFAULT_RETRY_BACKOFF_S = 0.05
+
+#: Seconds a worker must be dead before its pending tasks are declared
+#: lost: results the worker computed just before dying are still in flight
+#: through the result queue's feeder pipe, and dooming them early would
+#: recompute work that already succeeded.
+DEAD_WORKER_GRACE_S = 0.5
+
+
+class DeadlineExceeded(TimeoutError):
+    """A task (or request) deadline expired before the work was started.
+
+    Raised by planes that refuse to start expired tasks and by the serving
+    engine when it sheds a request that expired while queued.  The work was
+    *never solved* — callers distinguishing "slow" from "shed" can rely on
+    that.
+    """
+
+
+class PlaneTimeout(TimeoutError):
+    """``run_all``'s single overall deadline expired with tasks unfinished.
+
+    Carries a descriptive message (how many of how many tasks were still
+    unfinished after how long); leftover futures are cancelled where
+    possible but tasks already running on workers are not interrupted.
+    """
 
 
 @dataclass(frozen=True)
@@ -81,6 +121,14 @@ class PlaneTask:
         ``None`` routes by stable hash of ``state_key``, keeping every task
         of one key on one worker; an integer shards a single key's tasks
         across workers (each warms its own state copy).
+    deadline:
+        Optional absolute deadline in ``time.monotonic()`` seconds.  A
+        plane never *starts* a task past its deadline: the future fails
+        with :class:`DeadlineExceeded` instead (counted as ``shed`` in
+        :meth:`ExecutionPlane.stats`), so a backlog cannot burn worker
+        time answering questions nobody is waiting for anymore.  Workers
+        run on the same host as the submitter, so the monotonic clock is
+        shared.
     """
 
     fn: Callable[[Any, Any], Any]
@@ -89,6 +137,13 @@ class PlaneTask:
     state_factory: Optional[Callable[[Any], Any]] = None
     state_spec: Any = None
     affinity: Optional[int] = None
+    deadline: Optional[float] = None
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Whether the task's deadline (if any) has already passed."""
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
 
 
 def _stable_slot(key: Hashable, workers: int) -> int:
@@ -170,6 +225,8 @@ class ExecutionPlane:
         self.state_capacity = state_capacity
         self._stats_lock = threading.Lock()
         self._worker_stats = [_WorkerStats() for _ in range(workers)]
+        self._shed = 0
+        self._retried = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -214,6 +271,29 @@ class ExecutionPlane:
             if failed:
                 self._worker_stats[slot].errors += 1
 
+    def _count_shed(self) -> None:
+        """Count one deadline-shed task (never started, never an error)."""
+        with self._stats_lock:
+            self._shed += 1
+
+    def _count_retry(self) -> None:
+        """Count one lost task resubmitted to a healthy worker."""
+        with self._stats_lock:
+            self._retried += 1
+
+    def _shed_future(self, task: PlaneTask) -> Future:
+        """A settled future failing ``task`` with :class:`DeadlineExceeded`."""
+        self._count_shed()
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        future.set_exception(
+            DeadlineExceeded(
+                "plane task deadline expired "
+                f"{time.monotonic() - task.deadline:.3f}s before it could start"
+            )
+        )
+        return future
+
     # ------------------------------------------------------------------
     def submit(self, task: PlaneTask) -> Future:
         """Enqueue one task; the returned future resolves to ``fn``'s result."""
@@ -222,11 +302,31 @@ class ExecutionPlane:
     def run_all(self, tasks: Sequence[PlaneTask], timeout: Optional[float] = None) -> List[Any]:
         """Submit every task and collect their results in submission order.
 
-        Raises the first task exception encountered (in order), after all
-        futures settle or ``timeout`` (per future) expires.
+        ``timeout`` is one **overall** deadline for the whole batch, not a
+        per-future allowance (which would let the total wait balloon to
+        N x timeout).  On expiry the still-pending leftovers are cancelled
+        where possible and a descriptive :class:`PlaneTimeout` is raised.
+        Task errors propagate as before: first in submission order wins.
         """
         futures = [self.submit(task) for task in tasks]
-        return [future.result(timeout=timeout) for future in futures]
+        deadline = None if timeout is None else time.monotonic() + float(timeout)
+        results = []
+        for index, future in enumerate(futures):
+            remaining: Optional[float] = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            try:
+                results.append(future.result(timeout=remaining))
+            except FutureTimeoutError:
+                leftovers = [f for f in futures[index:] if not f.done()]
+                for leftover in leftovers:
+                    leftover.cancel()
+                raise PlaneTimeout(
+                    f"{len(leftovers)} of {len(tasks)} plane tasks were still "
+                    f"unfinished when the overall {float(timeout):.1f}s "
+                    "run_all deadline expired"
+                ) from None
+        return results
 
     def close(self) -> None:
         """Release the plane's workers (idempotent; no-op for serial)."""
@@ -247,6 +347,8 @@ class ExecutionPlane:
         """Task counters, per-worker warm keys and queue depths for ``/stats``."""
         with self._stats_lock:
             per_worker = [w.snapshot() for w in self._worker_stats]
+            shed = self._shed
+            retried = self._retried
         return {
             "kind": self.kind,
             "workers": self.workers,
@@ -254,6 +356,9 @@ class ExecutionPlane:
             "completed": sum(w["completed"] for w in per_worker),
             "errors": sum(w["errors"] for w in per_worker),
             "queue_depth": sum(w["queue_depth"] for w in per_worker),
+            "shed": shed,
+            "retried": retried,
+            "workers_dead": 0,
             "per_worker": per_worker,
         }
 
@@ -282,6 +387,8 @@ class SerialPlane(ExecutionPlane):
         """Run ``task`` inline and return its already-settled future."""
         if self._closed:
             raise RuntimeError("the execution plane has been closed")
+        if task.expired():
+            return self._shed_future(task)
         future: Future = Future()
         future.set_running_or_notify_cancel()
         self._record_submit(0, task)
@@ -341,6 +448,8 @@ class ThreadPlane(ExecutionPlane):
 
     def submit(self, task: PlaneTask) -> Future:
         """Route ``task`` to its worker thread's queue."""
+        if task.expired():
+            return self._shed_future(task)
         slot = self._slot_of(task)
         future: Future = Future()
         with self._wakeups[slot]:
@@ -366,6 +475,17 @@ class ThreadPlane(ExecutionPlane):
                 task, future = queue.popleft()
             if not future.set_running_or_notify_cancel():
                 self._record_done(index, failed=False)
+                continue
+            if task.expired():
+                # Expired while queued behind other tasks: shed, never run.
+                self._count_shed()
+                self._record_done(index, failed=False)
+                future.set_exception(
+                    DeadlineExceeded(
+                        "plane task deadline expired while queued on "
+                        f"worker {index}"
+                    )
+                )
                 continue
             failed = False
             try:
@@ -394,7 +514,7 @@ class ThreadPlane(ExecutionPlane):
 # ----------------------------------------------------------------------
 # Processes
 # ----------------------------------------------------------------------
-def _process_worker_main(index, parent_pid, task_queue, result_queue, state_capacity):
+def _process_worker_main(index, parent_pid, task_queue, result_queue, state_capacity, fault=None):
     """Loop of one spawned worker: build warm state on demand, run tasks.
 
     SIGINT is ignored — on Ctrl+C the parent coordinates shutdown through
@@ -414,12 +534,20 @@ def _process_worker_main(index, parent_pid, task_queue, result_queue, state_capa
     construction recipe once it believes a key is warm, and without the
     recipe a single failed factory call (e.g. an OOM during factorisation)
     would poison that key for the plane's lifetime instead of being retried.
+
+    ``fault`` optionally carries this slot's
+    :class:`~repro.runtime.faults.WorkerFault` chaos directive: the worker
+    counts its own received tasks and computed results, dying or dropping
+    exactly where the plan says — deterministic no matter how the parent
+    interleaves submissions across slots.
     """
     import pickle
 
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     states = _WarmStates(state_capacity)
     recipes: "OrderedDict[Hashable, tuple]" = OrderedDict()
+    received = 0
+    computed = 0
     while True:
         try:
             message = task_queue.get(timeout=1.0)
@@ -429,7 +557,22 @@ def _process_worker_main(index, parent_pid, task_queue, result_queue, state_capa
             continue
         if message is None:
             return
-        task_id, fn, state_key, state_factory, state_spec, payload = pickle.loads(message)
+        received += 1
+        if fault is not None and fault.kill_after is not None and received > fault.kill_after:
+            # Chaos: die *holding* this task, exactly like an OOM kill —
+            # the parent must notice and retry it on a healthy worker.
+            # Flush buffered result messages first so the directive's
+            # semantics stay deterministic: the first ``kill_after`` tasks
+            # complete, exactly the later ones are lost.
+            try:
+                result_queue.close()
+                result_queue.join_thread()
+            except (OSError, ValueError):
+                pass
+            os._exit(1)
+        task_id, fn, state_key, state_factory, state_spec, payload, deadline = (
+            pickle.loads(message)
+        )
         if state_key is not None:
             if state_factory is not None:
                 recipes[state_key] = (state_factory, state_spec)
@@ -440,6 +583,11 @@ def _process_worker_main(index, parent_pid, task_queue, result_queue, state_capa
                 if state_factory is None:
                     state_factory, state_spec = recipes[state_key]
         try:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise DeadlineExceeded(
+                    "plane task deadline expired while queued on "
+                    f"worker {index}"
+                )
             task = PlaneTask(
                 fn=fn,
                 payload=payload,
@@ -457,7 +605,28 @@ def _process_worker_main(index, parent_pid, task_queue, result_queue, state_capa
                     (False, RuntimeError(f"{type(error).__name__}: {error}")),
                     protocol=pickle.HIGHEST_PROTOCOL,
                 )
+        computed += 1
+        if fault is not None and computed in fault.drop_results:
+            continue  # chaos: the answer vanishes; only a task lease recovers it
         result_queue.put((task_id, blob))
+
+
+class _PendingTask:
+    """Parent-side record of one in-flight process-plane task.
+
+    Keeps the full :class:`PlaneTask` so a task lost to a dead worker can
+    be reshipped — including its warm-state construction recipe, which is
+    exactly why ``plane.py`` keeps specs picklable.
+    """
+
+    __slots__ = ("future", "slot", "task", "attempts", "shipped_at")
+
+    def __init__(self, future: Future, slot: int, task: PlaneTask, attempts: int, shipped_at: float):
+        self.future = future
+        self.slot = slot
+        self.task = task
+        self.attempts = attempts
+        self.shipped_at = shipped_at
 
 
 class ProcessPlane(ExecutionPlane):
@@ -474,6 +643,14 @@ class ProcessPlane(ExecutionPlane):
     parent disappears, and are terminated by :meth:`close` — which the
     context-manager exit and an ``atexit`` hook both invoke, so no orphan
     solver processes outlive the session.
+
+    Tasks lost to a dead worker (crash, OOM kill, injected chaos) are
+    resubmitted to a healthy worker with exponential backoff — once per
+    task, and at most :data:`DEFAULT_MAX_KEY_RETRIES` times per state key
+    so a poisonous factorisation cannot take the pool down worker by
+    worker.  An optional ``task_timeout_s`` lease additionally recovers
+    tasks whose *answer* was lost (the worker is alive but the result
+    message never arrived) by reshipping them after the lease expires.
     """
 
     kind = "processes"
@@ -486,11 +663,19 @@ class ProcessPlane(ExecutionPlane):
         self,
         workers: Optional[int] = None,
         state_capacity: int = DEFAULT_STATE_CAPACITY,
+        faults: Optional[FaultPlan] = None,
+        task_timeout_s: Optional[float] = None,
+        retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+        max_key_retries: int = DEFAULT_MAX_KEY_RETRIES,
     ):
         import multiprocessing
 
         workers = workers if workers is not None else (os.cpu_count() or 1)
         super().__init__(workers=workers, state_capacity=state_capacity)
+        self._faults = faults
+        self._task_timeout_s = None if task_timeout_s is None else float(task_timeout_s)
+        self._retry_backoff_s = float(retry_backoff_s)
+        self._max_key_retries = int(max_key_retries)
         context = multiprocessing.get_context("spawn")
         self._task_queues = [context.Queue() for _ in range(self.workers)]
         self._result_queue = context.Queue()
@@ -504,6 +689,7 @@ class ProcessPlane(ExecutionPlane):
                     self._task_queues[index],
                     self._result_queue,
                     state_capacity,
+                    faults.worker_fault(index) if faults is not None else None,
                 ),
                 name=f"plane-worker-{index}",
                 daemon=True,
@@ -512,7 +698,10 @@ class ProcessPlane(ExecutionPlane):
             self._processes.append(process)
         self._lock = threading.Lock()
         self._next_task_id = 0
-        self._pending: Dict[int, tuple] = {}  # task_id -> (future, slot)
+        self._pending: Dict[int, _PendingTask] = {}
+        self._retry_queue: List[tuple] = []  # (due_at, _PendingTask)
+        self._key_retries: Dict[Hashable, int] = {}
+        self._dead_since: Dict[int, float] = {}  # slot -> first seen dead
         self._collector = threading.Thread(
             target=self._collect, name="plane-collector", daemon=True
         )
@@ -527,51 +716,79 @@ class ProcessPlane(ExecutionPlane):
         one lock: that keeps a submit racing :meth:`close` failing fast
         (instead of hitting a torn-down queue), and keeps the warm-key
         mirror's order identical to the queue order, which the state-spec
-        elision below depends on.
+        elision below depends on.  Expired tasks are shed without ever
+        crossing a process boundary.
         """
-        import pickle
-
-        slot = self._slot_of(task)
         future: Future = Future()
         with self._lock:
             if self._closed:
                 raise RuntimeError("the execution plane has been closed")
-            task_id = self._next_task_id
-            self._next_task_id += 1
-            already_warm = self._record_submit(slot, task)
-            # A key the mirror marks warm is resident on the worker by the
-            # time this (FIFO-ordered) task arrives, so the construction
-            # recipe need not be re-pickled — state specs carry whole chip
-            # descriptions and optionally shared geometries, which would
-            # otherwise ride along with every batch.  (The worker keeps the
-            # last shipped recipe per key, so it can rebuild after a failed
-            # factory call.)
-            factory = None if already_warm else task.state_factory
-            spec = None if already_warm else task.state_spec
-            try:
-                # Pickle explicitly: an error in the queue's feeder thread
-                # would be swallowed and the future never resolved, whereas
-                # here the submitter gets the TypeError immediately.
-                blob = pickle.dumps(
-                    (task_id, task.fn, task.state_key, factory, spec, task.payload),
-                    protocol=pickle.HIGHEST_PROTOCOL,
-                )
-            except Exception as error:
-                self._record_done(slot, failed=True)
-                if not already_warm and task.state_key is not None:
-                    # The recipe never reached the worker: un-mark the key
-                    # so a retry ships the spec again instead of eliding it.
-                    with self._stats_lock:
-                        self._worker_stats[slot].warm_keys.pop(task.state_key, None)
-                raise ValueError(
-                    f"plane task is not picklable for process execution: {error}"
-                ) from error
-            self._pending[task_id] = (future, slot)
-            self._task_queues[slot].put(blob)
+            if task.expired():
+                return self._shed_future(task)
+            self._ship_locked(task, future, attempts=1)
         return future
 
+    def _ship_locked(self, task: PlaneTask, future: Future, attempts: int) -> None:
+        """Route and pickle one (possibly re-)shipment; caller holds the lock."""
+        import pickle
+
+        slot = self._live_slot_locked(self._slot_of(task))
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        already_warm = self._record_submit(slot, task)
+        # A key the mirror marks warm is resident on the worker by the
+        # time this (FIFO-ordered) task arrives, so the construction
+        # recipe need not be re-pickled — state specs carry whole chip
+        # descriptions and optionally shared geometries, which would
+        # otherwise ride along with every batch.  (The worker keeps the
+        # last shipped recipe per key, so it can rebuild after a failed
+        # factory call.)
+        factory = None if already_warm else task.state_factory
+        spec = None if already_warm else task.state_spec
+        try:
+            # Pickle explicitly: an error in the queue's feeder thread
+            # would be swallowed and the future never resolved, whereas
+            # here the submitter gets the TypeError immediately.
+            blob = pickle.dumps(
+                (task_id, task.fn, task.state_key, factory, spec, task.payload,
+                 task.deadline),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception as error:
+            self._record_done(slot, failed=True)
+            if not already_warm and task.state_key is not None:
+                # The recipe never reached the worker: un-mark the key
+                # so a retry ships the spec again instead of eliding it.
+                with self._stats_lock:
+                    self._worker_stats[slot].warm_keys.pop(task.state_key, None)
+            raise ValueError(
+                f"plane task is not picklable for process execution: {error}"
+            ) from error
+        self._pending[task_id] = _PendingTask(
+            future, slot, task, attempts, time.monotonic()
+        )
+        self._task_queues[slot].put(blob)
+
+    def _live_slot_locked(self, preferred: int) -> int:
+        """``preferred`` if that worker is alive, else a stable healthy slot.
+
+        Dead workers are never restarted; remapping keeps post-crash
+        submissions (and retries) off slots that would strand them.
+        Raises if every worker has exited.
+        """
+        if self._processes[preferred].exitcode is None:
+            return preferred
+        live = [
+            slot
+            for slot, process in enumerate(self._processes)
+            if process.exitcode is None
+        ]
+        if not live:
+            raise RuntimeError("all plane workers have exited")
+        return live[preferred % len(live)]
+
     def _collect(self) -> None:
-        """Drain worker results into futures; fail tasks of dead workers."""
+        """Drain worker results into futures; recover lost tasks on idle ticks."""
         import pickle
 
         while True:
@@ -579,58 +796,131 @@ class ProcessPlane(ExecutionPlane):
                 task_id, blob = self._result_queue.get(timeout=0.25)
             except queue_module.Empty:
                 with self._lock:
-                    drained = self._closed and not self._pending
+                    drained = self._closed and not self._pending and not self._retry_queue
                 if drained:
                     return
-                self._fail_dead_workers()
+                self._recover_lost_tasks()
+                self._flush_retries()
                 continue
             ok, value = pickle.loads(blob)
             with self._lock:
                 entry = self._pending.pop(task_id, None)
             if entry is None:
-                continue  # already failed by the dead-worker watchdog
-            future, slot = entry
-            self._record_done(slot, failed=not ok)
-            if not future.set_running_or_notify_cancel():
+                continue  # already recovered (or failed) by the watchdog
+            shed = (not ok) and isinstance(value, DeadlineExceeded)
+            self._record_done(entry.slot, failed=not ok and not shed)
+            if shed:
+                self._count_shed()
+            if not entry.future.set_running_or_notify_cancel():
                 continue
             if ok:
-                future.set_result(value)
+                entry.future.set_result(value)
             else:
-                future.set_exception(value)
+                entry.future.set_exception(value)
 
-    def _fail_dead_workers(self) -> None:
-        """Fail pending futures routed to workers that have exited.
+    def _recover_lost_tasks(self) -> None:
+        """Retry (or fail) tasks lost to dead workers or expired leases.
 
         Without this, a crashed worker (OOM kill, hard fault inside native
-        code) would leave its callers blocked on futures forever.
+        code) would leave its callers blocked on futures forever.  Instead
+        of failing straight away, each lost task gets one resubmission to
+        a healthy worker — subject to the per-key retry cap.
         """
+        now = time.monotonic()
+        for slot, process in enumerate(self._processes):
+            if process.exitcode is not None:
+                self._dead_since.setdefault(slot, now)
+        # A worker is only *treated* as dead after a short grace period:
+        # results it computed right before dying may still be in flight
+        # through the result queue, and those tasks need no recomputation.
         dead = {
             slot
-            for slot, process in enumerate(self._processes)
-            if process.exitcode is not None
+            for slot, since in self._dead_since.items()
+            if now - since >= DEAD_WORKER_GRACE_S
         }
-        if not dead:
-            return
+        doomed = []
         with self._lock:
             if self._closed:
                 return  # close() fails the stragglers itself
-            doomed = [
-                (task_id, future, slot)
-                for task_id, (future, slot) in self._pending.items()
-                if slot in dead
-            ]
-            for task_id, _, _ in doomed:
-                del self._pending[task_id]
-        for _, future, slot in doomed:
-            self._record_done(slot, failed=True)
-            if future.set_running_or_notify_cancel():
-                future.set_exception(
-                    RuntimeError(
-                        f"plane worker {slot} exited "
-                        f"(exit code {self._processes[slot].exitcode}) "
-                        "before answering this task"
+            for task_id, entry in list(self._pending.items()):
+                reason = None
+                if entry.slot in dead:
+                    reason = (
+                        f"plane worker {entry.slot} exited "
+                        f"(exit code {self._processes[entry.slot].exitcode})"
                     )
+                elif (
+                    self._task_timeout_s is not None
+                    and now - entry.shipped_at > self._task_timeout_s
+                ):
+                    reason = (
+                        f"no answer from plane worker {entry.slot} within "
+                        f"the {self._task_timeout_s:.1f}s task lease"
+                    )
+                if reason is not None:
+                    del self._pending[task_id]
+                    doomed.append((entry, reason))
+        for entry, reason in doomed:
+            self._retry_or_fail(entry, reason)
+
+    def _retry_or_fail(self, entry: _PendingTask, reason: str) -> None:
+        """Queue one lost task for backoff-delayed reshipment, or fail it."""
+        task = entry.task
+        with self._lock:
+            # The per-key cap guards against a *state key* whose
+            # factorisation reliably kills workers; keyless tasks share no
+            # state and are exempt (each still gets only one resubmission).
+            key_retries = (
+                0 if task.state_key is None
+                else self._key_retries.get(task.state_key, 0)
+            )
+            retryable = (
+                not self._closed
+                and entry.attempts < DEFAULT_MAX_TASK_ATTEMPTS
+                and key_retries < self._max_key_retries
+                and not task.expired()
+                and any(process.exitcode is None for process in self._processes)
+            )
+            if retryable:
+                if task.state_key is not None:
+                    self._key_retries[task.state_key] = key_retries + 1
+                delay = self._retry_backoff_s * (2 ** (entry.attempts - 1))
+                self._retry_queue.append((time.monotonic() + delay, entry))
+        # The dead slot's queue-depth books close either way; only a
+        # definitive loss counts as an error (a retried task may yet succeed).
+        self._record_done(entry.slot, failed=not retryable)
+        if retryable:
+            self._count_retry()
+            return
+        if entry.future.set_running_or_notify_cancel():
+            entry.future.set_exception(
+                RuntimeError(
+                    f"{reason} before answering this task"
+                    + (f" (attempt {entry.attempts})" if entry.attempts > 1 else "")
                 )
+            )
+
+    def _flush_retries(self) -> None:
+        """Reship retry-queue entries whose backoff delay has elapsed."""
+        now = time.monotonic()
+        due = []
+        with self._lock:
+            if self._closed or not self._retry_queue:
+                return
+            remaining = []
+            for item in self._retry_queue:
+                (due_at, _entry) = item
+                (due if due_at <= now else remaining).append(item)
+            self._retry_queue = remaining
+        for _, entry in due:
+            try:
+                with self._lock:
+                    if self._closed:
+                        raise RuntimeError("the execution plane has been closed")
+                    self._ship_locked(entry.task, entry.future, attempts=entry.attempts + 1)
+            except BaseException as error:  # noqa: BLE001 — travels to caller
+                if entry.future.set_running_or_notify_cancel():
+                    entry.future.set_exception(error)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -663,14 +953,20 @@ class ProcessPlane(ExecutionPlane):
             if process.is_alive():  # pragma: no cover — terminate() refused
                 process.kill()
                 process.join(timeout=2.0)
-        # Fail whatever never got answered (workers died holding tasks).
+        # Fail whatever never got answered (workers died holding tasks),
+        # including tasks parked in the retry queue awaiting reshipment.
         with self._lock:
-            leftovers = list(self._pending.items())
+            leftovers = list(self._pending.values())
             self._pending.clear()
-        for _, (future, slot) in leftovers:
-            self._record_done(slot, failed=True)
-            if future.set_running_or_notify_cancel():
-                future.set_exception(RuntimeError("the execution plane has been closed"))
+            retries = [entry for _, entry in self._retry_queue]
+            self._retry_queue = []
+        for entry in leftovers:
+            self._record_done(entry.slot, failed=True)
+        for entry in leftovers + retries:
+            if entry.future.set_running_or_notify_cancel():
+                entry.future.set_exception(
+                    RuntimeError("the execution plane has been closed")
+                )
         if self._collector.is_alive() and threading.current_thread() is not self._collector:
             self._collector.join(timeout=5.0)
         for task_queue in self._task_queues:
@@ -693,24 +989,51 @@ class ProcessPlane(ExecutionPlane):
         """PIDs of the spawned workers (the shutdown tests watch these)."""
         return [process.pid for process in self._processes if process.pid is not None]
 
+    def stats(self) -> Dict[str, Any]:
+        """Process-plane stats additionally report dead workers and retries."""
+        summary = super().stats()
+        alive = [process.exitcode is None for process in self._processes]
+        summary["workers_dead"] = sum(not a for a in alive)
+        for slot, worker_alive in enumerate(alive):
+            summary["per_worker"][slot]["alive"] = worker_alive
+        with self._lock:
+            summary["retry_queue"] = len(self._retry_queue)
+        return summary
+
 
 def create_plane(
     kind: str,
     workers: Optional[int] = None,
     state_capacity: int = DEFAULT_STATE_CAPACITY,
+    faults: Optional[FaultPlan] = None,
+    task_timeout_s: Optional[float] = None,
 ) -> ExecutionPlane:
     """Build an execution plane from a CLI-style spec.
 
     ``kind`` is one of :data:`PLANE_KINDS`; ``workers`` defaults to the host
     CPU count for ``threads``/``processes`` and is ignored for ``serial``.
+    ``faults`` threads a chaos :class:`~repro.runtime.faults.FaultPlan` into
+    the workers; its worker directives only make sense where workers can
+    actually die, so they require the ``processes`` plane.
+    ``task_timeout_s`` enables the process plane's lost-answer lease.
     """
     kind = str(kind).lower()
+    if kind == "processes":
+        return ProcessPlane(
+            workers=workers,
+            state_capacity=state_capacity,
+            faults=faults,
+            task_timeout_s=task_timeout_s,
+        )
+    if faults is not None and faults.has_worker_faults:
+        raise ValueError(
+            "worker fault injection (kill-worker / drop-result) requires "
+            "the 'processes' execution plane"
+        )
     if kind == "serial":
         return SerialPlane(state_capacity=state_capacity)
     if kind == "threads":
         return ThreadPlane(workers=workers, state_capacity=state_capacity)
-    if kind == "processes":
-        return ProcessPlane(workers=workers, state_capacity=state_capacity)
     raise ValueError(
         f"unknown execution plane '{kind}'; available: {', '.join(PLANE_KINDS)}"
     )

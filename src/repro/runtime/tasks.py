@@ -185,3 +185,17 @@ def solve_cases(adapter: Any, payload: Dict[str, Any]) -> List[Any]:
 def ping(_state: Any, payload: Any) -> Any:
     """Stateless round-trip used by health checks, warm-up and the tests."""
     return payload
+
+
+def slow_ping(_state: Any, payload: Any) -> Any:
+    """A ping that sleeps first — fodder for deadline and lease tests.
+
+    ``payload`` is ``(seconds, value)``; the task sleeps ``seconds`` and
+    returns ``value``.  Module-level (hence picklable) so process-plane
+    tests can exercise stragglers, lost answers and queue backlogs.
+    """
+    import time
+
+    seconds, value = payload
+    time.sleep(float(seconds))
+    return value

@@ -14,6 +14,14 @@ into a long-running service:
 * :mod:`repro.serving.server` — the stdlib HTTP JSON API
   (``repro-thermal serve``): ``/solve``, ``/solve_transient``, ``/chips``,
   ``/models``, ``/healthz``, ``/stats``.
+
+Reliability: requests may carry a ``deadline_ms`` latency budget — work that
+expires while queued is shed (504) instead of solved; a stopping engine
+fails pending futures with :class:`EngineStopped` (503); backend failures
+trip per-backend circuit breakers in the session, which (with fallback
+enabled) answers from the next backend in the chain, provenance-stamped
+``degraded``.  ``repro-thermal serve --chaos`` injects worker kills, dropped
+results and backend failures to drill exactly these paths.
 """
 
 from repro.serving.backends import (
@@ -27,7 +35,7 @@ from repro.serving.backends import (
     TransientBackend,
     build_backends,
 )
-from repro.serving.engine import MicroBatchEngine, QueueFullError
+from repro.serving.engine import EngineStopped, MicroBatchEngine, QueueFullError
 from repro.serving.request import (
     KNOWN_BACKENDS,
     ThermalRequest,
@@ -38,6 +46,7 @@ from repro.serving.server import ThermalServer
 
 __all__ = [
     "Backend",
+    "EngineStopped",
     "FVMBackend",
     "HotSpotBackend",
     "LRUPool",

@@ -73,12 +73,17 @@ class SessionBackend(Backend):
         # part of ThermalRequest.group_key — so one session call answers the
         # whole group and every answer caches under the right detail key.
         first = requests[0]
+        # The batch deadline is the loosest member deadline: one member with
+        # no deadline means the batch as a whole must be allowed to finish.
+        deadlines = [request.deadline for request in requests]
+        deadline = None if any(d is None for d in deadlines) else max(deadlines)
         solutions = self.session.solve_batch(
             first.chip,
             [request.assignment for request in requests],
             resolution=first.resolution,
             backend=self.name,
             include_maps=first.include_maps,
+            deadline=deadline,
         )
         for request, solution in zip(requests, solutions):
             solution.request_id = request.request_id

@@ -60,6 +60,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.runtime.plane import DeadlineExceeded
 from repro.serving.backends import Backend
 from repro.serving.request import ThermalRequest, ThermalResult
 
@@ -83,6 +84,18 @@ DEFAULT_PRIORITY = 1
 class QueueFullError(RuntimeError):
     """Raised by :meth:`MicroBatchEngine.submit` when admission control
     rejects a request because ``max_queue`` requests are already waiting."""
+
+
+class EngineStopped(RuntimeError):
+    """The engine is shutting down (or shut down) and cannot answer.
+
+    Raised by :meth:`MicroBatchEngine.submit` after :meth:`MicroBatchEngine.stop`
+    begins, and set on any future still pending when the workers drain out —
+    a silently parked future would block its client for the full solve
+    timeout.  The HTTP layer maps it to 503.  Subclasses ``RuntimeError``
+    (with the historical "the engine has been stopped" message) so existing
+    callers catching that keep working.
+    """
 
 
 @dataclass
@@ -113,6 +126,7 @@ class _BackendCounters:
     batches: int = 0
     errors: int = 0
     refined: int = 0
+    shed: int = 0
     latencies: List[float] = field(default_factory=list)
 
     def record(self, latencies: Sequence[float], count_batch: bool = True) -> None:
@@ -129,6 +143,7 @@ class _BackendCounters:
             "batches": self.batches,
             "errors": self.errors,
             "refined": self.refined,
+            "shed": self.shed,
             "mean_batch_size": (
                 round(self.requests / self.batches, 3) if self.batches else 0.0
             ),
@@ -287,7 +302,7 @@ class MicroBatchEngine:
             self._depth -= len(leftovers)
         for pending in leftovers:
             if pending.future.set_running_or_notify_cancel():
-                pending.future.set_exception(RuntimeError("the engine has been stopped"))
+                pending.future.set_exception(EngineStopped("the engine has been stopped"))
 
     def __enter__(self) -> "MicroBatchEngine":
         return self.start()
@@ -325,17 +340,27 @@ class MicroBatchEngine:
         Requests may be submitted before :meth:`start`; they are answered as
         soon as the workers run (the tests use this to force determinate
         batch compositions).  Raises :class:`QueueFullError` when admission
-        control rejects the request (``max_queue`` waiting already).
+        control rejects the request (``max_queue`` waiting already),
+        :class:`~repro.runtime.plane.DeadlineExceeded` when the request's
+        deadline already passed (counted as shed, never solved), and
+        :class:`EngineStopped` once :meth:`stop` has begun.
         """
         if request.backend not in self.backends:
             raise KeyError(
                 f"backend '{request.backend}' is not enabled on this engine; "
                 f"available: {', '.join(sorted(self.backends))}"
             )
+        if request.expired():
+            with self._lock:
+                self._counter(request.backend).shed += 1
+            raise DeadlineExceeded(
+                f"request {request.request_id} arrived with its deadline already "
+                "expired; shed without solving"
+            )
         pending = _Pending(request=request, future=Future(), enqueued_at=time.perf_counter())
         with self._lock:
             if self._stopped:
-                raise RuntimeError("the engine has been stopped")
+                raise EngineStopped("the engine has been stopped")
             if self.max_queue is not None and self._depth >= self.max_queue:
                 self._rejected += 1
                 raise QueueFullError(
@@ -354,7 +379,7 @@ class MicroBatchEngine:
             # so taking self._lock while holding shard.wakeup could deadlock.
             with self._lock:
                 self._depth -= 1
-            raise RuntimeError("the engine has been stopped")
+            raise EngineStopped("the engine has been stopped")
         return pending.future
 
     def solve(self, request: ThermalRequest, timeout: Optional[float] = 60.0) -> ThermalResult:
@@ -382,6 +407,7 @@ class MicroBatchEngine:
             rejected = self._rejected
             counters = {name: c.snapshot() for name, c in self._counters.items()}
             total = sum(c.requests for c in self._counters.values())
+            shed = sum(c.shed for c in self._counters.values())
         uptime = time.perf_counter() - self._started_at
         backends: Dict[str, Any] = {}
         for name, backend in self.backends.items():
@@ -397,6 +423,7 @@ class MicroBatchEngine:
             "shard_queue_depths": shard_depths,
             "max_queue": self.max_queue,
             "rejected_requests": rejected,
+            "shed_requests": shed,
             "total_requests": total,
             "throughput_rps": round(total / uptime, 3) if uptime > 0 else 0.0,
             "max_batch_size": self.max_batch_size,
@@ -485,7 +512,34 @@ class MicroBatchEngine:
         shard.queue = rest
         return batch
 
+    def _shed_expired(self, batch: List[_Pending]) -> List[_Pending]:
+        """Fail the expired-while-queued requests; return the live remainder.
+
+        A request whose deadline passed in the queue is *shed*: its future
+        fails with :class:`~repro.runtime.plane.DeadlineExceeded` and the
+        backend never sees it — under overload, solver time goes to requests
+        whose clients are still waiting for the answer.
+        """
+        now = time.monotonic()
+        live = [p for p in batch if not p.request.expired(now)]
+        expired = [p for p in batch if p.request.expired(now)]
+        if expired:
+            with self._lock:
+                self._counter(expired[0].request.backend).shed += len(expired)
+            for pending in expired:
+                if pending.future.set_running_or_notify_cancel():
+                    pending.future.set_exception(
+                        DeadlineExceeded(
+                            f"request {pending.request.request_id} spent its latency "
+                            "budget waiting in the queue; shed without solving"
+                        )
+                    )
+        return live
+
     def _dispatch(self, batch: List[_Pending]) -> None:
+        batch = self._shed_expired(batch)
+        if not batch:
+            return
         requests = [pending.request for pending in batch]
         backend_name = requests[0].backend
         backend = self.backends[backend_name]

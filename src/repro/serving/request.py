@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Optional, Sequence, Tuple, Union
 
@@ -81,6 +82,24 @@ def _validate_resolution(resolution: Any) -> int:
     return resolution
 
 
+def _validate_deadline_ms(deadline_ms: Any) -> Optional[float]:
+    """Turn a relative ``deadline_ms`` budget into an absolute deadline.
+
+    Returns ``time.monotonic() + deadline_ms / 1000`` — the clock every
+    deadline consumer (engine, planes, session) compares against — or
+    ``None`` when no budget was given.
+    """
+    if deadline_ms is None:
+        return None
+    try:
+        budget_ms = float(deadline_ms)
+    except (TypeError, ValueError):
+        raise ValueError(f"'deadline_ms' must be a number, got {deadline_ms!r}")
+    if not math.isfinite(budget_ms) or budget_ms <= 0:
+        raise ValueError(f"'deadline_ms' must be a positive finite number, got {deadline_ms!r}")
+    return time.monotonic() + budget_ms / 1000.0
+
+
 def _validate_assignment(
     chip_stack: ChipStack,
     powers: Optional[Mapping[str, Any]],
@@ -114,6 +133,13 @@ class ThermalRequest:
     backend: str = "fvm"
     include_maps: bool = False
     request_id: str = ""
+    deadline: Optional[float] = None
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Whether this request's deadline (if any) has already passed."""
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
 
     @property
     def group_key(self) -> Tuple[str, int, str, bool]:
@@ -144,6 +170,7 @@ class ThermalRequest:
         request_id: Optional[str] = None,
         allowed_backends: Optional[Sequence[str]] = None,
         chips: Optional[Any] = None,
+        deadline_ms: Optional[float] = None,
     ) -> "ThermalRequest":
         """Validate every field and build a request.
 
@@ -155,7 +182,10 @@ class ThermalRequest:
         optional chip source with ``get_chip``/``list_chips`` (e.g. a
         :class:`~repro.api.session.ThermalSession`), so deployments serving
         runtime-registered custom designs validate against their real chip
-        registry; it defaults to the built-in benchmark designs.  Raises
+        registry; it defaults to the built-in benchmark designs.
+        ``deadline_ms`` is an optional latency budget *relative to now*; the
+        engine sheds the request (:class:`DeadlineExceeded` → HTTP 504)
+        rather than solving it once the budget is spent.  Raises
         :class:`ValueError` / :class:`KeyError` with messages safe to return
         to an API client.
         """
@@ -178,6 +208,7 @@ class ThermalRequest:
             backend=backend_name,
             include_maps=bool(include_maps),
             request_id=request_id or f"req-{next(_REQUEST_COUNTER)}",
+            deadline=_validate_deadline_ms(deadline_ms),
         )
 
     @classmethod
@@ -192,7 +223,7 @@ class ThermalRequest:
             raise ValueError(f"request body must be a JSON object, got {type(payload).__name__}")
         known_keys = {
             "chip", "powers", "total_power", "resolution", "backend",
-            "include_maps", "request_id",
+            "include_maps", "request_id", "deadline_ms",
         }
         unknown = set(payload) - known_keys
         if unknown:
@@ -218,6 +249,7 @@ class ThermalRequest:
             request_id=payload.get("request_id"),
             allowed_backends=allowed_backends,
             chips=chips,
+            deadline_ms=payload.get("deadline_ms"),
         )
 
 

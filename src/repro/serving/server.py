@@ -42,11 +42,13 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
 
 from repro import __version__
+from repro.api.breaker import CircuitOpenError
 from repro.api.session import ThermalSession
 from repro.chip.designs import get_chip, list_chips
 from repro.data.power import error_message
+from repro.runtime.plane import DeadlineExceeded
 from repro.serving.backends import OperatorBackend
-from repro.serving.engine import MicroBatchEngine, QueueFullError
+from repro.serving.engine import EngineStopped, MicroBatchEngine, QueueFullError
 from repro.serving.request import ThermalRequest, TransientRequest
 
 #: Largest accepted ``/solve`` body; far above any legitimate power map.
@@ -160,8 +162,20 @@ class _Handler(BaseHTTPRequestHandler):
         except QueueFullError as error:
             self._send_error_json(429, str(error))
             return
+        # DeadlineExceeded subclasses TimeoutError, which *is*
+        # concurrent.futures.TimeoutError on modern Pythons — it must be
+        # matched first or the shed would masquerade as an engine timeout.
+        except DeadlineExceeded as error:
+            self._send_error_json(504, str(error))
+            return
         except FutureTimeoutError:
             self._send_error_json(504, "solve timed out; the service is overloaded")
+            return
+        except EngineStopped as error:
+            self._send_error_json(503, str(error))
+            return
+        except CircuitOpenError as error:
+            self._send_error_json(503, str(error))
             return
         except (KeyError, ValueError) as error:
             self._send_error_json(400, error_message(error))
@@ -302,14 +316,31 @@ class ThermalServer:
 
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
-        """Liveness payload of ``GET /healthz``."""
-        return {
-            "status": "ok",
+        """Liveness payload of ``GET /healthz``.
+
+        ``status`` is ``"ok"`` while every breaker is closed and every plane
+        worker lives, ``"degraded"`` otherwise — degraded still answers
+        (fallback chains and retries keep requests flowing), but operators
+        should look; ``open_breakers`` and ``plane_workers_dead`` say where.
+        """
+        open_breakers: list = []
+        workers_dead = 0
+        if self.session is not None:
+            open_breakers = self.session.open_breakers()
+            if self.session.plane is not None:
+                workers_dead = int(self.session.plane.stats().get("workers_dead", 0))
+        degraded = bool(open_breakers) or workers_dead > 0
+        body: Dict[str, Any] = {
+            "status": "degraded" if degraded else "ok",
             "version": __version__,
             "uptime_seconds": round(time.time() - self._started_at, 3),
             "backends": sorted(self.engine.backends),
             "engine_running": self.engine.is_running,
         }
+        if degraded:
+            body["open_breakers"] = open_breakers
+            body["plane_workers_dead"] = workers_dead
+        return body
 
     def describe_chips(self) -> list:
         """Chip inventory of ``GET /chips`` (built-ins plus custom designs)."""

@@ -1,0 +1,115 @@
+"""Unit tests of the per-backend circuit breaker state machine."""
+
+import pytest
+
+from repro.api import CircuitBreaker, CircuitOpenError  # noqa: F401 — facade export
+from repro.api.breaker import CircuitBreaker as DirectBreaker
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock so cooldowns need no sleeping."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, cooldown_s=10.0, clock=clock)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self, breaker):
+        for _ in range(2):
+            breaker.record_failure()
+            assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.stats()["opened"] == 1
+
+    def test_success_resets_the_streak(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_after_cooldown_grants_one_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # everyone else keeps waiting
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_for_a_fresh_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        # Re-opening is not a new closed->open transition.
+        assert breaker.stats()["opened"] == 1
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()
+
+    def test_release_probe_abandons_without_verdict(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.release_probe()
+        # The probe slot is free again without closing the breaker.
+        assert breaker.state == "half_open"
+        assert breaker.allow()
+
+    def test_stats_counters(self, breaker, clock):
+        breaker.record_success()
+        for _ in range(3):
+            breaker.record_failure()
+        stats = breaker.stats()
+        assert stats == {
+            "state": "open",
+            "consecutive_failures": 3,
+            "failures": 3,
+            "successes": 1,
+            "opened": 1,
+            "failure_threshold": 3,
+            "cooldown_s": 10.0,
+        }
+
+
+class TestValidation:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_cooldown_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1.0)
+
+    def test_facade_export_is_the_same_class(self):
+        assert CircuitBreaker is DirectBreaker

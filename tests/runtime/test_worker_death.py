@@ -1,0 +1,110 @@
+"""Worker-death recovery: SIGKILL a plane worker mid-batch, lose nothing.
+
+The tentpole satellite: a :class:`~repro.runtime.plane.ProcessPlane` worker
+killed with an un-catchable signal while tasks are queued on (or in flight
+to) it must not strand any future — the plane detects the death, resubmits
+the lost tasks to a healthy worker (re-shipping the warm-state recipes) and
+the batch's answers stay bitwise-identical to inline serial solving.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.chip.designs import get_chip
+from repro.runtime import PlaneTask, ProcessPlane, SerialPlane
+from repro.runtime.faults import FaultPlan
+from repro.runtime.tasks import (
+    SolverSpec,
+    build_fvm_solver,
+    generate_batch,
+    slow_ping,
+    solver_state_key,
+)
+
+RES = 8
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return get_chip("chip1")
+
+
+@pytest.fixture(scope="module")
+def assignments(chip):
+    from repro.data.power import PowerSampler
+
+    sampler = PowerSampler(chip)
+    cases = sampler.sample_many(6, np.random.default_rng(7))
+    return [case.assignment for case in cases]
+
+
+def _solver_task(chip, batch, affinity):
+    spec = SolverSpec(chip=chip, resolution=RES)
+    return PlaneTask(
+        fn=generate_batch,
+        payload=batch,
+        state_key=solver_state_key(spec),
+        state_factory=build_fvm_solver,
+        state_spec=spec,
+        affinity=affinity,
+    )
+
+
+class TestSigkillMidBatch:
+    def test_batch_completes_bitwise_identical_after_sigkill(self, chip, assignments):
+        batches = [assignments[index:index + 2] for index in range(0, 6, 2)]
+        with SerialPlane() as serial:
+            expected = serial.run_all(
+                [_solver_task(chip, batch, affinity=None) for batch in batches],
+                timeout=300,
+            )
+
+        with ProcessPlane(workers=2) as plane:
+            # Occupy worker 0 so the solver tasks pinned to it are still
+            # queued when the signal lands — killed genuinely mid-batch.
+            occupy = plane.submit(
+                PlaneTask(fn=slow_ping, payload=(0.5, "held"), affinity=0)
+            )
+            futures = [
+                plane.submit(_solver_task(chip, batch, affinity=index % 2))
+                for index, batch in enumerate(batches)
+            ]
+            os.kill(plane._processes[0].pid, signal.SIGKILL)
+
+            # Every future must settle with a real answer: the lost tasks are
+            # resubmitted (with their warm-state recipes) to worker 1.
+            assert occupy.result(timeout=120) == "held"
+            results = [future.result(timeout=300) for future in futures]
+            for (targets, _), (expected_targets, _) in zip(results, expected):
+                assert np.array_equal(targets, expected_targets)
+
+            stats = plane.stats()
+            assert stats["workers_dead"] == 1
+            assert stats["errors"] == 0
+            # The occupy ping and the slot-0 solver tasks were all recovered
+            # by resubmission; slot-1 tasks never needed it.
+            assert stats["retried"] >= 2
+            assert not stats["per_worker"][0]["alive"]
+            assert stats["per_worker"][1]["alive"]
+
+    def test_chaos_kill_directive_is_deterministic(self):
+        # kill-worker:0@2 — the first two tasks complete, the third is lost
+        # and must be answered by the surviving worker via retry.
+        plan = FaultPlan.parse("kill-worker:0@2")
+        with ProcessPlane(workers=2, faults=plan) as plane:
+            futures = [
+                plane.submit(PlaneTask(fn=slow_ping, payload=(0.01, index), affinity=0))
+                for index in range(4)
+            ]
+            assert [future.result(timeout=120) for future in futures] == list(range(4))
+            deadline = time.monotonic() + 30
+            while plane.stats()["workers_dead"] == 0 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            stats = plane.stats()
+            assert stats["workers_dead"] == 1
+            assert stats["retried"] == 2
+            assert stats["errors"] == 0

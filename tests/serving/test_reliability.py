@@ -1,0 +1,257 @@
+"""Fault-tolerance plane: deadlines, shutdown, breakers, fallback, chaos.
+
+Deterministic throughout: queue compositions are forced by submitting before
+:meth:`MicroBatchEngine.start`, deadlines use real but generous margins only
+where a queue must *hold* work (never to race a solver), and the chaos
+acceptance test drives a closed-loop client so every injected fault maps to
+exactly one counter.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.session import ThermalSession
+from repro.runtime.faults import FaultPlan, InjectedFault
+from repro.runtime.plane import DeadlineExceeded, ProcessPlane, _stable_slot
+from repro.runtime.tasks import BackendSpec, backend_state_key
+from repro.serving.backends import Backend, build_backends
+from repro.serving.engine import EngineStopped, MicroBatchEngine
+from repro.serving.request import ThermalRequest, ThermalResult
+from repro.serving.server import ThermalServer
+
+RES = 8
+
+
+def _request(backend="fvm", power=20.0, chip="chip1", deadline_ms=None):
+    return ThermalRequest.create(
+        chip, total_power_W=power, resolution=RES, backend=backend,
+        deadline_ms=deadline_ms,
+    )
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url, body):
+    request = urllib.request.Request(
+        url, data=json.dumps(body).encode("utf-8"), method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class _RecordingBackend(Backend):
+    """Answers instantly and records how many requests reached it."""
+
+    def __init__(self, name="fvm"):
+        self.name = name
+        self.seen = 0
+
+    def solve_batch(self, requests):
+        self.seen += len(requests)
+        return [
+            ThermalResult(
+                request_id=r.request_id, chip=r.chip, resolution=r.resolution,
+                backend=self.name, max_K=350.0, min_K=300.0, mean_K=320.0,
+                total_power_W=r.total_power_W,
+            )
+            for r in requests
+        ]
+
+
+class TestDeadlines:
+    def test_request_deadline_ms_becomes_absolute(self):
+        before = time.monotonic()
+        request = _request(deadline_ms=5000)
+        assert before + 4.0 < request.deadline < time.monotonic() + 5.0
+        assert not request.expired()
+        assert _request().deadline is None
+
+    @pytest.mark.parametrize("bad", ["soon", -5, 0, float("inf")])
+    def test_bad_deadline_ms_rejected(self, bad):
+        with pytest.raises(ValueError, match="deadline_ms"):
+            ThermalRequest.from_payload(
+                {"chip": "chip1", "total_power": 20, "deadline_ms": bad}
+            )
+
+    def test_expired_on_submit_is_shed_not_solved(self):
+        backend = _RecordingBackend()
+        engine = MicroBatchEngine({"fvm": backend})
+        request = _request(deadline_ms=1)
+        time.sleep(0.01)
+        with pytest.raises(DeadlineExceeded, match="shed"):
+            engine.submit(request)
+        assert backend.seen == 0
+        assert engine.stats()["backends"]["fvm"]["shed"] == 1
+        assert engine.stats()["shed_requests"] == 1
+
+    def test_expired_while_queued_is_shed_at_dispatch(self):
+        backend = _RecordingBackend()
+        engine = MicroBatchEngine({"fvm": backend})
+        # Queue three requests before the engine runs; two with a budget that
+        # will be spent by the time the workers start, one without.
+        shed_futures = [engine.submit(_request(power=p, deadline_ms=30))
+                        for p in (20.0, 21.0)]
+        kept_future = engine.submit(_request(power=22.0))
+        time.sleep(0.1)
+        engine.start()
+        engine.stop()
+        for future in shed_futures:
+            with pytest.raises(DeadlineExceeded, match="budget"):
+                future.result(timeout=5)
+        assert kept_future.result(timeout=5).max_K == 350.0
+        assert backend.seen == 1  # the shed requests never reached the backend
+        assert engine.stats()["backends"]["fvm"]["shed"] == 2
+
+
+class TestEngineStopped:
+    def test_submit_after_stop_raises_engine_stopped(self):
+        engine = MicroBatchEngine({"fvm": _RecordingBackend()})
+        engine.start()
+        engine.stop()
+        with pytest.raises(EngineStopped, match="stopped"):
+            engine.submit(_request())
+        # Back-compat: callers catching the historical RuntimeError still do.
+        assert issubclass(EngineStopped, RuntimeError)
+
+    def test_stop_fails_pending_futures_instead_of_hanging(self):
+        engine = MicroBatchEngine({"fvm": _RecordingBackend()})
+        futures = [engine.submit(_request(power=p)) for p in (20.0, 21.0)]
+        engine.stop()  # never started: the queued futures must not hang
+        for future in futures:
+            with pytest.raises(EngineStopped, match="stopped"):
+                future.result(timeout=5)
+
+    def test_http_maps_engine_stopped_to_503(self):
+        engine = MicroBatchEngine(build_backends())
+        with ThermalServer(engine, port=0) as server:
+            engine.stop()
+            status, body = _post(
+                server.url + "/solve", {"chip": "chip1", "total_power": 20}
+            )
+            assert status == 503
+            assert "stopped" in body["error"]
+
+
+class TestHealthDegraded:
+    def test_open_breaker_degrades_healthz(self):
+        session = ThermalSession(
+            breaker_threshold=1, faults=FaultPlan.parse("fail-backend:fvm@1")
+        )
+        with pytest.raises(InjectedFault):
+            session.solve("chip1", 20.0, resolution=RES, backend="fvm")
+        engine = MicroBatchEngine(build_backends(session=session))
+        with ThermalServer(engine, port=0, session=session) as server:
+            status, body = _get(server.url + "/healthz")
+            assert status == 200
+            assert body["status"] == "degraded"
+            assert body["open_breakers"] == ["fvm"]
+            assert body["plane_workers_dead"] == 0
+
+
+def _slot0_resolution(chip_name="chip1", workers=2):
+    """A resolution whose fvm warm-state key routes to plane slot 0."""
+    from repro.chip.designs import get_chip
+
+    chip = get_chip(chip_name)
+    for resolution in range(RES, RES + 16):
+        spec = BackendSpec(chip=chip, resolution=resolution, backend="fvm")
+        if _stable_slot(backend_state_key(spec), workers) == 0:
+            return resolution
+    raise AssertionError("no resolution maps to slot 0 — routing changed?")
+
+
+class TestChaosAcceptance:
+    """The issue's acceptance drill: one worker killed, one breaker opened.
+
+    Every client request must still be answered — by plane retry for the
+    kill, by a provenance-stamped degraded fallback for the breaker — with
+    zero hung futures, and the shed/retry/breaker counters must match the
+    injected fault plan exactly.
+    """
+
+    def test_kill_worker_and_open_breaker_lose_no_request(self):
+        plan = FaultPlan.parse("kill-worker:0@2,fail-backend:transient@3")
+        resolution = _slot0_resolution(workers=2)
+        plane = ProcessPlane(workers=2, faults=plan)
+        session = ThermalSession(
+            plane=plane, fallback=True, breaker_threshold=3, faults=plan
+        )
+        engine = MicroBatchEngine(build_backends(session=session))
+        try:
+            with ThermalServer(engine, port=0, session=session) as server:
+                # --- kill leg: closed-loop fvm requests pinned (by warm-state
+                # key) to slot 0.  Tasks 1 and 2 complete there; the worker
+                # dies receiving task 3, which a healthy worker must answer.
+                fvm_answers = []
+                for index in range(3):
+                    status, body = _post(
+                        server.url + "/solve",
+                        {"chip": "chip1", "resolution": resolution,
+                         "backend": "fvm", "total_power": 30.0 + index},
+                    )
+                    assert status == 200, body
+                    fvm_answers.append(body)
+                assert all(a["backend"] == "fvm" for a in fvm_answers)
+                assert not any(a.get("degraded") for a in fvm_answers)
+
+                # --- breaker leg: the first three transient solves raise
+                # injected faults (opening the breaker at threshold 3); the
+                # fourth is refused by the open breaker.  All four must come
+                # back 200 as degraded fallback answers.
+                transient_answers = []
+                for index in range(4):
+                    status, body = _post(
+                        server.url + "/solve",
+                        {"chip": "chip1", "resolution": resolution,
+                         "backend": "transient", "total_power": 50.0 + index},
+                    )
+                    assert status == 200, body
+                    transient_answers.append(body)
+                for body in transient_answers:
+                    assert body["degraded"] is True
+                    assert body["requested_backend"] == "transient"
+                    assert body["backend"] == "fvm"  # first chain fallback
+
+                status, stats = _get(server.url + "/stats")
+                assert status == 200
+                # No request failed anywhere in the engine.
+                assert stats["backends"]["fvm"]["errors"] == 0
+                assert stats["backends"]["transient"]["errors"] == 0
+                assert stats["shed_requests"] == 0
+
+                # Plane counters match the kill directive exactly: one dead
+                # worker, one lost task recovered by retry, nothing errored.
+                plane_stats = stats["session"]["plane"]
+                assert plane_stats["workers_dead"] == 1
+                assert plane_stats["retried"] == 1
+                assert plane_stats["errors"] == 0
+
+                # Breaker counters match the backend directive exactly.
+                reliability = stats["session"]["reliability"]
+                transient_breaker = reliability["breakers"]["transient"]
+                assert transient_breaker["state"] == "open"
+                assert transient_breaker["opened"] == 1
+                assert transient_breaker["failures"] == 3
+                assert reliability["breaker_rejections"] == 1
+                assert reliability["fallbacks"] == 4
+                assert reliability["faults"]["backends"]["transient"] == {
+                    "calls": 3, "injected_failures": 3, "injected_delays": 0,
+                }
+
+                status, health = _get(server.url + "/healthz")
+                assert health["status"] == "degraded"
+                assert health["open_breakers"] == ["transient"]
+                assert health["plane_workers_dead"] == 1
+        finally:
+            plane.close()
