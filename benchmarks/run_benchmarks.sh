@@ -43,9 +43,9 @@ if [[ "${1:-}" == "--smoke" ]]; then
     python benchmarks/smoke_serving.py
     echo "== smoke: serve --exec processes end-to-end (plane-backed solves) =="
     python benchmarks/smoke_serving.py --exec processes --exec-workers 2
-    echo "== smoke: serve --chaos (killed plane worker, zero failed requests) =="
+    echo "== smoke: serve --chaos (killed plane worker, zero failed requests, incident on /events + /metrics + watch) =="
     python benchmarks/smoke_serving.py --exec processes --exec-workers 2 \
-        --chaos kill-worker:0@5
+        --chaos kill-worker:0@5 --sample-interval 0.2
     echo "== smoke: benchmark bodies (no timing repetitions) =="
     python -m pytest \
         benchmarks/bench_solver_kernels.py \

@@ -22,6 +22,15 @@ requests onto plane worker 0 (by warm-state key), lets the injected
 single client request still answered 200 (the lost task recovered by
 retry), that ``/stats`` reports the retry and the dead worker, and that
 ``/healthz`` degraded.
+
+Both passes also exercise the telemetry plane end to end: every answered
+request must carry a trace id with a non-zero solve span, ``/events``
+must deliver the ``request_done`` stream (and, under chaos, the
+``worker_dead`` / ``worker_retry`` events plus a watchdog-sourced
+alert), ``/metrics`` must scrape as Prometheus text (the chaos pass
+checks the incident is visible as ``repro_plane_workers_dead 1``), and
+``repro-thermal watch --once`` must render a dashboard frame against
+the live server.
 """
 
 import json
@@ -30,6 +39,7 @@ import select
 import signal
 import subprocess
 import sys
+import time
 import urllib.request
 
 STARTUP_TIMEOUT_S = 60
@@ -60,6 +70,38 @@ def _get(url):
         return json.loads(response.read())
 
 
+def _get_text(url):
+    with urllib.request.urlopen(url, timeout=REQUEST_TIMEOUT_S) as response:
+        return response.read().decode("utf-8")
+
+
+def _assert_traced(solved):
+    """Every answered request must carry a trace with a real solve span."""
+    trace = solved.get("trace") or {}
+    assert trace.get("trace_id"), solved.get("trace")
+    assert trace["spans_ms"]["solve"] > 0.0, trace
+
+
+def _assert_metrics_scrape(url, expected=()):
+    """``/metrics`` must serve Prometheus text containing ``expected`` lines."""
+    exposition = _get_text(url + "/metrics")
+    assert "# HELP repro_requests_total" in exposition, exposition[:400]
+    assert "# TYPE repro_requests_total counter" in exposition, exposition[:400]
+    for line in expected:
+        assert line in exposition, (line, exposition[:800])
+    return exposition
+
+
+def _assert_watch_renders(url):
+    """``repro-thermal watch --once`` must draw one frame against the server."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "watch", url, "--once"],
+        capture_output=True, text=True, timeout=REQUEST_TIMEOUT_S,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "backend" in result.stdout, result.stdout[:400]
+
+
 def _slot0_resolution(workers):
     """A resolution whose fvm warm-state key routes to plane worker 0."""
     from repro.chip.designs import get_chip
@@ -88,6 +130,7 @@ def _chaos_drill(url, extra_args):
              "total_power": 30.0 + index},  # unique powers dodge the result cache
         )
         assert status == 200 and solved["max_K"] > 300.0, (index, solved)
+        _assert_traced(solved)
 
     stats = _get(url + "/stats")
     plane = stats["session"]["plane"]
@@ -99,6 +142,22 @@ def _chaos_drill(url, extra_args):
     health = _get(url + "/healthz")
     assert health["status"] == "degraded", health
     assert health["plane_workers_dead"] == 1, health
+
+    # The incident must be visible on every telemetry surface.  Give the
+    # sampler (boot flag --sample-interval 0.2) one tick to observe the
+    # death so the watchdog's rollup-level alert lands on the bus too.
+    time.sleep(1.0)
+    feed = _get(url + "/events?timeout_s=0&limit=500")
+    kinds = {event["kind"] for event in feed["events"]}
+    assert "worker_dead" in kinds, sorted(kinds)
+    assert "worker_retry" in kinds, sorted(kinds)
+    watchdog_alerts = [event for event in feed["events"]
+                       if event.get("source") == "watchdog"]
+    assert watchdog_alerts, sorted(kinds)
+    assert _get(url + "/healthz")["last_alert"] is not None, \
+        "healthz should surface the incident as last_alert"
+    _assert_metrics_scrape(url, expected=["repro_plane_workers_dead 1"])
+    _assert_watch_renders(url)
     return requests
 
 
@@ -139,6 +198,15 @@ def main() -> int:
             {"chip": "chip1", "resolution": 16, "total_power": 40.0},
         )
         assert status == 200 and solved["max_K"] > 300.0, solved
+        _assert_traced(solved)
+
+        # The telemetry surfaces answer for the request just made: the
+        # event feed delivers its request_done and /metrics scrapes.
+        feed = _get(url + "/events?timeout_s=5")
+        kinds = [event["kind"] for event in feed["events"]]
+        assert "request_done" in kinds, kinds
+        assert feed["cursor"] >= 1, feed
+        _assert_metrics_scrape(url, expected=["repro_requests_total 1"])
 
         status, transient = _post(
             url + "/solve_transient",
@@ -165,7 +233,8 @@ def main() -> int:
         returncode = process.wait(timeout=STARTUP_TIMEOUT_S)
         assert returncode == 0, f"server exited {returncode} on SIGINT"
         suffix = f" (exec: {' '.join(extra_args)})" if extra_args else ""
-        print("serving smoke ok: /solve /solve_transient /stats + clean shutdown" + suffix)
+        print("serving smoke ok: /solve /solve_transient /stats /events /metrics"
+              " + clean shutdown" + suffix)
         return 0
     finally:
         if process.poll() is None:

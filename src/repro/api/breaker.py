@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 
 class CircuitOpenError(RuntimeError):
@@ -36,6 +36,13 @@ class CircuitBreaker:
 
     Thread-safe; time is read through an injectable ``clock`` (monotonic
     seconds) so tests can drive the cooldown without sleeping.
+
+    ``listener`` (also assignable after construction) is called as
+    ``listener(old_state, new_state, consecutive_failures)`` whenever a
+    verdict actually changes the state — the session uses it to publish
+    :class:`~repro.obs.events.BreakerTransition` telemetry.  It is invoked
+    *outside* the breaker lock, so a listener may freely call back into
+    :meth:`state` / :meth:`stats`.
     """
 
     def __init__(
@@ -43,6 +50,7 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         cooldown_s: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        listener: Optional[Callable[[str, str, int], None]] = None,
     ):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -51,6 +59,7 @@ class CircuitBreaker:
         self.failure_threshold = int(failure_threshold)
         self.cooldown_s = float(cooldown_s)
         self._clock = clock
+        self.listener = listener
         self._lock = threading.Lock()
         self._consecutive_failures = 0
         self._failures = 0
@@ -93,10 +102,13 @@ class CircuitBreaker:
     def record_success(self) -> None:
         """Report a successful solve: closes the breaker, resets the streak."""
         with self._lock:
+            old_state = self._state_locked()
             self._successes += 1
             self._consecutive_failures = 0
             self._open = False
             self._probe_in_flight = False
+            new_state = "closed"
+        self._notify(old_state, new_state, 0)
 
     def release_probe(self) -> None:
         """Abandon an in-flight half-open probe without a verdict.
@@ -111,6 +123,7 @@ class CircuitBreaker:
     def record_failure(self) -> None:
         """Report a failed solve; may open (or re-open) the breaker."""
         with self._lock:
+            old_state = self._state_locked()
             self._failures += 1
             self._consecutive_failures += 1
             if self._probe_in_flight:
@@ -122,6 +135,14 @@ class CircuitBreaker:
                 self._open = True
                 self._opened_count += 1
                 self._opened_at = self._clock()
+            new_state = self._state_locked()
+            streak = self._consecutive_failures
+        self._notify(old_state, new_state, streak)
+
+    def _notify(self, old_state: str, new_state: str, streak: int) -> None:
+        """Invoke the listener (outside the lock) on an actual state change."""
+        if self.listener is not None and new_state != old_state:
+            self.listener(old_state, new_state, streak)
 
     def stats(self) -> Dict[str, Any]:
         """Counters and state for ``session.stats()`` / ``/stats``."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Callable, Dict, List, NamedTuple, Optional
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
 
 #: Default number of prepared solvers kept resident per backend pool.
 DEFAULT_POOL_SIZE = 8
@@ -133,6 +133,12 @@ class ResultCache:
 
     ``clock`` is injectable (monotonic seconds) so TTL behaviour is testable
     without sleeping.
+
+    ``eviction_listener`` (assignable after construction) is called as
+    ``listener(cause, key)`` — cause one of ``"count"`` / ``"bytes"`` /
+    ``"ttl"`` — for every entry dropped by a bound, *outside* the cache
+    lock; the session uses it to publish
+    :class:`~repro.obs.events.CacheEviction` telemetry.
     """
 
     def __init__(
@@ -160,6 +166,9 @@ class ResultCache:
         self.evictions_count = 0
         self.evictions_bytes = 0
         self.expirations = 0
+        #: Optional ``listener(cause, key)`` invoked outside the lock for
+        #: every bound-driven eviction (not for explicit discard/clear).
+        self.eviction_listener: Optional[Callable[[str, Any], None]] = None
 
     @property
     def evictions(self) -> int:
@@ -174,24 +183,38 @@ class ResultCache:
         self.total_bytes -= entry.size_bytes
         return entry
 
+    def _notify_evictions(self, evicted: List[Tuple[str, Any]]) -> None:
+        """Invoke the eviction listener for each (cause, key), outside the lock."""
+        listener = self.eviction_listener
+        if listener is None:
+            return
+        for cause, key in evicted:
+            listener(cause, key)
+
     def get(self, key) -> Optional[Any]:
         """The cached entry for ``key``, counting a hit or a miss.
 
         An entry past its TTL counts as a miss (plus an expiration) and is
         dropped, so the caller recomputes and re-inserts a fresh answer.
         """
+        expired_key = None
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None and self._expired(entry, self._clock()):
                 self._drop(key)
                 self.expirations += 1
+                expired_key = key
                 entry = None
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return entry.value
-            self.misses += 1
-            return None
+                value: Optional[Any] = entry.value
+            else:
+                self.misses += 1
+                value = None
+        if expired_key is not None:
+            self._notify_evictions([("ttl", expired_key)])
+        return value
 
     def put(self, key, value, size_bytes: int = 0) -> None:
         """Insert ``value``; ``size_bytes`` is its approximate payload size."""
@@ -199,6 +222,7 @@ class ResultCache:
         if size_bytes > self.max_bytes:
             return  # one oversized answer must not wipe the whole cache
         now = self._clock()
+        evicted: List[Tuple[str, Any]] = []
         with self._lock:
             if self.ttl_s is not None and (
                 len(self._entries) >= self.capacity
@@ -213,18 +237,22 @@ class ResultCache:
                 for k in stale:
                     self._drop(k)
                     self.expirations += 1
+                    evicted.append(("ttl", k))
             if key in self._entries:
                 self._drop(key)
             self._entries[key] = _CacheEntry(value, size_bytes, now)
             self.total_bytes += size_bytes
             while len(self._entries) > self.capacity:
-                _, dropped = self._entries.popitem(last=False)
+                dropped_key, dropped = self._entries.popitem(last=False)
                 self.total_bytes -= dropped.size_bytes
                 self.evictions_count += 1
+                evicted.append(("count", dropped_key))
             while self.total_bytes > self.max_bytes:
-                _, dropped = self._entries.popitem(last=False)
+                dropped_key, dropped = self._entries.popitem(last=False)
                 self.total_bytes -= dropped.size_bytes
                 self.evictions_bytes += 1
+                evicted.append(("bytes", dropped_key))
+        self._notify_evictions(evicted)
 
     def discard_where(self, predicate: Callable[[Any], bool]) -> int:
         """Drop every entry whose key matches; returns how many were dropped."""

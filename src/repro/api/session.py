@@ -71,6 +71,8 @@ from repro.data.power import (
     validate_power_assignment,
 )
 from repro.metrics.errors import MetricReport, evaluate_all
+from repro.obs.bus import EventBus, publish_all
+from repro.obs.events import BreakerTransition, CacheEviction
 from repro.operators.factory import (
     LoadedOperator,
     build_operator,
@@ -361,6 +363,47 @@ class ThermalSession:
                 max_bytes=result_cache_max_bytes,
                 ttl_s=result_cache_ttl_s,
             )
+        )
+        #: Telemetry bus (set via :meth:`attach_events`); ``None`` keeps
+        #: every emission site a no-op.
+        self.events: Optional[EventBus] = None
+        self.result_cache.eviction_listener = self._on_cache_eviction
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def attach_events(self, bus: EventBus) -> None:
+        """Publish this session's telemetry onto ``bus``.
+
+        Wires the result cache's eviction listener, every existing (and
+        future) circuit breaker's transition listener, and — if the session
+        drives an execution plane that has no bus yet — the plane's
+        worker-death/retry events.  Safe to call once after construction;
+        sessions without a bus emit nothing.
+        """
+        self.events = bus
+        if self.plane is not None and getattr(self.plane, "events", None) is None:
+            self.plane.attach_events(bus)
+
+    def _on_cache_eviction(self, cause: str, key: Any) -> None:
+        publish_all(
+            self.events, [CacheEviction(source="session", cause=cause, key=str(key))]
+        )
+
+    def _on_breaker_transition(
+        self, backend: str, old_state: str, new_state: str, streak: int
+    ) -> None:
+        publish_all(
+            self.events,
+            [
+                BreakerTransition(
+                    source="session",
+                    backend=backend,
+                    from_state=old_state,
+                    to_state=new_state,
+                    consecutive_failures=streak,
+                )
+            ],
         )
 
     # ------------------------------------------------------------------
@@ -793,6 +836,10 @@ class ThermalSession:
                 breaker = CircuitBreaker(
                     failure_threshold=self.breaker_threshold,
                     cooldown_s=self.breaker_cooldown_s,
+                    listener=(
+                        lambda old, new, streak, _name=backend:
+                        self._on_breaker_transition(_name, old, new, streak)
+                    ),
                 )
                 self._breakers[backend] = breaker
             return breaker

@@ -59,7 +59,9 @@ class ThermalSolution:
     provenance:
         How the answer came to be: backend internals (solver method, model
         name), ``cached: True`` for session result-cache hits, transient
-        integration parameters, …
+        integration parameters, and — through the serving engine — a
+        ``trace`` dict (``trace_id`` plus ``spans_ms`` with queue-wait /
+        dispatch / solve / refine timings) echoed back in ``to_json``.
     history:
         Optional transient time histories (``times_s`` / ``peak_K`` /
         ``mean_K`` arrays) for answers produced by time integration.
@@ -200,6 +202,9 @@ class ThermalSolution:
             requested = self.provenance.get("requested_backend")
             if requested:
                 body["requested_backend"] = requested
+        trace = self.provenance.get("trace")
+        if trace:
+            body["trace"] = trace
         if self.layer_maps is not None:
             body["layer_maps"] = {
                 name: np.asarray(values).tolist() for name, values in self.layer_maps.items()

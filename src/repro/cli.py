@@ -4,7 +4,7 @@ A thin layer over :class:`repro.api.ThermalSession` — every subcommand maps
 onto one session call, so the CLI, the HTTP service, the evaluation harness
 and the Python API all answer through the same backends, pools and caches.
 
-Six sub-commands cover the everyday workflow without writing Python:
+Seven sub-commands cover the everyday workflow without writing Python:
 
 * ``repro-thermal chips`` — list the benchmark chips and their structure.
 * ``repro-thermal generate`` — create a dataset with the FVM solver.
@@ -17,7 +17,11 @@ Six sub-commands cover the everyday workflow without writing Python:
   API answering concurrent power-map queries through micro-batched session
   backends.
 * ``repro-thermal report`` — run every experiment harness and write a
-  markdown report of the regenerated tables.
+  markdown report of the regenerated tables; with ``--serve-history URL``
+  it instead dumps a running service's rolled-up telemetry time series as
+  JSON or CSV.
+* ``repro-thermal watch`` — live terminal dashboard over a running
+  service's ``/stats``, ``/healthz`` and ``/events`` surfaces.
 
 Bad user input (malformed power JSON, unknown blocks, missing or mismatched
 model/dataset files) exits with status 2 and a one-line ``error:`` message
@@ -34,6 +38,8 @@ Examples
     repro-thermal solve --chip chip1 --backend operator --model sau_fno.npz --total-power 60
     repro-thermal serve --port 8471 --model sau_fno.npz
     repro-thermal report --output repro_report.md --scale tiny
+    repro-thermal watch http://127.0.0.1:8471
+    repro-thermal report --serve-history http://127.0.0.1:8471 --format csv
 """
 
 from __future__ import annotations
@@ -174,6 +180,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "directives need --exec processes); see "
                             "repro.runtime.faults.FaultPlan.parse")
     serve.add_argument("--verbose", action="store_true", help="log HTTP requests")
+    serve.add_argument("--log-json", action="store_true",
+                       help="structured access log: one JSON line per request "
+                            "(method, path, status, latency_ms, trace_id, "
+                            "backend, shed/degraded flags) on stderr; the "
+                            "plain-text log stays the default")
+    serve.add_argument("--sample-interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="telemetry sampler period feeding /metrics/history "
+                            "and the watchdog (default: 1.0)")
 
     report = subparsers.add_parser(
         "report", help="run every experiment harness and write a markdown report"
@@ -182,6 +197,27 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--scale", default=None, choices=["tiny", "small", "paper"],
                         help="experiment scale (default: REPRO_BENCH_SCALE or 'tiny')")
     report.add_argument("--quiet", action="store_true")
+    report.add_argument("--serve-history", default=None, metavar="URL",
+                        help="instead of running experiments, fetch a running "
+                             "service's /metrics/history and dump the rolled-up "
+                             "time series (to --output, or stdout when --output "
+                             "is left at its markdown default)")
+    report.add_argument("--format", default="json", choices=["json", "csv"],
+                        dest="history_format",
+                        help="serialisation of --serve-history (default: json)")
+    report.add_argument("--window", type=float, default=None, metavar="SECONDS",
+                        help="with --serve-history: only samples from the last "
+                             "SECONDS (default: everything retained)")
+
+    watch = subparsers.add_parser(
+        "watch", help="live terminal dashboard over a running thermal service"
+    )
+    watch.add_argument("url", help="service base URL, e.g. http://127.0.0.1:8471")
+    watch.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                       help="refresh period of the dashboard (default: 1.0)")
+    watch.add_argument("--once", action="store_true",
+                       help="render a single frame and exit (no screen "
+                            "clearing; suits scripts and smoke tests)")
 
     return parser
 
@@ -372,6 +408,8 @@ def _cmd_serve(args) -> int:
         raise ValueError("--breaker-threshold must be >= 1")
     if args.breaker_cooldown < 0:
         raise ValueError("--breaker-cooldown must be >= 0")
+    if args.sample_interval <= 0:
+        raise ValueError("--sample-interval must be positive")
     faults = None
     if args.chaos:
         from repro.runtime.faults import FaultPlan
@@ -401,7 +439,8 @@ def _cmd_serve(args) -> int:
         max_queue=args.max_queue,
     )
     server = ThermalServer(
-        engine, host=args.host, port=args.port, verbose=args.verbose, session=session
+        engine, host=args.host, port=args.port, verbose=args.verbose, session=session,
+        log_json=args.log_json, sample_interval_s=args.sample_interval,
     )
     print(f"thermal inference service listening on {server.url}", flush=True)
     print(f"  backends: {', '.join(sorted(backends))}"
@@ -416,8 +455,8 @@ def _cmd_serve(args) -> int:
               + f" · cooldown {args.breaker_cooldown:g}s"
               + (f" · CHAOS ARMED: {faults.spec}" if faults is not None else ""),
               flush=True)
-    print("  endpoints: POST /solve /solve_transient · GET /chips /models /healthz /stats",
-          flush=True)
+    print("  endpoints: POST /solve /solve_transient · GET /chips /models /healthz "
+          "/stats /events /metrics", flush=True)
     print("  example: curl -s -X POST "
           f"{server.url}/solve -d '{{\"chip\": \"chip1\", \"total_power\": 60}}'")
     try:
@@ -445,6 +484,8 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    if args.serve_history:
+        return _report_serve_history(args)
     from repro.evaluation.config import get_scale
     from repro.evaluation.report import generate_report
 
@@ -454,6 +495,59 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _report_serve_history(args) -> int:
+    """Dump a running service's ``/metrics/history`` as JSON or CSV.
+
+    The telemetry time series is the service's in-memory ring buffer of
+    sampler snapshots plus a rolled-up summary; JSON keeps the payload
+    verbatim, CSV tabulates just the samples (``ts`` first, then every
+    sampled field, blank cells for fields absent from a sample).  Output
+    goes to ``--output``, or to stdout when ``--output`` is still the
+    markdown default (which would make no sense for a telemetry dump).
+    """
+    import csv
+    import io
+    import json
+    import urllib.error
+    import urllib.request
+
+    url = args.serve_history.rstrip("/") + "/metrics/history"
+    if args.window is not None:
+        if args.window <= 0:
+            raise ValueError("--window must be positive")
+        url += f"?window_s={args.window:g}"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except urllib.error.URLError as error:
+        raise OSError(f"cannot reach {url}: {error.reason}") from error
+    if args.history_format == "json":
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    else:
+        fields = ["ts"] + [f for f in payload.get("fields", []) if f != "ts"]
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=fields, restval="")
+        writer.writeheader()
+        for sample in payload.get("samples", []):
+            writer.writerow({k: v for k, v in sample.items() if k in set(fields)})
+        text = buffer.getvalue()
+    if args.output == "repro_report.md":  # the markdown default: use stdout
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({len(payload.get('samples', []))} samples)")
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from repro.obs.watch import run_watch
+
+    if args.interval <= 0:
+        raise ValueError("--interval must be positive")
+    return run_watch(args.url, interval_s=args.interval, once=args.once)
+
+
 _COMMANDS = {
     "chips": _cmd_chips,
     "generate": _cmd_generate,
@@ -461,6 +555,7 @@ _COMMANDS = {
     "solve": _cmd_solve,
     "serve": _cmd_serve,
     "report": _cmd_report,
+    "watch": _cmd_watch,
 }
 
 

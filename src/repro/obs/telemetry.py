@@ -1,0 +1,109 @@
+"""The :class:`Telemetry` bundle: bus + metrics store + watchdog + sampler.
+
+One object owning the observability plane's moving parts, so the server
+(and tests) wire everything with a single handle::
+
+    telemetry = Telemetry(max_queue=engine.max_queue)
+    engine.events = telemetry.bus
+    session.attach_events(telemetry.bus)
+    telemetry.start(snapshot=collect_sample)   # sampler thread begins
+    ...
+    telemetry.stop()
+
+``start``/``stop`` are idempotent; everything else (bus access, rollups,
+health) is safe before ``start`` — the bus and store work without the
+sampler, they just don't fill on their own.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.obs.bus import DEFAULT_HISTORY, EventBus
+from repro.obs.metrics import (
+    DEFAULT_FLATLINE_AFTER_S,
+    DEFAULT_SAMPLE_INTERVAL_S,
+    DEFAULT_STORE_CAPACITY,
+    MetricsStore,
+    Sampler,
+    Watchdog,
+)
+
+
+class Telemetry:
+    """Owns the event bus, metrics ring, watchdog and sampler thread."""
+
+    def __init__(
+        self,
+        bus: Optional[EventBus] = None,
+        *,
+        max_queue: Optional[int] = None,
+        interval_s: float = DEFAULT_SAMPLE_INTERVAL_S,
+        store_capacity: int = DEFAULT_STORE_CAPACITY,
+        history: int = DEFAULT_HISTORY,
+        flatline_after_s: float = DEFAULT_FLATLINE_AFTER_S,
+    ):
+        self.bus = bus if bus is not None else EventBus(history=history)
+        self.store = MetricsStore(capacity=store_capacity)
+        self.watchdog = Watchdog(
+            self.bus, max_queue=max_queue, flatline_after_s=flatline_after_s
+        )
+        self.interval_s = float(interval_s)
+        self.sampler: Optional[Sampler] = None
+        self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    def start(self, snapshot: Callable[[], Mapping[str, Any]]) -> "Telemetry":
+        """Start the sampler thread feeding ``snapshot()`` into the store."""
+        if self.sampler is None:
+            self.sampler = Sampler(
+                snapshot, self.store, watchdog=self.watchdog, interval_s=self.interval_s
+            )
+        self.sampler.start()
+        self.sampler.tick()  # one synchronous sample so surfaces are never empty
+        return self
+
+    def stop(self) -> None:
+        """Stop the sampler thread (idempotent; the bus and store survive)."""
+        if self.sampler is not None:
+            self.sampler.stop()
+
+    # ------------------------------------------------------------------
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since this telemetry bundle was created."""
+        return time.monotonic() - self._started_at
+
+    def last_alert(self) -> Optional[Dict[str, Any]]:
+        """JSON view of the most recent alert event, or ``None``."""
+        event = self.bus.last_alert()
+        return event.to_json() if event is not None else None
+
+    def health(self) -> Dict[str, Any]:
+        """Sampler liveness + last alert, merged into ``/healthz``."""
+        return {
+            "sampler": self.sampler.health()
+            if self.sampler is not None
+            else {"alive": False, "interval_s": self.interval_s, "ticks": 0},
+            "last_alert": self.last_alert(),
+        }
+
+    def history(self, window_s: Optional[float] = None) -> Dict[str, Any]:
+        """Time-series dump + rollup for ``/metrics/history`` and ``report``."""
+        dump = self.store.rows()
+        return {
+            "interval_s": self.interval_s,
+            "fields": dump["fields"],
+            "samples": dump["samples"]
+            if window_s is None
+            else self.store.samples(window_s=window_s),
+            "rollup": self.store.rollup(window_s=window_s or 60.0),
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """Bus + store counters (the ``events`` block of ``/stats``)."""
+        summary = self.bus.stats()
+        summary["store"] = self.store.stats()
+        summary["watchdog_alerts"] = self.watchdog.alerts
+        return summary

@@ -44,6 +44,8 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 
+from repro.obs.bus import publish_all
+from repro.obs.events import WorkerDead, WorkerRetry
 from repro.runtime.faults import FaultPlan, WorkerFault
 
 #: Warm solver states kept per worker before LRU eviction.  Each state can
@@ -228,6 +230,18 @@ class ExecutionPlane:
         self._shed = 0
         self._retried = 0
         self._closed = False
+        #: Optional :class:`~repro.obs.bus.EventBus` receiving worker-death
+        #: and retry telemetry; set via :meth:`attach_events`.
+        self.events = None
+
+    def attach_events(self, bus) -> None:
+        """Attach an :class:`~repro.obs.bus.EventBus` for plane telemetry.
+
+        Only the fault-tolerant :class:`ProcessPlane` currently emits
+        events (``worker_dead`` / ``worker_retry``); attaching a bus to
+        the other kinds is harmless.
+        """
+        self.events = bus
 
     # ------------------------------------------------------------------
     def _slot_of(self, task: PlaneTask) -> int:
@@ -827,9 +841,29 @@ class ProcessPlane(ExecutionPlane):
         a healthy worker — subject to the per-key retry cap.
         """
         now = time.monotonic()
+        newly_dead = []
         for slot, process in enumerate(self._processes):
-            if process.exitcode is not None:
-                self._dead_since.setdefault(slot, now)
+            if process.exitcode is not None and slot not in self._dead_since:
+                self._dead_since[slot] = now
+                newly_dead.append((slot, process.exitcode))
+        if newly_dead:
+            with self._lock:
+                pending_by_slot = {
+                    slot: sum(1 for e in self._pending.values() if e.slot == slot)
+                    for slot, _ in newly_dead
+                }
+            publish_all(
+                self.events,
+                [
+                    WorkerDead(
+                        source="plane",
+                        slot=slot,
+                        exit_code=exit_code,
+                        pending=pending_by_slot.get(slot, 0),
+                    )
+                    for slot, exit_code in newly_dead
+                ],
+            )
         # A worker is only *treated* as dead after a short grace period:
         # results it computed right before dying may still be in flight
         # through the result queue, and those tasks need no recomputation.
@@ -891,6 +925,18 @@ class ProcessPlane(ExecutionPlane):
         self._record_done(entry.slot, failed=not retryable)
         if retryable:
             self._count_retry()
+            publish_all(
+                self.events,
+                [
+                    WorkerRetry(
+                        source="plane",
+                        slot=entry.slot,
+                        attempts=entry.attempts,
+                        state_key="" if task.state_key is None else str(task.state_key),
+                        reason=reason,
+                    )
+                ],
+            )
             return
         if entry.future.set_running_or_notify_cancel():
             entry.future.set_exception(

@@ -60,12 +60,22 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.bus import EventBus, publish_all
+from repro.obs.events import BatchDispatched, QueueSaturated, RequestDone
+from repro.obs.metrics import LatencyReservoir
+from repro.obs.trace import build_trace, new_trace_id
 from repro.runtime.plane import DeadlineExceeded
 from repro.serving.backends import Backend
 from repro.serving.request import ThermalRequest, ThermalResult
 
-#: How many latency samples per backend back the p50/p95 estimates.
+#: How many latency samples per backend back the p50/p95 estimates (the
+#: capacity of each backend's :class:`~repro.obs.metrics.LatencyReservoir`).
 LATENCY_WINDOW = 4096
+
+#: Minimum seconds between two engine-emitted ``queue_saturated`` events —
+#: under sustained overload every rejected submit would otherwise publish
+#: one, turning the alert stream into a second copy of the load.
+SATURATION_EVENT_INTERVAL_S = 1.0
 
 #: Dispatch priority per backend, lower first: cheap estimate backends jump
 #: the queue ahead of exact solves, exact solves ahead of time integration.
@@ -100,11 +110,18 @@ class EngineStopped(RuntimeError):
 
 @dataclass
 class _Pending:
-    """A queued request together with its completion future."""
+    """A queued request together with its completion future.
+
+    ``trace_id`` is assigned at admission; ``dispatched_at`` is stamped when
+    a dispatcher picks the request out of its shard queue — the boundary
+    between the ``queue_wait`` and ``dispatch`` trace spans.
+    """
 
     request: ThermalRequest
     future: Future
     enqueued_at: float
+    trace_id: str = ""
+    dispatched_at: float = 0.0
 
 
 @dataclass
@@ -127,15 +144,18 @@ class _BackendCounters:
     errors: int = 0
     refined: int = 0
     shed: int = 0
-    latencies: List[float] = field(default_factory=list)
+    # A fixed-size uniform sample, not a window: long-running servers hold
+    # constant memory and the percentiles describe the whole run, with
+    # `samples_dropped` in the snapshot saying how much was sampled away.
+    latencies: LatencyReservoir = field(
+        default_factory=lambda: LatencyReservoir(LATENCY_WINDOW)
+    )
 
     def record(self, latencies: Sequence[float], count_batch: bool = True) -> None:
         self.requests += len(latencies)
         if count_batch:
             self.batches += 1
         self.latencies.extend(latencies)
-        if len(self.latencies) > LATENCY_WINDOW:
-            del self.latencies[: len(self.latencies) - LATENCY_WINDOW]
 
     def snapshot(self) -> Dict[str, Any]:
         summary: Dict[str, Any] = {
@@ -144,12 +164,13 @@ class _BackendCounters:
             "errors": self.errors,
             "refined": self.refined,
             "shed": self.shed,
+            "samples_dropped": self.latencies.dropped,
             "mean_batch_size": (
                 round(self.requests / self.batches, 3) if self.batches else 0.0
             ),
         }
-        if self.latencies:
-            values = np.asarray(self.latencies)
+        if len(self.latencies):
+            values = self.latencies.values()
             percentiles = np.percentile(values, [50, 95, 99])
             summary["latency_ms"] = {
                 "mean": round(float(values.mean()) * 1e3, 3),
@@ -197,6 +218,13 @@ class MicroBatchEngine:
         (oldest first), bounding how long strict priority can defer heavy
         backends under sustained cheap-query load.  Defaults to ten
         batching windows, floored at 250 ms.
+    events:
+        Optional :class:`~repro.obs.bus.EventBus`; when set the engine
+        publishes :class:`~repro.obs.events.RequestDone`,
+        :class:`~repro.obs.events.BatchDispatched` and (rate-limited)
+        :class:`~repro.obs.events.QueueSaturated` events.  Tracing is
+        unconditional — every answer carries
+        ``provenance["trace"]`` whether or not a bus is attached.
     """
 
     def __init__(
@@ -211,6 +239,7 @@ class MicroBatchEngine:
         max_queue: Optional[int] = None,
         priorities: Optional[Mapping[str, int]] = None,
         starvation_age_s: Optional[float] = None,
+        events: Optional[EventBus] = None,
     ):
         if not backends:
             raise ValueError("the engine needs at least one backend")
@@ -243,6 +272,9 @@ class MicroBatchEngine:
             if starvation_age_s is not None
             else max(10 * self.max_wait_s, 0.25)
         )
+
+        self.events = events
+        self._last_saturation_event = 0.0  # monotonic; guarded by _lock
 
         self._shards = [_Shard(index) for index in range(workers)]
         self._lock = threading.Lock()  # counters + queue depth + lifecycle
@@ -353,21 +385,42 @@ class MicroBatchEngine:
         if request.expired():
             with self._lock:
                 self._counter(request.backend).shed += 1
+            publish_all(self.events, [self._request_event(request, "shed")])
             raise DeadlineExceeded(
                 f"request {request.request_id} arrived with its deadline already "
                 "expired; shed without solving"
             )
-        pending = _Pending(request=request, future=Future(), enqueued_at=time.perf_counter())
+        pending = _Pending(
+            request=request,
+            future=Future(),
+            enqueued_at=time.perf_counter(),
+            trace_id=new_trace_id(),
+        )
+        saturated: Optional[QueueSaturated] = None
         with self._lock:
             if self._stopped:
                 raise EngineStopped("the engine has been stopped")
             if self.max_queue is not None and self._depth >= self.max_queue:
                 self._rejected += 1
-                raise QueueFullError(
-                    f"the service is overloaded: {self._depth} requests are already "
-                    f"queued (max_queue={self.max_queue}); retry later"
-                )
-            self._depth += 1
+                depth, rejected = self._depth, self._rejected
+                now = time.monotonic()
+                if now - self._last_saturation_event >= SATURATION_EVENT_INTERVAL_S:
+                    self._last_saturation_event = now
+                    saturated = QueueSaturated(
+                        source="engine",
+                        depth=depth,
+                        max_queue=self.max_queue,
+                        rejected=rejected,
+                    )
+            else:
+                self._depth += 1
+                depth = None
+        if depth is not None:
+            publish_all(self.events, [saturated] if saturated is not None else [])
+            raise QueueFullError(
+                f"the service is overloaded: {depth} requests are already "
+                f"queued (max_queue={self.max_queue}); retry later"
+            )
         shard = self._shard_of(request)
         with shard.wakeup:
             rejected_closed = shard.closed
@@ -534,15 +587,32 @@ class MicroBatchEngine:
                             "budget waiting in the queue; shed without solving"
                         )
                     )
+            publish_all(
+                self.events,
+                [
+                    self._request_event(
+                        p.request,
+                        "shed",
+                        trace_id=p.trace_id,
+                        latency_s=time.perf_counter() - p.enqueued_at,
+                    )
+                    for p in expired
+                ],
+            )
         return live
 
     def _dispatch(self, batch: List[_Pending]) -> None:
+        dispatched_at = time.perf_counter()
+        for pending in batch:
+            if not pending.dispatched_at:
+                pending.dispatched_at = dispatched_at
         batch = self._shed_expired(batch)
         if not batch:
             return
         requests = [pending.request for pending in batch]
         backend_name = requests[0].backend
         backend = self.backends[backend_name]
+        solve_started = time.perf_counter()
         try:
             results = backend.solve_batch(requests)
         except Exception as error:  # noqa: BLE001 — failures travel to clients
@@ -552,7 +622,37 @@ class MicroBatchEngine:
                 if not pending.future.set_running_or_notify_cancel():
                     continue
                 pending.future.set_exception(error)
+            now = time.perf_counter()
+            publish_all(
+                self.events,
+                [
+                    self._request_event(
+                        p.request,
+                        "error",
+                        trace_id=p.trace_id,
+                        latency_s=now - p.enqueued_at,
+                        batch_size=len(batch),
+                    )
+                    for p in batch
+                ],
+            )
             return
+        solve_s = time.perf_counter() - solve_started
+        if self.events is not None:
+            head = min(batch, key=lambda p: p.enqueued_at)
+            self.events.publish(
+                BatchDispatched(
+                    source="engine",
+                    backend=backend_name,
+                    chip=requests[0].chip,
+                    resolution=requests[0].resolution,
+                    batch_size=len(batch),
+                    queue_wait_ms=round(
+                        max(head.dispatched_at - head.enqueued_at, 0.0) * 1e3, 3
+                    ),
+                    solve_ms=round(solve_s * 1e3, 3),
+                )
+            )
 
         # Release the guard-passing answers immediately: only the requests
         # whose surrogate answers tripped the exact-refine guard wait for the
@@ -561,12 +661,20 @@ class MicroBatchEngine:
         hot_set = set(hot)
         cold = [index for index in range(len(batch)) if index not in hot_set]
         if cold:
-            self._finalize(batch, results, cold, backend_name, count_batch=True)
+            self._finalize(
+                batch, results, cold, backend_name, count_batch=True,
+                solve_started=solve_started, solve_s=solve_s,
+            )
         if hot:
+            refine_started = time.perf_counter()
             refined = self._refine(requests, results, hot)
+            refine_s = time.perf_counter() - refine_started
             with self._lock:
                 self._counter(backend_name).refined += refined
-            self._finalize(batch, results, hot, backend_name, count_batch=not cold)
+            self._finalize(
+                batch, results, hot, backend_name, count_batch=not cold,
+                solve_started=solve_started, solve_s=solve_s, refine_s=refine_s,
+            )
 
     def _finalize(
         self,
@@ -575,19 +683,72 @@ class MicroBatchEngine:
         indices: Sequence[int],
         backend_name: str,
         count_batch: bool,
+        solve_started: float = 0.0,
+        solve_s: float = 0.0,
+        refine_s: float = 0.0,
     ) -> None:
-        """Stamp latency/batch metadata, record stats and resolve futures."""
+        """Stamp latency/batch/trace metadata, record stats, resolve futures."""
         now = time.perf_counter()
         latencies = []
         for index in indices:
-            results[index].latency_seconds = now - batch[index].enqueued_at
+            pending = batch[index]
+            results[index].latency_seconds = now - pending.enqueued_at
             results[index].batch_size = len(batch)
             latencies.append(results[index].latency_seconds)
+            if pending.trace_id:
+                results[index].provenance["trace"] = build_trace(
+                    pending.trace_id,
+                    queue_wait_s=pending.dispatched_at - pending.enqueued_at,
+                    dispatch_s=(solve_started - pending.dispatched_at)
+                    if solve_started
+                    else 0.0,
+                    solve_s=solve_s,
+                    refine_s=refine_s,
+                )
         with self._lock:
             self._counter(backend_name).record(latencies, count_batch=count_batch)
         for index in indices:
             if batch[index].future.set_running_or_notify_cancel():
                 batch[index].future.set_result(results[index])
+        publish_all(
+            self.events,
+            [
+                self._request_event(
+                    batch[index].request,
+                    "ok",
+                    trace_id=batch[index].trace_id,
+                    latency_s=results[index].latency_seconds,
+                    batch_size=len(batch),
+                    result=results[index],
+                )
+                for index in indices
+            ],
+        )
+
+    def _request_event(
+        self,
+        request: ThermalRequest,
+        status: str,
+        trace_id: str = "",
+        latency_s: float = 0.0,
+        batch_size: int = 1,
+        result: Optional[ThermalResult] = None,
+    ) -> RequestDone:
+        """One ``request_done`` event describing how a request left the engine."""
+        return RequestDone(
+            source="engine",
+            request_id=request.request_id,
+            trace_id=trace_id,
+            chip=request.chip,
+            resolution=request.resolution,
+            backend=request.backend,
+            status=status,
+            latency_ms=round(max(latency_s, 0.0) * 1e3, 3),
+            batch_size=batch_size,
+            cached=bool(result.cached) if result is not None else False,
+            degraded=bool(result.degraded) if result is not None else False,
+            refined=bool(result.refined) if result is not None else False,
+        )
 
     def _guard_tripped_indices(
         self, requests: Sequence[ThermalRequest], results: Sequence[ThermalResult]

@@ -20,32 +20,50 @@ Endpoints
   ``history.mean_K`` arrays.
 * ``GET /chips`` — built-in benchmark chips and their block names.
 * ``GET /models`` — operator surrogates loaded into the model registry.
-* ``GET /healthz`` — liveness probe.
+* ``GET /healthz`` — liveness probe (uptime, sampler liveness, last alert).
 * ``GET /stats`` — engine/backend counters (throughput, latency
   percentiles, worker queue depths, admission rejections, solver-pool and
   result-cache hit/eviction rates).
+* ``GET /events`` — the telemetry event stream.  Default is a long-poll:
+  ``?since=<cursor>&timeout_s=<s>`` answers ``{"events": [...], "cursor":
+  N}`` as soon as events past the cursor exist.  With ``Accept:
+  text/event-stream`` the same stream arrives as Server-Sent Events
+  (``id:`` carries the cursor; reconnect with ``Last-Event-ID`` or
+  ``?since=`` to resume exactly where the stream broke).
+* ``GET /metrics`` — Prometheus text exposition of the same counters.
+* ``GET /metrics/history`` — the sampler's rolled-up ring-buffer time
+  series (``?window_s=`` bounds the rollup window).
 
 The server is a :class:`http.server.ThreadingHTTPServer`: each client
 connection blocks in its own thread on the engine future, which is exactly
 what lets concurrent requests coalesce into micro-batches.  When the
 engine's admission control rejects a request the client gets a fast ``429``
 with a ``Retry-After`` hint instead of queueing without bound.
+
+With ``log_json=True`` (``serve --log-json``) every answered request emits
+one JSON line to stderr — method, path, status, latency, trace id, backend,
+shed/degraded flags — for log shippers; the default plain-text access log
+(gated on ``verbose``) is unchanged.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 import threading
 import time
+import urllib.parse
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro import __version__
 from repro.api.breaker import CircuitOpenError
 from repro.api.session import ThermalSession
 from repro.chip.designs import get_chip, list_chips
 from repro.data.power import error_message
+from repro.obs.promexport import render_prometheus
+from repro.obs.telemetry import Telemetry
 from repro.runtime.plane import DeadlineExceeded
 from repro.serving.backends import OperatorBackend
 from repro.serving.engine import EngineStopped, MicroBatchEngine, QueueFullError
@@ -64,6 +82,17 @@ RETRY_AFTER_S = 1
 #: A trace is up to 20k back-substitutions in the handler thread, so beyond
 #: this bound the endpoint answers 429 instead of stacking handler threads.
 TRANSIENT_MAX_PENDING = 4
+
+#: Default and maximum ``/events`` long-poll park time; a client asking for
+#: more is clamped so a handler thread can never be parked indefinitely.
+EVENTS_DEFAULT_TIMEOUT_S = 25.0
+EVENTS_MAX_TIMEOUT_S = 60.0
+
+#: Most events answered by one ``/events`` long-poll (or SSE write burst).
+EVENTS_MAX_BATCH = 500
+
+#: Seconds of silence before an SSE stream emits a keepalive comment.
+SSE_KEEPALIVE_S = 10.0
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -90,12 +119,52 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(payload)
+        self._log_access(status)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        payload = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+        self._log_access(status)
 
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
 
     # ------------------------------------------------------------------
+    def _log_access(self, status: int) -> None:
+        """One structured access-log line per answered request (opt-in)."""
+        if not getattr(self.server, "log_json", False):
+            return
+        started = getattr(self, "_access_started", None)
+        record = {
+            "ts": round(time.time(), 3),
+            "method": self.command,
+            "path": self.path,
+            "status": status,
+            "latency_ms": (
+                round((time.perf_counter() - started) * 1e3, 3)
+                if started is not None
+                else None
+            ),
+        }
+        record.update(getattr(self, "_access_extra", None) or {})
+        print(json.dumps(record), file=sys.stderr, flush=True)
+
+    def _query(self) -> Dict[str, str]:
+        """Flat (last-value-wins) query parameters of the request path."""
+        parts = self.path.split("?", 1)
+        if len(parts) == 1:
+            return {}
+        parsed = urllib.parse.parse_qs(parts[1], keep_blank_values=True)
+        return {name: values[-1] for name, values in parsed.items()}
+
+    # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler contract
+        self._access_started = time.perf_counter()
+        self._access_extra: Dict[str, Any] = {}
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
             self._send_json(200, self.server.service.health())
@@ -105,8 +174,104 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, {"models": self.server.service.describe_models()})
         elif path == "/stats":
             self._send_json(200, self.server.service.stats())
+        elif path == "/metrics":
+            self._send_text(
+                200,
+                self.server.service.render_metrics(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif path == "/metrics/history":
+            self._get_metrics_history()
+        elif path == "/events":
+            self._get_events()
         else:
             self._send_error_json(404, f"unknown path '{self.path}'")
+
+    # ------------------------------------------------------------------
+    def _get_metrics_history(self) -> None:
+        query = self._query()
+        try:
+            window_s = float(query["window_s"]) if "window_s" in query else None
+        except ValueError:
+            self._send_error_json(400, "'window_s' must be a number")
+            return
+        self._send_json(200, self.server.service.telemetry.history(window_s=window_s))
+
+    def _get_events(self) -> None:
+        """Long-poll (default) or SSE (``Accept: text/event-stream``) feed."""
+        query = self._query()
+        try:
+            since = int(query.get("since", 0))
+            timeout_s = float(query.get("timeout_s", EVENTS_DEFAULT_TIMEOUT_S))
+            limit = int(query.get("limit", EVENTS_MAX_BATCH))
+            max_events = int(query["max_events"]) if "max_events" in query else None
+        except ValueError:
+            self._send_error_json(
+                400, "'since', 'timeout_s', 'limit' and 'max_events' must be numbers"
+            )
+            return
+        # SSE reconnects resume via the standard Last-Event-ID header; an
+        # explicit ?since= wins so both transports share cursor semantics.
+        if "since" not in query and self.headers.get("Last-Event-ID"):
+            try:
+                since = int(self.headers["Last-Event-ID"])
+            except ValueError:
+                pass
+        timeout_s = min(max(timeout_s, 0.0), EVENTS_MAX_TIMEOUT_S)
+        limit = min(max(limit, 1), EVENTS_MAX_BATCH)
+        bus = self.server.service.telemetry.bus
+        if "text/event-stream" in (self.headers.get("Accept") or ""):
+            self._stream_events(bus, since, max_events)
+            return
+        events = bus.wait_for(since=since, timeout=timeout_s, limit=limit)
+        cursor = events[-1].seq if events else since
+        self._send_json(
+            200, {"events": [event.to_json() for event in events], "cursor": cursor}
+        )
+
+    def _stream_events(self, bus, since: int, max_events: Optional[int]) -> None:
+        """Write an SSE stream until the client leaves (or ``max_events``).
+
+        Each frame is ``id: <seq>`` / ``event: <kind>`` / ``data: <json>``;
+        silence is bridged with comment keepalives so proxies and clients
+        can tell "no events" from "dead server".  The response is
+        deliberately ``Connection: close`` — an unframed infinite body has
+        no length, so the socket is the stream's lifetime.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        cursor = since
+        sent = 0
+        try:
+            while True:
+                events = bus.wait_for(
+                    since=cursor, timeout=SSE_KEEPALIVE_S, limit=EVENTS_MAX_BATCH
+                )
+                if not events:
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    continue
+                for event in events:
+                    cursor = event.seq
+                    frame = (
+                        f"id: {event.seq}\n"
+                        f"event: {event.kind}\n"
+                        f"data: {json.dumps(event.to_json())}\n\n"
+                    )
+                    self.wfile.write(frame.encode("utf-8"))
+                    sent += 1
+                    if max_events is not None and sent >= max_events:
+                        self.wfile.flush()
+                        self._log_access(200)
+                        return
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            # The subscriber hung up mid-stream: normal SSE lifecycle.
+            self.close_connection = True
 
     def _read_json_body(self) -> Optional[Any]:
         """Read and decode the request body; answers the error and returns
@@ -135,6 +300,8 @@ class _Handler(BaseHTTPRequestHandler):
             return None
 
     def do_POST(self) -> None:  # noqa: N802
+        self._access_started = time.perf_counter()
+        self._access_extra = {}
         path = self.path.split("?", 1)[0].rstrip("/")
         if path == "/solve":
             self._post_solve()
@@ -166,6 +333,7 @@ class _Handler(BaseHTTPRequestHandler):
         # concurrent.futures.TimeoutError on modern Pythons — it must be
         # matched first or the shed would masquerade as an engine timeout.
         except DeadlineExceeded as error:
+            self._access_extra["shed"] = True
             self._send_error_json(504, str(error))
             return
         except FutureTimeoutError:
@@ -183,6 +351,13 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as error:  # noqa: BLE001 — surface backend failures as 500s
             self._send_error_json(500, f"solve failed: {error}")
             return
+        trace = result.provenance.get("trace") or {}
+        self._access_extra = {
+            "trace_id": trace.get("trace_id", ""),
+            "backend": result.backend,
+            "cached": result.cached,
+            "degraded": result.degraded,
+        }
         self._send_json(200, result.to_json())
 
     def _post_solve_transient(self) -> None:
@@ -228,6 +403,9 @@ class ThermalServer:
         port: int = 8471,
         verbose: bool = False,
         session: Optional["ThermalSession"] = None,
+        telemetry: Optional[Telemetry] = None,
+        log_json: bool = False,
+        sample_interval_s: float = 1.0,
     ):
         self.engine = engine
         # The session behind the backends (for /stats result-cache counters);
@@ -240,11 +418,28 @@ class ThermalServer:
             ),
             None,
         )
+        # Telemetry plane: one bus shared by the engine, the session (cache +
+        # breakers + plane) and the watchdog.  The engine may arrive with a
+        # bus already attached (tests do this); it then becomes the server's.
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else Telemetry(
+                bus=engine.events,
+                max_queue=engine.max_queue,
+                interval_s=sample_interval_s,
+            )
+        )
+        if engine.events is None:
+            engine.events = self.telemetry.bus
+        if self.session is not None:
+            self.session.attach_events(self.telemetry.bus)
         self._started_at = time.time()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.service = self
         self._httpd.verbose = verbose
+        self._httpd.log_json = log_json
         self._thread: Optional[threading.Thread] = None
         # Transient bookkeeping.  This lock guards only the counters (it is
         # never held across an integration, so /stats cannot block behind a
@@ -330,13 +525,19 @@ class ThermalServer:
             if self.session.plane is not None:
                 workers_dead = int(self.session.plane.stats().get("workers_dead", 0))
         degraded = bool(open_breakers) or workers_dead > 0
+        uptime = round(time.time() - self._started_at, 3)
         body: Dict[str, Any] = {
             "status": "degraded" if degraded else "ok",
             "version": __version__,
-            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "uptime_seconds": uptime,
+            # `uptime_s` duplicates `uptime_seconds` under the field name the
+            # multi-node router contract specifies; both are kept so existing
+            # probes and the new contract agree.
+            "uptime_s": uptime,
             "backends": sorted(self.engine.backends),
             "engine_running": self.engine.is_running,
         }
+        body.update(self.telemetry.health())
         if degraded:
             body["open_breakers"] = open_breakers
             body["plane_workers_dead"] = workers_dead
@@ -387,20 +588,66 @@ class ThermalServer:
             }
         if self.session is not None:
             body["session"] = self.session.stats()
+        body["events"] = self.telemetry.stats()
         return body
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition of ``GET /metrics``."""
+        return render_prometheus(self.stats(), uptime_s=time.time() - self._started_at)
+
+    def _telemetry_sample(self) -> Dict[str, Any]:
+        """One flat sample for the metrics store + watchdog, per tick."""
+        stats = self.stats()
+        backends = stats.get("backends") or {}
+        latencies = [b.get("latency_ms") or {} for b in backends.values()]
+        session = stats.get("session") or {}
+        cache = session.get("result_cache") or {}
+        plane = session.get("plane") or {}
+        reliability = session.get("reliability") or {}
+        events = stats.get("events") or {}
+        open_breakers = reliability.get("open_breakers") or []
+        sample: Dict[str, Any] = {
+            "requests_total": stats.get("total_requests", 0),
+            "rejected_total": stats.get("rejected_requests", 0),
+            "shed_total": stats.get("shed_requests", 0),
+            "errors_total": sum(b.get("errors", 0) for b in backends.values()),
+            "queue_depth": stats.get("queue_depth", 0),
+            "throughput_rps": stats.get("throughput_rps", 0.0),
+            "p50_ms": max((l.get("p50", 0.0) for l in latencies), default=0.0),
+            "p95_ms": max((l.get("p95", 0.0) for l in latencies), default=0.0),
+            "p99_ms": max((l.get("p99", 0.0) for l in latencies), default=0.0),
+            "cache_hits": cache.get("hits", 0),
+            "cache_misses": cache.get("misses", 0),
+            "cache_hit_rate": cache.get("hit_rate", 0.0),
+            "breakers_open": len(open_breakers),
+            "open_breakers": open_breakers,
+            "events_published": events.get("published", 0),
+            "events_dropped": events.get("dropped", 0),
+        }
+        if self.engine.max_queue is not None:
+            sample["max_queue"] = self.engine.max_queue
+        if plane:
+            workers = plane.get("workers", 0)
+            dead = plane.get("workers_dead", 0)
+            sample["workers_alive"] = max(workers - dead, 0)
+            sample["workers_dead"] = dead
+        return sample
 
     # ------------------------------------------------------------------
     def serve_forever(self) -> None:
         """Run the engine and HTTP loop in the calling thread (CLI path)."""
         self.engine.start()
+        self.telemetry.start(self._telemetry_sample)
         try:
             self._httpd.serve_forever()
         finally:
+            self.telemetry.stop()
             self.engine.stop()
 
     def start_background(self) -> "ThermalServer":
         """Run the HTTP loop in a daemon thread (tests and benchmarks)."""
         self.engine.start()
+        self.telemetry.start(self._telemetry_sample)
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, name="thermal-http", daemon=True
         )
@@ -414,6 +661,7 @@ class ThermalServer:
         if self._thread is not None:
             self._thread.join()
             self._thread = None
+        self.telemetry.stop()
         self.engine.stop()
 
     def close(self) -> None:
@@ -423,6 +671,7 @@ class ThermalServer:
         ``KeyboardInterrupt``, so the usual :meth:`shutdown` handshake with a
         background thread does not apply; this just releases the port.
         """
+        self.telemetry.stop()
         self._httpd.server_close()
 
     def __enter__(self) -> "ThermalServer":

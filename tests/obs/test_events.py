@@ -1,0 +1,101 @@
+"""The typed event catalog: construction, validation, wire round-trips."""
+
+import dataclasses
+
+import pytest
+
+from repro.obs.events import (
+    ALERT_KINDS,
+    EVENT_KINDS,
+    BatchDispatched,
+    BreakerTransition,
+    CacheEviction,
+    QueueSaturated,
+    RequestDone,
+    TelemetryEvent,
+    ThroughputFlatlined,
+    WorkerDead,
+    WorkerRetry,
+    event_from_json,
+)
+
+
+class TestCatalog:
+    def test_registry_covers_every_subclass(self):
+        expected = {
+            "request_done": RequestDone,
+            "batch_dispatched": BatchDispatched,
+            "worker_dead": WorkerDead,
+            "worker_retry": WorkerRetry,
+            "breaker_transition": BreakerTransition,
+            "queue_saturated": QueueSaturated,
+            "throughput_flatlined": ThroughputFlatlined,
+            "cache_eviction": CacheEviction,
+        }
+        assert EVENT_KINDS == expected
+
+    def test_alert_kinds_are_registered_kinds(self):
+        assert ALERT_KINDS <= set(EVENT_KINDS)
+        assert "request_done" not in ALERT_KINDS
+        assert "worker_dead" in ALERT_KINDS
+
+    def test_is_alert_property_matches_alert_kinds(self):
+        assert WorkerDead(slot=0).is_alert
+        assert QueueSaturated(depth=8, max_queue=8).is_alert
+        assert not RequestDone(request_id="r1").is_alert
+        assert not CacheEviction(cause="ttl", key="k").is_alert
+
+
+class TestValidation:
+    def test_request_done_rejects_unknown_status(self):
+        with pytest.raises(ValueError, match="status"):
+            RequestDone(request_id="r1", status="weird")
+
+    def test_breaker_transition_rejects_unknown_state(self):
+        with pytest.raises(ValueError):
+            BreakerTransition(backend="fvm", from_state="closed", to_state="exploded")
+
+    def test_cache_eviction_rejects_unknown_cause(self):
+        with pytest.raises(ValueError, match="cause"):
+            CacheEviction(cause="cosmic-rays", key="k")
+
+    def test_worker_retry_requires_positive_attempts(self):
+        with pytest.raises(ValueError):
+            WorkerRetry(slot=0, attempts=0)
+
+
+class TestWireFormat:
+    def test_to_json_carries_kind_and_every_field(self):
+        event = RequestDone(
+            request_id="r1", trace_id="t-1", chip="chip1", resolution=16,
+            backend="fvm", status="ok", latency_ms=12.5, batch_size=3,
+        )
+        body = event.to_json()
+        assert body["kind"] == "request_done"
+        field_names = {f.name for f in dataclasses.fields(event)}
+        assert field_names <= set(body)
+
+    def test_round_trip_preserves_payload(self):
+        original = WorkerRetry(slot=2, attempts=3, state_key="fvm/chip1/16",
+                               reason="worker died")
+        original.seq = 17
+        original.ts = 123.5
+        original.source = "plane"
+        restored = event_from_json(original.to_json())
+        assert isinstance(restored, WorkerRetry)
+        assert restored == original
+        assert (restored.seq, restored.ts, restored.source) == (17, 123.5, "plane")
+
+    def test_from_json_ignores_unknown_fields(self):
+        body = WorkerDead(slot=1, exit_code=-9).to_json()
+        body["added_in_a_future_version"] = True
+        restored = event_from_json(body)
+        assert isinstance(restored, WorkerDead)
+        assert restored.slot == 1
+
+    def test_from_json_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown"):
+            event_from_json({"kind": "not_a_kind"})
+
+    def test_base_event_not_registered(self):
+        assert TelemetryEvent.kind not in EVENT_KINDS

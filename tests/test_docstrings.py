@@ -15,10 +15,11 @@ import pkgutil
 import pytest
 
 import repro.api
+import repro.obs
 import repro.runtime
 import repro.serving
 
-PACKAGES = (repro.api, repro.serving, repro.runtime)
+PACKAGES = (repro.api, repro.serving, repro.runtime, repro.obs)
 
 
 def _iter_modules():
@@ -81,6 +82,8 @@ def test_audited_packages_are_the_expected_ones():
     assert "repro.serving.server" in names
     assert "repro.runtime.plane" in names
     assert "repro.runtime.tasks" in names
+    assert "repro.obs.bus" in names
+    assert "repro.obs.metrics" in names
 
 
 def test_every_public_symbol_has_a_docstring():
