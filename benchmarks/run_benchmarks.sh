@@ -46,6 +46,8 @@ if [[ "${1:-}" == "--smoke" ]]; then
     echo "== smoke: serve --chaos (killed plane worker, zero failed requests, incident on /events + /metrics + watch) =="
     python benchmarks/smoke_serving.py --exec processes --exec-workers 2 \
         --chaos kill-worker:0@5 --sample-interval 0.2
+    echo "== smoke: fleet (2 replicas + router, SIGKILL one, zero failed requests, degraded->ok, fleet generate) =="
+    python benchmarks/smoke_fleet.py
     echo "== smoke: benchmark bodies (no timing repetitions) =="
     python -m pytest \
         benchmarks/bench_solver_kernels.py \

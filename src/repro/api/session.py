@@ -87,6 +87,7 @@ from repro.runtime.tasks import (
     backend_state_key,
     build_backend_adapter,
     solve_cases,
+    warm_state,
 )
 from repro.solvers.hotspot import HotSpotModel
 from repro.solvers.transient import PowerTrace
@@ -101,6 +102,16 @@ DEFAULT_RESOLUTION = 32
 #: boundary would cost more than the solve — it stays inline too (its state
 #: *can* be rebuilt on a worker, see :mod:`repro.runtime.tasks`).
 PLANE_BACKENDS = ("fvm", "transient")
+
+#: EWMA smoothing of the per-case plane latency estimate that drives the
+#: adaptive batch-split decision — recent batches dominate so the estimate
+#: tracks load shifts within a few batches.
+ADAPTIVE_SPLIT_ALPHA = 0.3
+
+#: Estimated whole-batch seconds below which splitting cannot pay: below
+#: this, per-chunk dispatch overhead (task pickling, queue hops, extra warm
+#: states) exceeds the parallel win and the batch travels whole.
+ADAPTIVE_SPLIT_MIN_SECONDS = 0.05
 
 #: The opt-in graceful-degradation order (``fallback=True``): when a
 #: requested backend fails or its circuit breaker is open, the session walks
@@ -339,6 +350,14 @@ class ThermalSession:
         self._reliability_lock = threading.Lock()
         self._fallbacks = 0
         self._breaker_rejections = 0
+        # Plane-dispatch bookkeeping: a per-state-key EWMA of observed
+        # per-case solve seconds feeds the adaptive batch-split decision in
+        # _solve_batch_on_plane; the counters surface in stats()["dispatch"].
+        self._dispatch_lock = threading.Lock()
+        self._latency_ewma: Dict[Tuple, float] = {}
+        self._plane_batches = 0
+        self._split_batches = 0
+        self._adaptive_splits = 0
         self._chips: Dict[str, ChipStack] = {}
         self._pools: Dict[str, LRUPool] = {
             name: LRUPool(pool_size) for name in ("fvm", "hotspot", "transient")
@@ -871,9 +890,18 @@ class ThermalSession:
 
         The batch becomes one task (routed by warm-state key affinity) when
         it is small, or ``plane.workers`` chunk tasks pinned to distinct
-        worker slots when it can feed every worker — the chunk results are
+        worker slots when splitting pays — the chunk results are
         re-concatenated in order, so callers see exactly the inline answer
-        list.
+        list (chunked answers are bitwise-identical to whole-batch ones).
+
+        The split decision is adaptive: a batch deep enough to feed every
+        worker twice always splits (the historical static rule), and a
+        smaller batch (>= one case per worker) splits when the live
+        per-case latency EWMA for this state key says the whole batch
+        would cost at least :data:`ADAPTIVE_SPLIT_MIN_SECONDS` — heavy
+        keys (high resolutions) split earlier, trivial keys never pay the
+        chunk-dispatch overhead.  Splits the static rule would not have
+        made are counted as ``adaptive_splits`` in :meth:`stats`.
         """
         spec = BackendSpec(
             chip=chip_stack,
@@ -882,8 +910,19 @@ class ThermalSession:
             cells_per_layer=self.cells_per_layer,
         )
         key = backend_state_key(spec)
-        if plane.workers > 1 and len(assignments) >= 2 * plane.workers:
-            bounds = np.linspace(0, len(assignments), plane.workers + 1).astype(int)
+        count = len(assignments)
+        with self._dispatch_lock:
+            per_case_s = self._latency_ewma.get(key)
+        static_split = plane.workers > 1 and count >= 2 * plane.workers
+        adaptive_split = (
+            not static_split
+            and plane.workers > 1
+            and count >= plane.workers
+            and per_case_s is not None
+            and count * per_case_s >= ADAPTIVE_SPLIT_MIN_SECONDS
+        )
+        if static_split or adaptive_split:
+            bounds = np.linspace(0, count, plane.workers + 1).astype(int)
             chunks = [
                 (slot, assignments[bounds[slot]:bounds[slot + 1]])
                 for slot in range(plane.workers)
@@ -907,9 +946,27 @@ class ThermalSession:
             )
             for slot, chunk in chunks
         ]
+        started = time.perf_counter()
         solved: List[ThermalSolution] = []
         for chunk_solutions in plane.run_all(tasks):
             solved.extend(chunk_solutions)
+        elapsed = time.perf_counter() - started
+        # Chunks run concurrently, so wall-clock over the batch times the
+        # chunk count approximates one worker's sequential per-case cost.
+        per_case_observed = elapsed * len(chunks) / count
+        with self._dispatch_lock:
+            previous = self._latency_ewma.get(key)
+            self._latency_ewma[key] = (
+                per_case_observed
+                if previous is None
+                else ADAPTIVE_SPLIT_ALPHA * per_case_observed
+                + (1.0 - ADAPTIVE_SPLIT_ALPHA) * previous
+            )
+            self._plane_batches += 1
+            if len(chunks) > 1:
+                self._split_batches += 1
+            if adaptive_split:
+                self._adaptive_splits += 1
         return solved
 
     def solve_transient(
@@ -941,6 +998,82 @@ class ThermalSession:
             include_maps=include_maps,
             include_values=include_values,
         )
+
+    # ------------------------------------------------------------------
+    # Warm-up
+    # ------------------------------------------------------------------
+    def warm_up(
+        self,
+        keys: Sequence[Any],
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Pre-build solver state for a set of group keys before traffic.
+
+        ``keys`` is a sequence of ``(chip, resolution, backend)`` triples or
+        ``{"chip": ..., "resolution": ..., "backend": ...}`` mappings.
+        Plane-eligible backends (:data:`PLANE_BACKENDS`, when this session
+        drives a plane) warm through
+        :meth:`~repro.runtime.plane.ExecutionPlane.warm_up`, building each
+        key's factorisation on the worker that owns it; everything else
+        warms by touching the session's adapter pools inline.  Returns
+        ``{"warmed": [labels...], "errors": {label: message}}``.
+
+        This is the session half of the fleet warm-up protocol: a replica
+        answering ``POST /warm_up`` calls this so a (re)joining node
+        pre-factorizes its key slice before the router admits traffic.
+        """
+        warmed: List[str] = []
+        errors: Dict[str, str] = {}
+        plane_jobs: List[Tuple[str, PlaneTask]] = []
+        for entry in keys:
+            if isinstance(entry, Mapping):
+                chip_name = entry.get("chip")
+                resolution = entry.get("resolution", DEFAULT_RESOLUTION)
+                backend = entry.get("backend", "fvm")
+            else:
+                chip_name, resolution, backend = entry
+            label = f"{chip_name}/{resolution}/{backend}"
+            try:
+                chip_stack = self._resolve_chip(chip_name)
+                resolution = int(resolution)
+                backend = str(backend)
+                if self.plane is not None and backend in PLANE_BACKENDS:
+                    spec = BackendSpec(
+                        chip=chip_stack,
+                        resolution=resolution,
+                        backend=backend,
+                        cells_per_layer=self.cells_per_layer,
+                    )
+                    plane_jobs.append(
+                        (
+                            label,
+                            PlaneTask(
+                                fn=warm_state,
+                                state_key=backend_state_key(spec),
+                                state_factory=build_backend_adapter,
+                                state_spec=spec,
+                            ),
+                        )
+                    )
+                else:
+                    # Pool touch: building the adapter is the warm-up.
+                    self.backend(backend, chip_stack, resolution)
+                    warmed.append(label)
+            except Exception as error:  # noqa: BLE001 — collected per key
+                errors[label] = str(error)
+        if plane_jobs:
+            # Submit every plane job before collecting so distinct keys warm
+            # concurrently on their owning workers; errors stay per-key.
+            futures = [
+                (label, self.plane.submit(task)) for label, task in plane_jobs
+            ]
+            for label, future in futures:
+                try:
+                    future.result(timeout=timeout)
+                    warmed.append(label)
+                except Exception as error:  # noqa: BLE001
+                    errors[label] = str(error)
+        return {"warmed": warmed, "errors": errors}
 
     # ------------------------------------------------------------------
     # Dataset generation
@@ -1113,12 +1246,20 @@ class ThermalSession:
         with self._reliability_lock:
             fallbacks = self._fallbacks
             rejections = self._breaker_rejections
+        with self._dispatch_lock:
+            dispatch = {
+                "plane_batches": self._plane_batches,
+                "split_batches": self._split_batches,
+                "adaptive_splits": self._adaptive_splits,
+                "latency_ewma_keys": len(self._latency_ewma),
+            }
         return {
             "result_cache": self.result_cache.stats(),
             "pools": {name: pool.stats() for name, pool in self._pools.items()},
             "models": len(self.models),
             "custom_chips": sorted(self._chips),
             "plane": self.plane.stats() if self.plane is not None else None,
+            "dispatch": dispatch,
             "reliability": {
                 "breakers": breakers,
                 "open_breakers": self.open_breakers(),

@@ -4,7 +4,7 @@ A thin layer over :class:`repro.api.ThermalSession` — every subcommand maps
 onto one session call, so the CLI, the HTTP service, the evaluation harness
 and the Python API all answer through the same backends, pools and caches.
 
-Seven sub-commands cover the everyday workflow without writing Python:
+Eight sub-commands cover the everyday workflow without writing Python:
 
 * ``repro-thermal chips`` — list the benchmark chips and their structure.
 * ``repro-thermal generate`` — create a dataset with the FVM solver.
@@ -16,6 +16,9 @@ Seven sub-commands cover the everyday workflow without writing Python:
 * ``repro-thermal serve`` — run the thermal inference service: a JSON HTTP
   API answering concurrent power-map queries through micro-batched session
   backends.
+* ``repro-thermal route`` — run the fleet router in front of N ``serve``
+  replicas: health-checked membership, shard-aware placement, draining
+  and warm-up re-admission (see ``docs/CLUSTER.md``).
 * ``repro-thermal report`` — run every experiment harness and write a
   markdown report of the regenerated tables; with ``--serve-history URL``
   it instead dumps a running service's rolled-up telemetry time series as
@@ -37,6 +40,8 @@ Examples
     repro-thermal solve --chip chip2 --total-power 80 --resolution 40
     repro-thermal solve --chip chip1 --backend operator --model sau_fno.npz --total-power 60
     repro-thermal serve --port 8471 --model sau_fno.npz
+    repro-thermal route --replica http://127.0.0.1:8471 --replica http://127.0.0.1:8472
+    repro-thermal generate --chip chip1 --samples 64 --fleet http://127.0.0.1:8470 --output d.npz
     repro-thermal report --output repro_report.md --scale tiny
     repro-thermal watch http://127.0.0.1:8471
     repro-thermal report --serve-history http://127.0.0.1:8471 --format csv
@@ -89,6 +94,15 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--exec-workers", type=int, default=None, metavar="N",
                           help="workers of the execution plane (default: the "
                                "host CPU count; ignored for --exec serial)")
+    generate.add_argument("--fleet", default=None, metavar="ROUTER_URL",
+                          help="generate through a fleet router instead of "
+                               "locally: the dataset's batches are sharded "
+                               "across the router's healthy replicas and the "
+                               "merged result is bitwise-identical to a "
+                               "single-host run (ignores --exec)")
+    generate.add_argument("--shards", type=int, default=None, metavar="N",
+                          help="with --fleet: number of shards (default: one "
+                               "per healthy replica)")
     generate.add_argument("--output", required=True, help="output .npz path")
 
     train = subparsers.add_parser("train", help="train an operator on a generated dataset")
@@ -190,6 +204,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="telemetry sampler period feeding /metrics/history "
                             "and the watchdog (default: 1.0)")
 
+    route = subparsers.add_parser(
+        "route", help="run the fleet router in front of N serve replicas"
+    )
+    route.add_argument("--replica", action="append", default=[], dest="replicas",
+                       metavar="URL",
+                       help="replica base URL, e.g. http://127.0.0.1:8471 "
+                            "(repeatable)")
+    route.add_argument("--replicas-file", default=None, metavar="PATH",
+                       help="file with one replica URL per line ('#' comments "
+                            "allowed); combined with any --replica flags")
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument("--port", type=int, default=8470,
+                       help="TCP port (0 picks a free port)")
+    route.add_argument("--probe-interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="period of the replica /healthz prober (default: 1.0)")
+    route.add_argument("--failure-threshold", type=int, default=2, metavar="N",
+                       help="consecutive probe failures that drain a replica "
+                            "(default: 2; traffic errors drain immediately)")
+    route.add_argument("--verbose", action="store_true", help="log HTTP requests")
+
     report = subparsers.add_parser(
         "report", help="run every experiment harness and write a markdown report"
     )
@@ -266,6 +301,8 @@ def _make_plane(args, faults=None):
 
 
 def _cmd_generate(args) -> int:
+    if args.fleet:
+        return _generate_fleet(args)
     plane = _make_plane(args)
     session = ThermalSession(plane=plane)
     where = f" on a {plane.kind} plane ({plane.workers} workers)" if plane is not None else ""
@@ -283,6 +320,42 @@ def _cmd_generate(args) -> int:
     finally:
         if plane is not None:
             plane.close()
+    dataset.save(args.output)
+    print(f"wrote {args.output}: inputs {dataset.inputs.shape}, targets {dataset.targets.shape}")
+    return 0
+
+
+def _generate_fleet(args) -> int:
+    """``generate --fleet``: shard the dataset across a router's replicas.
+
+    The seeded case list makes sharding deterministic, so the merged
+    archive is bitwise-identical to a local run (only the wall-clock
+    ``solve_seconds`` metadata differs).
+    """
+    from repro.cluster.fleetgen import fleet_generate
+    from repro.cluster.proxy import ReplicaError
+    from repro.data.generation import DatasetSpec
+
+    if args.shards is not None and args.shards < 1:
+        raise ValueError("--shards must be >= 1")
+    spec = DatasetSpec(
+        chip_name=args.chip,
+        resolution=args.resolution,
+        num_samples=args.samples,
+        seed=args.seed,
+    )
+    print(f"generating {args.samples} cases for {args.chip} "
+          f"at {args.resolution}x{args.resolution} via fleet {args.fleet} ...")
+    try:
+        dataset = fleet_generate(
+            args.fleet,
+            spec,
+            batch_size=args.batch_size,
+            shard_count=args.shards,
+            verbose=True,
+        )
+    except ReplicaError as error:
+        raise OSError(f"fleet generation failed: {error_message(error)}")
     dataset.save(args.output)
     print(f"wrote {args.output}: inputs {dataset.inputs.shape}, targets {dataset.targets.shape}")
     return 0
@@ -483,6 +556,65 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _read_replicas_file(path: str) -> List[str]:
+    """Read one replica URL per line; blank lines and ``#`` comments skipped."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except FileNotFoundError:
+        raise ValueError(f"replicas file '{path}' does not exist")
+    urls = []
+    for line in lines:
+        stripped = line.split("#", 1)[0].strip()
+        if stripped:
+            urls.append(stripped)
+    return urls
+
+
+def _cmd_route(args) -> int:
+    from repro.cluster.router import FleetRouter
+
+    replicas = list(args.replicas)
+    if args.replicas_file:
+        replicas.extend(_read_replicas_file(args.replicas_file))
+    if not replicas:
+        raise ValueError("no replicas: pass --replica URL (repeatable) "
+                         "and/or --replicas-file PATH")
+    if args.probe_interval <= 0:
+        raise ValueError("--probe-interval must be positive")
+    if args.failure_threshold < 1:
+        raise ValueError("--failure-threshold must be >= 1")
+    router = FleetRouter(
+        replicas,
+        host=args.host,
+        port=args.port,
+        probe_interval_s=args.probe_interval,
+        failure_threshold=args.failure_threshold,
+        verbose=args.verbose,
+    )
+    print(f"fleet router listening on {router.url}", flush=True)
+    print(f"  replicas: {', '.join(replicas)}")
+    print(f"  probing /healthz every {args.probe_interval:g}s · "
+          f"drain after {args.failure_threshold} failures · "
+          "warm-up before re-admission", flush=True)
+    print("  endpoints: POST /solve /solve_transient /warm_up /generate · "
+          "GET /chips /models /healthz /stats /events /metrics", flush=True)
+    try:
+        router.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        # Mirror _cmd_serve: close deterministically, then exit hard so
+        # lingering keep-alive daemon threads cannot corrupt the exit status.
+        router.close()
+        sys.stdout.flush()
+        sys.stderr.flush()
+        import os
+        os._exit(0)
+    finally:
+        router.close()
+    return 0
+
+
 def _cmd_report(args) -> int:
     if args.serve_history:
         return _report_serve_history(args)
@@ -554,6 +686,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "solve": _cmd_solve,
     "serve": _cmd_serve,
+    "route": _cmd_route,
     "report": _cmd_report,
     "watch": _cmd_watch,
 }

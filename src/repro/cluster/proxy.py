@@ -1,0 +1,211 @@
+"""Per-replica HTTP client with pooled keep-alive connections.
+
+The router talks to each replica over plain stdlib
+:class:`http.client.HTTPConnection` objects.  A small per-replica pool
+reuses idle keep-alive connections (one proxy hop must not pay a TCP
+handshake per request — the <15% overhead bar in ``bench_serving.py``
+depends on it) and throws :class:`ReplicaError` on connection-level
+failures so the router can tell "the replica is unreachable" (drain +
+retry on a peer) apart from "the replica answered an HTTP error" (forward
+the status verbatim — a 400 is the client's problem, not the fleet's).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+__all__ = ["ReplicaError", "ReplicaResponse", "ReplicaClient"]
+
+#: Idle keep-alive connections kept per replica; beyond this, extras close.
+POOL_SIZE = 8
+
+#: Default per-request socket timeout (seconds). Solves can legitimately
+#: take a while under load, so this mirrors the server's SOLVE_TIMEOUT_S.
+DEFAULT_TIMEOUT_S = 120.0
+
+
+class ReplicaError(OSError):
+    """A replica could not be reached or died mid-request.
+
+    Raised on connection-level failures only (refused, reset, timeout,
+    protocol desync) — never on HTTP error statuses, which are valid
+    answers the router forwards to the client.
+    """
+
+
+class ReplicaResponse:
+    """One replica answer: status, headers and the full body bytes."""
+
+    def __init__(self, status: int, headers: List[Tuple[str, str]], body: bytes):
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """First header value matching ``name`` (case-insensitive)."""
+        lowered = name.lower()
+        for key, value in self.headers:
+            if key.lower() == lowered:
+                return value
+        return default
+
+    def json(self) -> Any:
+        """Decode the body as JSON (raises ``ValueError`` on garbage)."""
+        return json.loads(self.body.decode("utf-8"))
+
+
+class ReplicaClient:
+    """Pooled keep-alive HTTP client for one replica base URL."""
+
+    def __init__(self, base_url: str, timeout_s: float = DEFAULT_TIMEOUT_S):
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", "") or not parts.netloc and not parts.path:
+            raise ValueError(f"unsupported replica URL '{base_url}'")
+        netloc = parts.netloc or parts.path  # tolerate bare host:port
+        host, _, port = netloc.partition(":")
+        self.host = host
+        self.port = int(port) if port else 80
+        self.base_url = f"http://{self.host}:{self.port}"
+        self.timeout_s = timeout_s
+        self._idle: List[http.client.HTTPConnection] = []
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._reused = 0
+        self._errors = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Stable replica identity used for hashing and metric labels."""
+        return f"{self.host}:{self.port}"
+
+    def _checkout(self) -> Tuple[http.client.HTTPConnection, bool]:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop(), True
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            connection.connect()
+            # Proxy hops ride reused keep-alive sockets; without TCP_NODELAY
+            # a multi-write request stalls behind the replica's delayed ACK.
+            connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError as error:
+            connection.close()
+            with self._lock:
+                self._errors += 1
+            raise ReplicaError(
+                f"replica {self.name} unreachable: {error}"
+            ) from error
+        return connection, False
+
+    def _checkin(self, connection: http.client.HTTPConnection) -> None:
+        with self._lock:
+            if len(self._idle) < POOL_SIZE:
+                self._idle.append(connection)
+                return
+        connection.close()
+
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> ReplicaResponse:
+        """One HTTP exchange with the replica; pooled connection reuse.
+
+        A request that fails on a *reused* connection is retried once on a
+        fresh one (the replica may simply have timed out the idle socket);
+        a fresh-connection failure raises :class:`ReplicaError`.
+        """
+        attempts = 2
+        for attempt in range(attempts):
+            connection, reused = self._checkout()
+            try:
+                connection.request(method, path, body=body, headers=headers or {})
+                response = connection.getresponse()
+                payload = response.read()
+            except (OSError, http.client.HTTPException) as error:
+                connection.close()
+                if reused and attempt + 1 < attempts:
+                    continue  # stale pooled socket — one fresh retry
+                with self._lock:
+                    self._errors += 1
+                raise ReplicaError(
+                    f"replica {self.name} unreachable: {error}"
+                ) from error
+            with self._lock:
+                self._requests += 1
+                if reused:
+                    self._reused += 1
+            if response.will_close:
+                connection.close()
+            else:
+                self._checkin(connection)
+            return ReplicaResponse(
+                response.status, response.getheaders(), payload
+            )
+        raise ReplicaError(f"replica {self.name} unreachable")  # pragma: no cover
+
+    def get_json(self, path: str, timeout_s: Optional[float] = None) -> Any:
+        """GET ``path`` and decode the JSON body; non-200 raises ReplicaError."""
+        if timeout_s is not None:
+            probe = http.client.HTTPConnection(self.host, self.port, timeout=timeout_s)
+            try:
+                probe.request("GET", path)
+                response = probe.getresponse()
+                payload = response.read()
+            except (OSError, http.client.HTTPException) as error:
+                raise ReplicaError(
+                    f"replica {self.name} unreachable: {error}"
+                ) from error
+            finally:
+                probe.close()
+            if response.status != 200:
+                raise ReplicaError(
+                    f"replica {self.name} answered {response.status} for {path}"
+                )
+            return json.loads(payload.decode("utf-8"))
+        response = self.request("GET", path)
+        if response.status != 200:
+            raise ReplicaError(
+                f"replica {self.name} answered {response.status} for {path}"
+            )
+        return response.json()
+
+    def post_json(self, path: str, payload: Any) -> ReplicaResponse:
+        """POST ``payload`` as JSON and return the raw response."""
+        body = json.dumps(payload).encode("utf-8")
+        return self.request(
+            "POST",
+            path,
+            body=body,
+            headers={"Content-Type": "application/json",
+                     "Content-Length": str(len(body))},
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Connection-pool counters for the router's ``/stats`` surface."""
+        with self._lock:
+            return {
+                "requests": self._requests,
+                "reused_connections": self._reused,
+                "connection_errors": self._errors,
+                "idle_connections": len(self._idle),
+            }
+
+    def close(self) -> None:
+        """Close every pooled idle connection."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for connection in idle:
+            connection.close()

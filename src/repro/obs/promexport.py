@@ -84,6 +84,36 @@ def render_prometheus(stats: Mapping[str, Any], uptime_s: Optional[float] = None
         "Requests answered by the engine.",
         "counter",
     )
+    # Per-(chip, resolution, backend) breakdown of the same counter — the
+    # group granularity the engine batches on and the fleet router shards
+    # on.  The unlabelled sample above stays the all-groups total.
+    for group in stats.get("groups") or ():
+        labels = [
+            ("chip", group.get("chip")),
+            ("resolution", group.get("resolution")),
+            ("backend", group.get("backend")),
+        ]
+        out.add(
+            "repro_requests_total",
+            group.get("requests"),
+            "Requests answered by the engine.",
+            "counter",
+            labels,
+        )
+        out.add(
+            "repro_group_errors_total",
+            group.get("errors"),
+            "Failed requests per (chip, resolution, backend) group.",
+            "counter",
+            labels,
+        )
+        out.add(
+            "repro_group_shed_total",
+            group.get("shed"),
+            "Deadline-shed requests per (chip, resolution, backend) group.",
+            "counter",
+            labels,
+        )
     out.add(
         "repro_requests_rejected_total",
         stats.get("rejected_requests"),

@@ -342,6 +342,35 @@ class ExecutionPlane:
                 ) from None
         return results
 
+    def warm_up(
+        self,
+        recipes: Sequence[tuple],
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Pre-build warm states so later traffic hits hot factorisations.
+
+        ``recipes`` is a sequence of ``(state_key, state_factory,
+        state_spec)`` triples; each becomes one no-op task routed by its
+        key's normal affinity, which forces the owning worker to construct
+        the state (geometry + factorisation) through its LRU exactly as a
+        real task would.  Returns how many states were resident afterwards.
+        This is the plane half of the fleet warm-up protocol: a replica
+        answering ``POST /warm_up`` calls this before re-admission so its
+        first real request never pays a cold factorisation.
+        """
+        from repro.runtime.tasks import warm_state
+
+        tasks = [
+            PlaneTask(
+                fn=warm_state,
+                state_key=state_key,
+                state_factory=state_factory,
+                state_spec=state_spec,
+            )
+            for state_key, state_factory, state_spec in recipes
+        ]
+        return sum(bool(ok) for ok in self.run_all(tasks, timeout=timeout))
+
     def close(self) -> None:
         """Release the plane's workers (idempotent; no-op for serial)."""
         self._closed = True

@@ -182,6 +182,18 @@ def solve_cases(adapter: Any, payload: Dict[str, Any]) -> List[Any]:
 # ----------------------------------------------------------------------
 # Plumbing tasks
 # ----------------------------------------------------------------------
+def warm_state(state: Any, _payload: Any) -> bool:
+    """Touch a task's warm state so the worker builds (or refreshes) it.
+
+    The task function itself does nothing: routing a task carrying a
+    ``state_key`` + factory to a worker is what forces the expensive
+    construction (geometry + factorisation) through the worker's LRU.
+    Returns whether a state was actually resident afterwards, which
+    :meth:`~repro.runtime.plane.ExecutionPlane.warm_up` counts.
+    """
+    return state is not None
+
+
 def ping(_state: Any, payload: Any) -> Any:
     """Stateless round-trip used by health checks, warm-up and the tests."""
     return payload

@@ -279,6 +279,10 @@ class MicroBatchEngine:
         self._shards = [_Shard(index) for index in range(workers)]
         self._lock = threading.Lock()  # counters + queue depth + lifecycle
         self._counters: Dict[str, _BackendCounters] = {}
+        # Per-(chip, resolution, backend) request counters — the group
+        # granularity the fleet router shards on, exported as labelled
+        # `repro_requests_total` series on /metrics.
+        self._group_counts: Dict[tuple, Dict[str, int]] = {}
         self._depth = 0  # queued-but-undispatched requests, all shards
         self._rejected = 0
         self._running = False
@@ -385,6 +389,7 @@ class MicroBatchEngine:
         if request.expired():
             with self._lock:
                 self._counter(request.backend).shed += 1
+                self._group_counter(request)["shed"] += 1
             publish_all(self.events, [self._request_event(request, "shed")])
             raise DeadlineExceeded(
                 f"request {request.request_id} arrived with its deadline already "
@@ -461,6 +466,17 @@ class MicroBatchEngine:
             counters = {name: c.snapshot() for name, c in self._counters.items()}
             total = sum(c.requests for c in self._counters.values())
             shed = sum(c.shed for c in self._counters.values())
+            groups = [
+                {
+                    "chip": chip,
+                    "resolution": resolution,
+                    "backend": backend,
+                    **counts,
+                }
+                for (chip, resolution, backend), counts in sorted(
+                    self._group_counts.items()
+                )
+            ]
         uptime = time.perf_counter() - self._started_at
         backends: Dict[str, Any] = {}
         for name, backend in self.backends.items():
@@ -484,12 +500,20 @@ class MicroBatchEngine:
             "starvation_age_s": self.starvation_age_s,
             "refine_threshold_K": self.refine_threshold_K,
             "backends": backends,
+            "groups": groups,
         }
 
     def _counter(self, name: str) -> _BackendCounters:
         if name not in self._counters:
             self._counters[name] = _BackendCounters()
         return self._counters[name]
+
+    def _group_counter(self, request: ThermalRequest) -> Dict[str, int]:
+        """Running per-``(chip, resolution, backend)`` counters (hold _lock)."""
+        key = (request.chip, request.resolution, request.backend)
+        if key not in self._group_counts:
+            self._group_counts[key] = {"requests": 0, "errors": 0, "shed": 0}
+        return self._group_counts[key]
 
     # ------------------------------------------------------------------
     # Dispatcher workers
@@ -579,6 +603,8 @@ class MicroBatchEngine:
         if expired:
             with self._lock:
                 self._counter(expired[0].request.backend).shed += len(expired)
+                for pending in expired:
+                    self._group_counter(pending.request)["shed"] += 1
             for pending in expired:
                 if pending.future.set_running_or_notify_cancel():
                     pending.future.set_exception(
@@ -618,6 +644,8 @@ class MicroBatchEngine:
         except Exception as error:  # noqa: BLE001 — failures travel to clients
             with self._lock:
                 self._counter(backend_name).errors += len(batch)
+                for pending in batch:
+                    self._group_counter(pending.request)["errors"] += 1
             for pending in batch:
                 if not pending.future.set_running_or_notify_cancel():
                     continue
@@ -707,6 +735,8 @@ class MicroBatchEngine:
                 )
         with self._lock:
             self._counter(backend_name).record(latencies, count_batch=count_batch)
+            for index in indices:
+                self._group_counter(batch[index].request)["requests"] += 1
         for index in indices:
             if batch[index].future.set_running_or_notify_cancel():
                 batch[index].future.set_result(results[index])

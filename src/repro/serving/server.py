@@ -18,6 +18,14 @@ Endpoints
   (or ``"schedule": [{"t_s": 0.0, "total_power": 40.0}, ...]``); the
   response carries ``history.times_s`` / ``history.peak_K`` /
   ``history.mean_K`` arrays.
+* ``POST /warm_up`` — pre-factorize solver state for a set of group keys
+  (``{"keys": [{"chip": ..., "resolution": ..., "backend": ...}]}``)
+  before traffic arrives; the fleet router replays a rejoining replica's
+  key slice through this before re-admitting it.
+* ``POST /generate`` — solve one shard of a distributed dataset-generation
+  job (``{"spec": {...}, "batch_size": N, "shard": {"index": i, "count":
+  n}}``) and answer the ``.npz`` shard bytes; see
+  :mod:`repro.cluster.fleetgen`.
 * ``GET /chips`` — built-in benchmark chips and their block names.
 * ``GET /models`` — operator surrogates loaded into the model registry.
 * ``GET /healthz`` — liveness probe (uptime, sampler liveness, last alert).
@@ -95,11 +103,28 @@ EVENTS_MAX_BATCH = 500
 SSE_KEEPALIVE_S = 10.0
 
 
+class _HTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server with a listen backlog fit for bursty clients.
+
+    A pooled client (the fleet router, a closed-loop load generator) opens
+    its keep-alive connections in one burst; with the stdlib backlog of 5
+    the accept queue overflows, the kernel drops the excess SYNs, and each
+    dropped one costs that client a full 1 s retransmit timeout.
+    """
+
+    request_queue_size = 128
+
+
 class _Handler(BaseHTTPRequestHandler):
     """Routes HTTP requests onto the engine owned by the server."""
 
     protocol_version = "HTTP/1.1"
     server_version = f"repro-thermal/{__version__}"
+    # Headers and body go out as separate small writes; without TCP_NODELAY,
+    # Nagle holds the body behind the peer's delayed ACK (~40 ms) on every
+    # reused keep-alive connection — fatal for the fleet router's pooled
+    # proxy hops.
+    disable_nagle_algorithm = True
 
     # ------------------------------------------------------------------
     def log_message(self, format: str, *args) -> None:  # noqa: A002
@@ -307,6 +332,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._post_solve()
         elif path == "/solve_transient":
             self._post_solve_transient()
+        elif path == "/warm_up":
+            self._post_warm_up()
+        elif path == "/generate":
+            self._post_generate()
         else:
             self.close_connection = True  # body never read — see _send_json
             self._send_error_json(404, f"unknown path '{self.path}'")
@@ -359,6 +388,50 @@ class _Handler(BaseHTTPRequestHandler):
             "degraded": result.degraded,
         }
         self._send_json(200, result.to_json())
+
+    def _post_warm_up(self) -> None:
+        payload = self._read_json_body()
+        if payload is None:
+            return
+        service = self.server.service
+        if service.session is None:
+            self._send_error_json(
+                503, "this deployment has no session; warm-up is disabled"
+            )
+            return
+        keys = payload.get("keys") if isinstance(payload, dict) else None
+        if not isinstance(keys, list):
+            self._send_error_json(400, "body must be {\"keys\": [...]}")
+            return
+        try:
+            self._send_json(200, service.warm_up(keys))
+        except Exception as error:  # noqa: BLE001
+            self._send_error_json(500, f"warm-up failed: {error}")
+
+    def _post_generate(self) -> None:
+        payload = self._read_json_body()
+        if payload is None:
+            return
+        service = self.server.service
+        if service.session is None:
+            self._send_error_json(
+                503, "this deployment has no session; generation is disabled"
+            )
+            return
+        try:
+            blob = service.generate_shard(payload)
+        except (KeyError, TypeError, ValueError) as error:
+            self._send_error_json(400, error_message(error))
+            return
+        except Exception as error:  # noqa: BLE001
+            self._send_error_json(500, f"shard generation failed: {error}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+        self._log_access(200)
 
     def _post_solve_transient(self) -> None:
         payload = self._read_json_body()
@@ -435,7 +508,7 @@ class ThermalServer:
         if self.session is not None:
             self.session.attach_events(self.telemetry.bus)
         self._started_at = time.time()
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd = _HTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.service = self
         self._httpd.verbose = verbose
@@ -508,6 +581,45 @@ class ThermalServer:
             self._transient_requests += 1
             self._transient_seconds += time.perf_counter() - start
         return solution
+
+    # ------------------------------------------------------------------
+    def warm_up(self, keys: List[Any]) -> Dict[str, Any]:
+        """``POST /warm_up``: pre-factorize group keys through the session.
+
+        Delegates to :meth:`ThermalSession.warm_up` with a bounded timeout
+        so one poisoned key cannot park a handler thread forever.
+        """
+        return self.session.warm_up(keys, timeout=SOLVE_TIMEOUT_S)
+
+    def generate_shard(self, payload: Dict[str, Any]) -> bytes:
+        """``POST /generate``: solve one distributed-generation shard.
+
+        Body: ``{"spec": {...DatasetSpec fields...}, "batch_size": N,
+        "shard": {"index": i, "count": n}}``.  Runs the shard's batches on
+        the session's execution plane (inline when none is configured) and
+        returns the ``.npz`` shard bytes.
+        """
+        # Imported here, not at module level: the cluster package imports
+        # the serving request models, and serving must stay importable
+        # without the cluster subsystem loaded.
+        from repro.cluster.fleetgen import generate_shard, spec_from_payload
+
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        spec = spec_from_payload(payload["spec"])
+        shard = payload.get("shard") or {}
+        shard_index = int(shard.get("index", 0))
+        shard_count = int(shard.get("count", 1))
+        batch_size = int(payload.get("batch_size", 32))
+        chip = self.session.get_chip(spec.chip_name)
+        return generate_shard(
+            spec,
+            shard_index,
+            shard_count,
+            batch_size=batch_size,
+            chip=chip,
+            plane=self.session.plane,
+        )
 
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:

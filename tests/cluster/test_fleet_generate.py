@@ -1,0 +1,100 @@
+"""Distributed dataset generation: sharding, merging, bitwise identity."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.fleetgen import (
+    generate_shard,
+    merge_shards,
+    spec_from_payload,
+    spec_to_payload,
+)
+from repro.data.generation import DatasetSpec, generate_dataset
+
+SPEC = DatasetSpec(chip_name="chip1", resolution=10, num_samples=10, seed=11)
+BATCH = 3  # 10 samples -> batches of 3,3,3,1 — exercises the ragged tail
+
+
+class TestSpecPayload:
+    def test_round_trip(self):
+        spec = DatasetSpec(
+            chip_name="chip2", resolution=16, num_samples=4, seed=5,
+            total_power_range_W=(20.0, 80.0),
+        )
+        assert spec_from_payload(spec_to_payload(spec)) == spec
+
+    def test_round_trip_without_power_range(self):
+        assert spec_from_payload(spec_to_payload(SPEC)) == SPEC
+
+
+class TestSharding:
+    def test_merged_shards_match_single_host_bitwise(self):
+        blobs = [
+            generate_shard(SPEC, index, 2, batch_size=BATCH) for index in range(2)
+        ]
+        merged = merge_shards(SPEC, blobs, batch_size=BATCH)
+        local = generate_dataset(SPEC, batch_size=BATCH)
+        assert np.array_equal(merged.inputs, local.inputs)
+        assert np.array_equal(merged.targets, local.targets)
+        assert np.array_equal(
+            merged.metadata["total_power_W"], local.metadata["total_power_W"]
+        )
+
+    def test_single_shard_is_the_whole_dataset(self):
+        blob = generate_shard(SPEC, 0, 1, batch_size=BATCH)
+        merged = merge_shards(SPEC, [blob], batch_size=BATCH)
+        local = generate_dataset(SPEC, batch_size=BATCH)
+        assert np.array_equal(merged.targets, local.targets)
+
+    def test_shard_count_does_not_change_the_result(self):
+        two = merge_shards(
+            SPEC,
+            [generate_shard(SPEC, i, 2, batch_size=BATCH) for i in range(2)],
+            batch_size=BATCH,
+        )
+        three = merge_shards(
+            SPEC,
+            [generate_shard(SPEC, i, 3, batch_size=BATCH) for i in range(3)],
+            batch_size=BATCH,
+        )
+        assert np.array_equal(two.targets, three.targets)
+        assert np.array_equal(two.inputs, three.inputs)
+
+    def test_shards_partition_the_batches(self):
+        """Each global batch is produced by exactly one shard."""
+        import io
+
+        seen = set()
+        for index in range(3):
+            blob = generate_shard(SPEC, index, 3, batch_size=BATCH)
+            with np.load(io.BytesIO(blob)) as archive:
+                batches = {
+                    int(name.split("_")[1])
+                    for name in archive.files
+                    if name.startswith("targets_")
+                }
+            assert not (batches & seen)
+            seen |= batches
+        assert seen == {0, 1, 2, 3}  # ceil(10 / 3) batches
+
+    def test_shard_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            generate_shard(SPEC, 2, 2, batch_size=BATCH)
+        with pytest.raises(ValueError):
+            generate_shard(SPEC, -1, 2, batch_size=BATCH)
+
+
+class TestMergeValidation:
+    def test_missing_batch_is_an_error(self):
+        blob = generate_shard(SPEC, 0, 2, batch_size=BATCH)
+        with pytest.raises(ValueError, match="missing"):
+            merge_shards(SPEC, [blob], batch_size=BATCH)
+
+    def test_duplicate_batch_is_an_error(self):
+        blob = generate_shard(SPEC, 0, 2, batch_size=BATCH)
+        with pytest.raises(ValueError, match="two shards"):
+            merge_shards(
+                SPEC,
+                [blob, blob, generate_shard(SPEC, 1, 2, batch_size=BATCH)],
+                batch_size=BATCH,
+            )

@@ -1,0 +1,93 @@
+"""Unit tests of the rendezvous-hash placement primitives."""
+
+import pytest
+
+from repro.cluster.hashing import owner, rank, rendezvous_score
+
+REPLICAS = ["10.0.0.1:8471", "10.0.0.2:8471", "10.0.0.3:8471"]
+
+
+def _keys(count=200):
+    chips = ["chip1", "chip2", "chip3"]
+    backends = ["fvm", "hotspot", "operator", "transient"]
+    return [
+        (chips[i % 3], 16 + (i % 7) * 8, backends[i % 4]) for i in range(count)
+    ]
+
+
+class TestScore:
+    def test_deterministic(self):
+        assert rendezvous_score("a", ("chip1", 32, "fvm")) == rendezvous_score(
+            "a", ("chip1", 32, "fvm")
+        )
+
+    def test_differs_by_replica_and_key(self):
+        key = ("chip1", 32, "fvm")
+        assert rendezvous_score("a", key) != rendezvous_score("b", key)
+        assert rendezvous_score("a", key) != rendezvous_score("a", ("chip2", 32, "fvm"))
+
+
+class TestOwner:
+    def test_stable_across_calls_and_orderings(self):
+        for key in _keys(50):
+            assert owner(key, REPLICAS) == owner(key, list(reversed(REPLICAS)))
+
+    def test_single_member_owns_everything(self):
+        for key in _keys(20):
+            assert owner(key, ["only:1"]) == "only:1"
+
+    def test_empty_membership_raises(self):
+        with pytest.raises(ValueError):
+            owner(("chip1", 32, "fvm"), [])
+
+    def test_removal_moves_only_the_lost_replicas_keys(self):
+        """The rendezvous property: draining a replica never reshuffles
+        keys between the survivors."""
+        keys = _keys()
+        before = {key: owner(key, REPLICAS) for key in keys}
+        survivors = [r for r in REPLICAS if r != REPLICAS[1]]
+        moved = 0
+        for key in keys:
+            after = owner(key, survivors)
+            if before[key] == REPLICAS[1]:
+                assert after in survivors
+                moved += 1
+            else:
+                assert after == before[key]
+        assert moved > 0  # the drained replica owned a real slice
+
+    def test_addition_moves_keys_only_to_the_new_replica(self):
+        keys = _keys()
+        before = {key: owner(key, REPLICAS) for key in keys}
+        grown = REPLICAS + ["10.0.0.4:8471"]
+        for key in keys:
+            after = owner(key, grown)
+            if after != before[key]:
+                assert after == "10.0.0.4:8471"
+
+    def test_distribution_is_roughly_balanced(self):
+        keys = _keys(600)
+        counts = {replica: 0 for replica in REPLICAS}
+        for key in keys:
+            counts[owner(key, REPLICAS)] += 1
+        # CRC32 is not a perfect hash, but each of 3 replicas should own a
+        # substantial share of 600 keys (an even split would be 200 each).
+        assert all(count >= 100 for count in counts.values()), counts
+
+
+class TestRank:
+    def test_rank_head_is_owner(self):
+        for key in _keys(30):
+            assert rank(key, REPLICAS)[0] == owner(key, REPLICAS)
+
+    def test_rank_is_a_permutation_of_the_membership(self):
+        ordering = rank(("chip1", 32, "fvm"), REPLICAS)
+        assert sorted(ordering) == sorted(REPLICAS)
+
+    def test_retry_peer_is_the_post_drain_owner(self):
+        """rank()[1] is exactly who owns the key once rank()[0] drains —
+        the router's retry lands where the key remaps."""
+        for key in _keys(50):
+            first, second = rank(key, REPLICAS)[:2]
+            survivors = [r for r in REPLICAS if r != first]
+            assert owner(key, survivors) == second

@@ -1,0 +1,126 @@
+"""Membership state machine: probing, draining, warm re-admission."""
+
+import pytest
+
+from repro.cluster.membership import DOWN, HEALTHY, WARMING, Membership
+
+
+def _membership(stubs, **kwargs):
+    kwargs.setdefault("probe_interval_s", 0.05)
+    kwargs.setdefault("failure_threshold", 2)
+    return Membership([stub.url for stub in stubs], **kwargs)
+
+
+class TestConstruction:
+    def test_needs_at_least_one_url(self):
+        with pytest.raises(ValueError, match="at least one replica"):
+            Membership([])
+
+    def test_rejects_duplicate_urls(self, stub_replicas):
+        url = stub_replicas[0].url
+        with pytest.raises(ValueError, match="duplicate"):
+            Membership([url, url])
+
+    def test_everyone_starts_healthy(self, stub_replicas):
+        membership = _membership(stub_replicas)
+        try:
+            assert len(membership.healthy()) == 3
+            assert membership.describe()["status"] == "ok"
+        finally:
+            membership.stop()
+
+
+class TestDraining:
+    def test_mark_failed_drains_immediately(self, stub_replicas):
+        membership = _membership(stub_replicas)
+        try:
+            victim = membership.replicas[0]
+            membership.mark_failed(victim)
+            assert victim.state == DOWN
+            assert victim.name not in membership.healthy_names()
+            described = membership.describe()
+            assert described["status"] == "degraded"
+            assert described["drains"] == 1
+        finally:
+            membership.stop()
+
+    def test_probe_drains_after_threshold_not_before(self, stub_replicas):
+        membership = _membership(stub_replicas, failure_threshold=2)
+        try:
+            stub_replicas[1].stop()  # connection-refused from now on
+            membership.probe_once()
+            assert membership.replicas[1].state == HEALTHY  # one strike
+            membership.probe_once()
+            assert membership.replicas[1].state == DOWN  # threshold hit
+        finally:
+            membership.stop()
+
+    def test_all_down_reports_down(self, stub_replicas):
+        membership = _membership(stub_replicas)
+        try:
+            for replica in membership.replicas:
+                membership.mark_failed(replica)
+            assert membership.describe()["status"] == "down"
+            assert membership.healthy_names() == []
+        finally:
+            membership.stop()
+
+
+class TestRecovery:
+    def test_recovery_runs_warm_up_before_readmission(self, stub_replicas):
+        seen_states = []
+
+        def on_recover(replica):
+            seen_states.append(replica.state)
+            return True
+
+        membership = _membership(stub_replicas, on_recover=on_recover)
+        try:
+            victim = membership.replicas[2]
+            membership.mark_failed(victim)
+            assert victim.state == DOWN
+            membership.probe_once()  # the stub still answers /healthz
+            assert victim.state == HEALTHY
+            # The hook observed the replica in WARMING — admitted only after.
+            assert seen_states == [WARMING]
+            assert [s for _, s in victim.transitions] == [
+                HEALTHY, DOWN, WARMING, HEALTHY,
+            ]
+            assert membership.describe()["recoveries"] == 1
+        finally:
+            membership.stop()
+
+    def test_failed_warm_up_keeps_the_replica_down(self, stub_replicas):
+        membership = _membership(stub_replicas, on_recover=lambda _r: False)
+        try:
+            victim = membership.replicas[0]
+            membership.mark_failed(victim)
+            membership.probe_once()
+            assert victim.state == DOWN
+            assert membership.describe()["recoveries"] == 0
+        finally:
+            membership.stop()
+
+    def test_raising_warm_up_keeps_the_replica_down(self, stub_replicas):
+        def on_recover(_replica):
+            raise RuntimeError("factorization exploded")
+
+        membership = _membership(stub_replicas, on_recover=on_recover)
+        try:
+            victim = membership.replicas[0]
+            membership.mark_failed(victim)
+            membership.probe_once()
+            assert victim.state == DOWN
+        finally:
+            membership.stop()
+
+    def test_successful_probe_resets_failure_streak(self, stub_replicas):
+        membership = _membership(stub_replicas, failure_threshold=3)
+        try:
+            victim = membership.replicas[0]
+            victim.consecutive_failures = 2
+            membership.probe_once()
+            assert victim.consecutive_failures == 0
+            assert victim.state == HEALTHY
+        finally:
+            membership.stop()

@@ -3,8 +3,9 @@
 Three layers of enforcement:
 
 * every ```` ```python ```` block in ``docs/SERVING.md``,
-  ``docs/ARCHITECTURE.md`` and ``docs/OBSERVABILITY.md`` is **executed**
-  (they are written at tiny resolutions so this is cheap);
+  ``docs/ARCHITECTURE.md``, ``docs/OBSERVABILITY.md`` and
+  ``docs/CLUSTER.md`` is **executed** (they are written at tiny
+  resolutions so this is cheap);
 * every ```` ```python ```` block in ``docs/API.md`` and ``README.md`` is
   **compiled** (some of those snippets train models or bind ports, so they
   are syntax-checked rather than run);
@@ -51,6 +52,11 @@ def test_architecture_md_examples_run(source):
 @pytest.mark.parametrize("source", _block_params(DOCS / "OBSERVABILITY.md"))
 def test_observability_md_examples_run(source):
     exec(compile(source, "docs/OBSERVABILITY.md", "exec"), {"__name__": "__doc_example__"})
+
+
+@pytest.mark.parametrize("source", _block_params(DOCS / "CLUSTER.md"))
+def test_cluster_md_examples_run(source):
+    exec(compile(source, "docs/CLUSTER.md", "exec"), {"__name__": "__doc_example__"})
 
 
 @pytest.mark.parametrize("source", _block_params(DOCS / "API.md"))

@@ -28,6 +28,12 @@ FULL_STATS = {
             "latency_ms": {"p50": 3.0, "p95": 9.0, "p99": 15.0},
         },
     },
+    "groups": [
+        {"chip": "chip1", "resolution": 32, "backend": "fvm",
+         "requests": 30, "errors": 1, "shed": 0},
+        {"chip": "chip2", "resolution": 48, "backend": "hotspot",
+         "requests": 10, "errors": 0, "shed": 1},
+    ],
     "session": {
         "result_cache": {
             "hits": 10, "misses": 30, "entries": 7, "bytes": 4096,
@@ -84,6 +90,17 @@ class TestExposition:
         assert "repro_plane_workers_alive 3" in text
         assert 'repro_events_by_kind_total{kind="request_done"} 100' in text
         assert "repro_transient_requests_total 9" in text
+
+    def test_group_labels(self):
+        text = render_prometheus(FULL_STATS)
+        assert ('repro_requests_total{chip="chip1",resolution="32",'
+                'backend="fvm"} 30') in text
+        assert ('repro_group_errors_total{chip="chip1",resolution="32",'
+                'backend="fvm"} 1') in text
+        assert ('repro_group_shed_total{chip="chip2",resolution="48",'
+                'backend="hotspot"} 1') in text
+        # The labelled samples share the bare counter's single declaration.
+        assert text.count("# TYPE repro_requests_total") == 1
 
     def test_uptime_parameter_wins_over_stats_field(self):
         text = render_prometheus(FULL_STATS, uptime_s=99.0)
