@@ -1,0 +1,265 @@
+"""Streaming smoke check: speculative + streamed answers through the real
+CLI server and the real CLI fleet router.
+
+Launched by ``benchmarks/run_benchmarks.sh --smoke``.  Boots one
+``repro-thermal serve`` replica, then a second replica and a
+``repro-thermal route`` router in front of both, and drives the streaming
+surfaces end to end over actual sockets:
+
+* ``POST /solve?mode=speculative`` — the two-frame SSE protocol: the
+  surrogate frame must arrive **before** a blocking ``/solve`` of the same
+  shape completes (that latency gap is the entire point of the mode), and
+  the final ``exact`` frame must carry the requested backend;
+* streaming ``POST /solve_transient`` — per-step ``segment`` frames with
+  the step index as the resume cursor, the ``result`` frame matching the
+  blocking transient answer, and time-to-first-segment beating the
+  blocking call's total latency;
+* both of the above **through the router**, which must proxy the frames
+  (``X-Repro-Replica`` stamped, first frame still faster than a blocking
+  solve through the same router).
+
+Everything shuts down with SIGINT and must exit 0.
+"""
+
+import http.client
+import json
+import re
+import select
+import signal
+import subprocess
+import sys
+import time
+import urllib.parse
+import urllib.request
+
+STARTUP_TIMEOUT_S = 60
+REQUEST_TIMEOUT_S = 120
+
+# The solve leg runs at a grid where a warm fvm back-substitution is
+# unambiguously slower than the surrogate path (at tiny grids the two are
+# within HTTP jitter of each other and the comparison measures nothing).
+RESOLUTION = 48
+# 40 backward-Euler steps: long enough that the blocking call's total
+# latency clearly dominates the streamed time-to-first-segment (the first
+# segment lands after step 0, regardless of trace length).
+TRANSIENT = {
+    "chip": "chip1", "resolution": 16,
+    "duration_s": 0.2, "dt_s": 0.005, "total_power": 40.0,
+}
+
+
+def _spawn(argv):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *argv],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def _boot_url(process):
+    ready, _, _ = select.select([process.stdout], [], [], STARTUP_TIMEOUT_S)
+    assert ready, f"process printed nothing within {STARTUP_TIMEOUT_S}s"
+    line = process.stdout.readline()
+    match = re.search(r"listening on (http://\S+)", line)
+    assert match, f"no URL announced; first line: {line!r}"
+    return match.group(1)
+
+
+def _post_timed(url, body, headers=None):
+    """Blocking POST; returns (body-dict, seconds)."""
+    request = urllib.request.Request(
+        url, data=json.dumps(body).encode("utf-8"), method="POST",
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    started = time.perf_counter()
+    with urllib.request.urlopen(request, timeout=REQUEST_TIMEOUT_S) as response:
+        answer = json.loads(response.read())
+    return answer, time.perf_counter() - started
+
+
+def _parse_sse(text):
+    frames = []
+    for block in text.split("\n\n"):
+        fields = {}
+        for line in block.splitlines():
+            if not line or line.startswith(":"):
+                continue
+            name, _, value = line.partition(":")
+            fields[name] = value.lstrip()
+        if "data" in fields:
+            frames.append(
+                (int(fields["id"]), fields["event"], json.loads(fields["data"]))
+            )
+    return frames
+
+
+def _stream_timed(url, body, headers=None):
+    """POST expecting SSE; returns (frames, first_frame_s, total_s, headers).
+
+    ``first_frame_s`` is the wall clock from just before the request bytes
+    go out until the first complete *data* frame (comments don't count) has
+    been received — the client-observed time-to-first-answer.
+    """
+    parsed = urllib.parse.urlsplit(url)
+    connection = http.client.HTTPConnection(
+        parsed.hostname, parsed.port, timeout=REQUEST_TIMEOUT_S
+    )
+    target = parsed.path + (f"?{parsed.query}" if parsed.query else "")
+    payload = json.dumps(body).encode("utf-8")
+    started = time.perf_counter()
+    try:
+        connection.request(
+            "POST", target, payload,
+            {"Content-Type": "application/json", **(headers or {})},
+        )
+        response = connection.getresponse()
+        assert response.status == 200, response.status
+        content_type = response.getheader("Content-Type", "")
+        assert content_type.startswith("text/event-stream"), content_type
+        buffer = b""
+        first_frame_s = None
+        while True:
+            chunk = response.read1(8192)
+            if not chunk:
+                break
+            buffer += chunk
+            if first_frame_s is None and b"data:" in buffer:
+                if b"\n\n" in buffer[buffer.index(b"data:"):]:
+                    first_frame_s = time.perf_counter() - started
+        total_s = time.perf_counter() - started
+        response_headers = dict(response.getheaders())
+    finally:
+        connection.close()
+    assert first_frame_s is not None, "stream ended without a data frame"
+    return _parse_sse(buffer.decode("utf-8")), first_frame_s, total_s, response_headers
+
+
+def _drive(url, label, power_base, expect_replica_header=False):
+    """The full streaming drill against one base URL (replica or router)."""
+    # Unique powers throughout — distinct per leg, because the router may
+    # route onto an already-driven replica: the session result cache must
+    # not answer for the solver, or the latency comparison measures nothing.
+    power = [power_base]
+
+    def next_power():
+        power[0] += 1.0
+        return power[0]
+
+    # Warm the fvm pool once so the blocking measurement is the steady
+    # state, not a one-off factorisation.
+    _post_timed(url + "/solve", {"chip": "chip1", "resolution": RESOLUTION,
+                                 "total_power": next_power()})
+
+    # Best-of-3 on both sides: one GC pause or scheduler hiccup must not
+    # decide a smoke latency comparison.
+    blocking_s = float("inf")
+    for _ in range(3):
+        blocking, seconds = _post_timed(
+            url + "/solve",
+            {"chip": "chip1", "resolution": RESOLUTION,
+             "total_power": next_power()},
+        )
+        assert blocking["backend"] == "fvm", blocking
+        blocking_s = min(blocking_s, seconds)
+
+    first_s = float("inf")
+    for _ in range(3):
+        frames, seconds, _, headers = _stream_timed(
+            url + "/solve?mode=speculative",
+            {"chip": "chip1", "resolution": RESOLUTION,
+             "total_power": next_power()},
+        )
+        first_s = min(first_s, seconds)
+    kinds = [kind for _, kind, _ in frames]
+    assert kinds == ["speculative", "exact"], kinds
+    assert frames[0][2]["provenance"]["speculative"] is True, frames[0][2]
+    assert frames[0][2]["provenance"]["requested_backend"] == "fvm"
+    assert frames[1][2]["backend"] == "fvm", frames[1][2]
+    assert "error_vs_speculative" in frames[1][2]["provenance"]
+    if expect_replica_header:
+        assert headers.get("X-Repro-Replica"), headers
+    assert first_s < blocking_s, (
+        f"{label}: speculative first frame took {first_s * 1e3:.1f} ms, "
+        f"slower than the {blocking_s * 1e3:.1f} ms blocking solve"
+    )
+
+    transient_blocking, transient_blocking_s = _post_timed(
+        url + "/solve_transient", TRANSIENT
+    )
+    assert transient_blocking["backend"] == "transient", transient_blocking
+
+    frames, first_segment_s, _, headers = _stream_timed(
+        url + "/solve_transient?mode=stream", TRANSIENT
+    )
+    kinds = [kind for _, kind, _ in frames]
+    steps = int(round(TRANSIENT["duration_s"] / TRANSIENT["dt_s"]))
+    assert kinds == ["segment"] * (steps + 1) + ["result"], kinds
+    assert [seq for seq, kind, _ in frames if kind == "segment"] == list(
+        range(steps + 1)
+    )
+    streamed_result = frames[-1][2]
+    assert streamed_result["history"]["peak_K"] == \
+        transient_blocking["history"]["peak_K"], "streamed history diverged"
+    if expect_replica_header:
+        assert headers.get("X-Repro-Replica"), headers
+    assert first_segment_s < transient_blocking_s, (
+        f"{label}: first segment took {first_segment_s * 1e3:.1f} ms, "
+        f"slower than the {transient_blocking_s * 1e3:.1f} ms blocking trace"
+    )
+
+    # Resume from mid-trace: exactly the complement comes back.
+    frames, _, _, _ = _stream_timed(
+        url + "/solve_transient?mode=stream", TRANSIENT,
+        headers={"Last-Event-ID": str(steps - 2)},
+    )
+    resumed = [seq for seq, kind, _ in frames if kind == "segment"]
+    assert resumed == [steps - 1, steps], resumed
+    assert frames[-1][1] == "result"
+
+    print(f"  {label}: speculative first frame {first_s * 1e3:.1f} ms "
+          f"vs blocking {blocking_s * 1e3:.1f} ms; first transient segment "
+          f"{first_segment_s * 1e3:.1f} ms vs blocking "
+          f"{transient_blocking_s * 1e3:.1f} ms")
+
+
+def _shutdown(process, what):
+    process.send_signal(signal.SIGINT)
+    returncode = process.wait(timeout=STARTUP_TIMEOUT_S)
+    assert returncode == 0, f"{what} exited {returncode} on SIGINT"
+
+
+def main() -> int:
+    serve_args = ["serve", "--port", "0", "--workers", "2", "--max-queue", "64"]
+    replica_one = _spawn(serve_args)
+    replica_two = None
+    router = None
+    try:
+        url_one = _boot_url(replica_one)
+        _drive(url_one, "replica", power_base=50.0)
+
+        replica_two = _spawn(serve_args)
+        url_two = _boot_url(replica_two)
+        router = _spawn([
+            "route", "--port", "0",
+            "--replica", url_one, "--replica", url_two,
+        ])
+        router_url = _boot_url(router)
+        _drive(router_url, "router", power_base=150.0,
+               expect_replica_header=True)
+
+        _shutdown(router, "router")
+        router = None
+        _shutdown(replica_two, "replica two")
+        replica_two = None
+        _shutdown(replica_one, "replica one")
+        print("streaming smoke ok: speculative + streamed transient beat the "
+              "blocking latency on the replica and through the router")
+        return 0
+    finally:
+        for process in (router, replica_two, replica_one):
+            if process is not None and process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -348,6 +348,7 @@ class TransientBackendAdapter:
         include_maps: bool,
         include_values: bool,
         provenance: Dict[str, Any],
+        history: Optional[Dict[str, np.ndarray]] = None,
     ) -> ThermalSolution:
         final = result.final
         flat_index = int(np.argmax(final))
@@ -377,11 +378,15 @@ class TransientBackendAdapter:
             layer_maps=layer_maps,
             values=final if include_values else None,
             provenance={"source": "transient", **provenance},
-            history={
-                "times_s": result.times_s,
-                "peak_K": result.peak_history(),
-                "mean_K": result.mean_history(),
-            },
+            history=(
+                history
+                if history is not None
+                else {
+                    "times_s": result.times_s,
+                    "peak_K": result.peak_history(),
+                    "mean_K": result.mean_history(),
+                }
+            ),
         )
 
     def solve(
@@ -467,6 +472,97 @@ class TransientBackendAdapter:
             },
         )
 
+    def stream_trace(
+        self,
+        power_trace: PowerTrace,
+        duration_s: float,
+        dt_s: float,
+        *,
+        store_every: int = 1,
+        initial_field: Optional[np.ndarray] = None,
+        include_maps: bool = False,
+        include_values: bool = False,
+    ):
+        """Incremental :meth:`solve_trace`: a generator of typed frames.
+
+        Yields ``("segment", {"step", "t_s", "peak_K", "mean_K"})`` for each
+        stored snapshot as the integrator advances, then one
+        ``("result", ThermalSolution)`` whose payload is bitwise-identical
+        to what :meth:`solve_trace` would have returned for the same
+        arguments — the streaming ``/solve_transient`` endpoint forwards
+        the segments as SSE frames and the result as the final frame.
+
+        Only the running scalar histories and the latest snapshot are held
+        in memory, so a 20k-step trace no longer buffers every field.  The
+        solver lock is held for the generator's whole lifetime (the same
+        per-``(chip, resolution)`` serialisation as the blocking path);
+        closing the generator early releases it.
+        """
+        trace = power_trace if callable(power_trace) else as_assignment(power_trace)
+        started = time.perf_counter()
+        times: List[float] = []
+        peaks: List[float] = []
+        means: List[float] = []
+        final = None
+        grid = None
+        with self._solver_lock:
+            for item in self.solver.iter_steps(
+                trace,
+                duration_s,
+                dt_s,
+                initial_field=initial_field,
+                store_every=store_every,
+            ):
+                grid = item.grid
+                final = item.snapshot
+                # .max()/.mean() over one contiguous snapshot reduce the
+                # same memory in the same order as the stacked-history
+                # reductions of the blocking path, so the collected arrays
+                # match it bitwise.
+                peak = item.snapshot.max()
+                mean = item.snapshot.mean()
+                times.append(item.t_s)
+                peaks.append(peak)
+                means.append(mean)
+                yield (
+                    "segment",
+                    {
+                        "step": int(item.step),
+                        "t_s": float(item.t_s),
+                        "peak_K": float(peak),
+                        "mean_K": float(mean),
+                    },
+                )
+        result = TransientResult(
+            chip=self.chip,
+            grid=grid,
+            times_s=np.asarray(times),
+            snapshots=final[np.newaxis],
+            solve_seconds=time.perf_counter() - started,
+        )
+        total = _total_power(trace(0.0) if callable(trace) else trace)
+        yield (
+            "result",
+            self._solution(
+                result,
+                total,
+                include_maps,
+                include_values,
+                {
+                    "duration_s": float(duration_s),
+                    "dt_s": float(dt_s),
+                    "num_steps": int(round(duration_s / dt_s)),
+                    "time_varying": callable(power_trace),
+                    "streamed": True,
+                },
+                history={
+                    "times_s": np.asarray(times),
+                    "peak_K": np.asarray(peaks),
+                    "mean_K": np.asarray(means),
+                },
+            ),
+        )
+
     def capabilities(self) -> Dict[str, Any]:
         """Exact in the quasi-steady limit; the only transient-capable engine."""
         return {
@@ -475,6 +571,7 @@ class TransientBackendAdapter:
             "values": True,
             "batched": False,
             "transient": True,
+            "streaming": True,
         }
 
     def describe(self) -> Dict[str, Any]:

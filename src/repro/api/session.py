@@ -32,6 +32,7 @@ import hashlib
 import struct
 import threading
 import time
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -124,6 +125,13 @@ DEFAULT_FALLBACK_CHAIN: Dict[str, Tuple[str, ...]] = {
     "transient": ("fvm", "hotspot"),
     "operator": ("hotspot",),
 }
+
+#: Threads of the session's lazily created async executor (behind
+#: :meth:`ThermalSession.submit` / :meth:`ThermalSession.solve_many`).  The
+#: threads mostly *wait* — plane-eligible backends dispatch the actual solve
+#: onto the execution plane — so the count bounds concurrent fan-out groups,
+#: not CPU use.
+ASYNC_POOL_WORKERS = 8
 
 #: Consecutive failures that open a backend's circuit breaker.
 DEFAULT_BREAKER_THRESHOLD = 5
@@ -387,6 +395,10 @@ class ThermalSession:
         #: every emission site a no-op.
         self.events: Optional[EventBus] = None
         self.result_cache.eviction_listener = self._on_cache_eviction
+        # Async facade: the executor behind submit()/solve_many(), built on
+        # first use so synchronous-only sessions never spawn threads.
+        self._async_lock = threading.Lock()
+        self._async_pool: Optional[ThreadPoolExecutor] = None
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -719,6 +731,142 @@ class ThermalSession:
                     self.result_cache.put(
                         keys[index], solution.clone(), _solution_nbytes(solution)
                     )
+        return solutions  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Async facade
+    # ------------------------------------------------------------------
+    def _async_executor(self) -> ThreadPoolExecutor:
+        with self._async_lock:
+            if self._async_pool is None:
+                self._async_pool = ThreadPoolExecutor(
+                    max_workers=ASYNC_POOL_WORKERS,
+                    thread_name_prefix="session-async",
+                )
+            return self._async_pool
+
+    def submit(
+        self,
+        chip: ChipLike,
+        powers: Union[Case, float, None] = None,
+        *,
+        total_power_W: Optional[float] = None,
+        resolution: int = DEFAULT_RESOLUTION,
+        backend: str = "fvm",
+        include_maps: bool = False,
+        include_values: bool = False,
+        use_cache: bool = True,
+        deadline: Optional[float] = None,
+    ) -> Future:
+        """Asynchronous :meth:`solve`: returns a future, never blocks.
+
+        The query is validated eagerly (bad input raises here, not inside
+        the future) and solved on the session's async executor; the future
+        resolves to the same :class:`ThermalSolution` the blocking call
+        would return, including cache hits and fallback/breaker semantics.
+        ``deadline`` (absolute ``time.monotonic()`` seconds) propagates
+        exactly as in :meth:`solve_batch`.
+        """
+        chip_stack = self._resolve_chip(chip)
+        assignment = self._coerce_assignment(chip_stack, powers, total_power_W)
+        return self._async_executor().submit(
+            lambda: self.solve_batch(
+                chip_stack,
+                [assignment],
+                resolution=resolution,
+                backend=backend,
+                include_maps=include_maps,
+                include_values=include_values,
+                use_cache=use_cache,
+                deadline=deadline,
+            )[0]
+        )
+
+    def solve_many(
+        self,
+        queries: Sequence[Mapping[str, Any]],
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+    ) -> List[ThermalSolution]:
+        """Answer many heterogeneous queries concurrently in one call.
+
+        ``queries`` is a sequence of mappings with the :meth:`solve`
+        keywords (``chip`` required; ``powers`` / ``total_power_W`` /
+        ``resolution`` / ``backend`` / ``include_maps`` /
+        ``include_values`` / ``use_cache`` optional).  Queries sharing
+        ``(chip, resolution, backend, detail)`` are coalesced into one
+        batched solve — which rides the execution plane when the session
+        drives one — and distinct groups run concurrently on the async
+        executor, so a fan-out across chips costs the wall-clock of its
+        slowest group instead of the sum.  Results come back in query
+        order; ``timeout`` bounds the *whole* call, not each group.
+        """
+        prepared: List[Tuple[int, Dict[str, float]]] = []
+        groups: Dict[Tuple, Dict[str, Any]] = {}
+        for index, query in enumerate(queries):
+            if not isinstance(query, Mapping):
+                raise TypeError(
+                    f"query {index} must be a mapping of solve() keywords, "
+                    f"got {type(query).__name__}"
+                )
+            options = dict(query)
+            if "chip" not in options:
+                raise ValueError(f"query {index} is missing the required 'chip' field")
+            chip_stack = self._resolve_chip(options.pop("chip"))
+            assignment = self._coerce_assignment(
+                chip_stack, options.pop("powers", None), options.pop("total_power_W", None)
+            )
+            key = (
+                chip_stack.name,
+                int(options.pop("resolution", DEFAULT_RESOLUTION)),
+                str(options.pop("backend", "fvm")),
+                bool(options.pop("include_maps", False)),
+                bool(options.pop("include_values", False)),
+                bool(options.pop("use_cache", True)),
+            )
+            if options:
+                raise ValueError(
+                    f"query {index} has unknown fields: {', '.join(sorted(options))}"
+                )
+            group = groups.setdefault(
+                key, {"chip": chip_stack, "indices": [], "assignments": []}
+            )
+            group["indices"].append(index)
+            group["assignments"].append(assignment)
+            prepared.append((index, assignment))
+        if not prepared:
+            return []
+        executor = self._async_executor()
+        futures = []
+        for key, group in groups.items():
+            _, resolution, backend, include_maps, include_values, use_cache = key
+            futures.append(
+                (
+                    group["indices"],
+                    executor.submit(
+                        self.solve_batch,
+                        group["chip"],
+                        group["assignments"],
+                        resolution=resolution,
+                        backend=backend,
+                        include_maps=include_maps,
+                        include_values=include_values,
+                        use_cache=use_cache,
+                        deadline=deadline,
+                    ),
+                )
+            )
+        collect_deadline = None if timeout is None else time.monotonic() + timeout
+        solutions: List[Optional[ThermalSolution]] = [None] * len(prepared)
+        for indices, future in futures:
+            remaining = (
+                None
+                if collect_deadline is None
+                else max(collect_deadline - time.monotonic(), 0.0)
+            )
+            for index, solution in zip(indices, future.result(timeout=remaining)):
+                solutions[index] = solution
         return solutions  # type: ignore[return-value]
 
     def _solve_misses(

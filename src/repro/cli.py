@@ -530,6 +530,8 @@ def _cmd_serve(args) -> int:
               flush=True)
     print("  endpoints: POST /solve /solve_transient · GET /chips /models /healthz "
           "/stats /events /metrics", flush=True)
+    print("  streaming: POST /solve?mode=speculative (surrogate frame + exact frame) "
+          "· POST /solve_transient with Accept: text/event-stream", flush=True)
     print("  example: curl -s -X POST "
           f"{server.url}/solve -d '{{\"chip\": \"chip1\", \"total_power\": 60}}'")
     try:
@@ -599,6 +601,8 @@ def _cmd_route(args) -> int:
           "warm-up before re-admission", flush=True)
     print("  endpoints: POST /solve /solve_transient /warm_up /generate · "
           "GET /chips /models /healthz /stats /events /metrics", flush=True)
+    print("  streaming: speculative solves and streamed transients are proxied "
+          "frame-by-frame to their owning replica", flush=True)
     try:
         router.serve_forever()
     except KeyboardInterrupt:

@@ -155,6 +155,60 @@ class ReplicaClient:
             )
         raise ReplicaError(f"replica {self.name} unreachable")  # pragma: no cover
 
+    def open_stream(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ):
+        """Start a streaming exchange; the body arrives as a chunk iterator.
+
+        Returns ``(status, headers, chunks)`` where ``chunks`` yields the
+        response body as byte chunks *as the replica writes them* — the
+        frame-by-frame passthrough the router's SSE proxying needs (the
+        buffered :meth:`request` would hold every frame until the stream
+        ends).  Chunks come from ``read1``, which answers whatever bytes
+        are available instead of blocking for a full buffer.  Failures
+        before the status line arrives raise :class:`ReplicaError` (with
+        the usual one-retry-on-a-reused-socket); failures *after* bubble
+        out of the iterator for the caller to turn into an in-band error
+        frame.  Streamed connections are never checked back in — the
+        socket is the stream's lifetime.
+        """
+        attempts = 2
+        for attempt in range(attempts):
+            connection, reused = self._checkout()
+            try:
+                connection.request(method, path, body=body, headers=headers or {})
+                response = connection.getresponse()
+            except (OSError, http.client.HTTPException) as error:
+                connection.close()
+                if reused and attempt + 1 < attempts:
+                    continue  # stale pooled socket — one fresh retry
+                with self._lock:
+                    self._errors += 1
+                raise ReplicaError(
+                    f"replica {self.name} unreachable: {error}"
+                ) from error
+            with self._lock:
+                self._requests += 1
+                if reused:
+                    self._reused += 1
+
+            def chunks(response=response, connection=connection):
+                try:
+                    while True:
+                        chunk = response.read1(8192)
+                        if not chunk:
+                            return
+                        yield chunk
+                finally:
+                    connection.close()
+
+            return response.status, response.getheaders(), chunks()
+        raise ReplicaError(f"replica {self.name} unreachable")  # pragma: no cover
+
     def get_json(self, path: str, timeout_s: Optional[float] = None) -> Any:
         """GET ``path`` and decode the JSON body; non-200 raises ReplicaError."""
         if timeout_s is not None:

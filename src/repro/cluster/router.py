@@ -7,10 +7,16 @@ that fronts N ``repro-thermal serve`` replicas:
   body (malformed requests are bounced at the edge and never cost a
   replica hop), rendezvous-hashes the ``(chip, resolution, backend)``
   group key onto a healthy replica (each replica's LRU solver pools see a
-  stable slice of keys) and proxies the original bytes.  A
+  stable slice of keys) and proxies the original bytes — query string
+  included, so ``?mode=speculative`` / ``?mode=stream`` pass through.  A
   connection-level failure drains the replica and retries **once** on the
   next-ranked healthy peer — solves are idempotent, so the retry is safe;
   the answering replica is named in the ``X-Repro-Replica`` header.
+  Streaming answers (speculative solves, streamed transients) are proxied
+  **frame by frame**: each SSE chunk is forwarded as it arrives, never
+  buffered to the end of the stream; a replica dying mid-stream becomes a
+  typed in-band ``event: error`` frame (retries only happen before the
+  first byte, so a retried stream can never duplicate frames).
 * ``POST /warm_up`` — splits the keys by owner and forwards each slice.
 * ``POST /generate`` — forwards one dataset-generation shard to a healthy
   replica (round-robin by shard index, retried on a peer on failure).
@@ -32,9 +38,11 @@ factorisations.
 
 from __future__ import annotations
 
+import http.client
 import json
 import threading
 import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Set, Tuple
 
@@ -121,6 +129,49 @@ class _RouterHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(response.body)
 
+    def _send_proxied_stream(
+        self, status: int, headers, chunks, replica_name: str
+    ) -> None:
+        """Forward a replica's streaming answer chunk by chunk.
+
+        Unlike :meth:`_send_proxied` nothing is buffered: every chunk the
+        replica writes is flushed straight to the client, so the router
+        adds only a socket hop to time-to-first-frame.  The replica dying
+        mid-stream becomes a typed in-band ``event: error`` frame (the SSE
+        status line is long gone); the *client* hanging up just closes the
+        upstream connection via the chunk generator.
+        """
+        self.send_response(status)
+        for name, value in headers:
+            if name.lower() not in _HOP_HEADERS:
+                self.send_header(name, value)
+        self.send_header("X-Repro-Replica", replica_name)
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        try:
+            while True:
+                try:
+                    chunk = next(chunks)
+                except StopIteration:
+                    break
+                except (OSError, http.client.HTTPException) as error:
+                    payload = {
+                        "error": f"replica {replica_name} failed mid-stream: {error}",
+                        "status": 502,
+                        "shed": False,
+                    }
+                    frame = f"id: 0\nevent: error\ndata: {json.dumps(payload)}\n\n"
+                    self.wfile.write(frame.encode("utf-8"))
+                    self.wfile.flush()
+                    break
+                self.wfile.write(chunk)
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            self.close_connection = True  # the client hung up — normal SSE
+        finally:
+            chunks.close()
+
     def _send_text(self, status: int, text: str, content_type: str) -> None:
         payload = text.encode("utf-8")
         self.send_response(status)
@@ -128,6 +179,14 @@ class _RouterHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
+
+    def _query(self) -> Dict[str, str]:
+        """Flat (last-value-wins) query parameters of the request path."""
+        parts = self.path.split("?", 1)
+        if len(parts) == 1:
+            return {}
+        parsed = urllib.parse.parse_qs(parts[1], keep_blank_values=True)
+        return {name: values[-1] for name, values in parsed.items()}
 
     def _read_body(self) -> Optional[bytes]:
         """Raw request body, or ``None`` after answering the error."""
@@ -202,8 +261,39 @@ class _RouterHandler(BaseHTTPRequestHandler):
         except (KeyError, ValueError) as error:
             self._send_error_json(400, error_message(error))
             return
+        query = self._query()
+        accept = self.headers.get("Accept") or ""
+        wants_stream = (
+            path == "/solve" and query.get("mode") == "speculative"
+        ) or (
+            path == "/solve_transient"
+            and (query.get("mode") == "stream" or "text/event-stream" in accept)
+        )
+        # The replica sees the original path *with* its query string (mode
+        # selection happens there) plus the streaming-relevant headers.
+        headers = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(raw)),
+        }
+        if accept:
+            headers["Accept"] = accept
+        if self.headers.get("Last-Event-ID"):
+            headers["Last-Event-ID"] = self.headers["Last-Event-ID"]
+        if wants_stream:
+            try:
+                status, up_headers, chunks, name = router.route_stream(
+                    key, "POST", self.path, raw, headers
+                )
+            except ReplicaError as error:
+                self._send_error_json(502, str(error))
+                return
+            except ValueError as error:  # no healthy replicas at all
+                self._send_error_json(503, str(error))
+                return
+            self._send_proxied_stream(status, up_headers, chunks, name)
+            return
         try:
-            response, name = router.route(key, "POST", path, raw)
+            response, name = router.route(key, "POST", self.path, raw, headers)
         except ReplicaError as error:
             self._send_error_json(502, str(error))
             return
@@ -330,7 +420,12 @@ class FleetRouter:
         return key
 
     def route(
-        self, key: Tuple[str, int, str], method: str, path: str, body: bytes
+        self,
+        key: Tuple[str, int, str],
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Optional[Dict[str, str]] = None,
     ):
         """Proxy one request to ``key``'s owner, retrying once on a peer.
 
@@ -342,8 +437,9 @@ class FleetRouter:
         names = self.membership.healthy_names()
         if not names:
             raise ValueError("no healthy replicas in the fleet")
-        headers = {"Content-Type": "application/json",
-                   "Content-Length": str(len(body))}
+        if headers is None:
+            headers = {"Content-Type": "application/json",
+                       "Content-Length": str(len(body))}
         last_error: Optional[ReplicaError] = None
         # The owner first, then at most one retry on the next-ranked peer.
         for attempt, name in enumerate(rank(key, names)[:2]):
@@ -366,6 +462,55 @@ class FleetRouter:
                     self._routed_by_replica.get(name, 0) + 1
                 )
             return response, name
+        with self._lock:
+            self._proxy_errors += 1
+        raise ReplicaError(
+            f"all candidate replicas for {key} failed: {last_error}"
+        )
+
+    def route_stream(
+        self,
+        key: Tuple[str, int, str],
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Dict[str, str],
+    ):
+        """Open a frame-by-frame stream to ``key``'s owner.
+
+        Same placement and retry semantics as :meth:`route`, but the body
+        arrives as a live chunk iterator instead of a buffered response —
+        returns ``(status, headers, chunks, replica_name)``.  The one-peer
+        retry only triggers while the connection is being opened (before
+        any stream bytes exist), so a retried stream can never deliver a
+        frame twice; once frames are flowing, a replica failure is the
+        *handler's* problem to surface as an in-band error frame.
+        """
+        names = self.membership.healthy_names()
+        if not names:
+            raise ValueError("no healthy replicas in the fleet")
+        last_error: Optional[ReplicaError] = None
+        for attempt, name in enumerate(rank(key, names)[:2]):
+            replica = self.membership.by_name(name)
+            try:
+                status, up_headers, chunks = replica.client.open_stream(
+                    method, path, body=body, headers=headers
+                )
+            except ReplicaError as error:
+                last_error = error
+                self.membership.mark_failed(replica)
+                with self._lock:
+                    if attempt == 0:
+                        self._retries += 1
+                    else:
+                        self._proxy_errors += 1
+                continue
+            with self._lock:
+                self._routed += 1
+                self._routed_by_replica[name] = (
+                    self._routed_by_replica.get(name, 0) + 1
+                )
+            return status, up_headers, chunks, name
         with self._lock:
             self._proxy_errors += 1
         raise ReplicaError(

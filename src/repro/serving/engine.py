@@ -444,12 +444,38 @@ class MicroBatchEngine:
         """Submit one request and block until its result is available."""
         return self.submit(request).result(timeout=timeout)
 
+    def submit_many(self, requests: Sequence[ThermalRequest]) -> List[Future]:
+        """Enqueue a fan-out; one future per request, in request order.
+
+        Every request is admitted before any result is awaited, so the
+        whole fan-out coalesces into micro-batches immediately — a slow
+        group in the batch (one cold FVM factorisation, say) never delays
+        the *solving* of the surrogate-backed requests alongside it, whose
+        futures resolve as soon as their own batches land.
+        """
+        return [self.submit(request) for request in requests]
+
     def solve_many(
         self, requests: Sequence[ThermalRequest], timeout: Optional[float] = 60.0
     ) -> List[ThermalResult]:
-        """Submit many requests at once and collect their results in order."""
-        futures = [self.submit(request) for request in requests]
-        return [future.result(timeout=timeout) for future in futures]
+        """Submit many requests at once and collect their results in order.
+
+        Rides :meth:`submit_many`, so ``timeout`` bounds the **whole**
+        fan-out: the budget is shared across the collection loop instead of
+        restarting per future (N slow requests used to be allowed N x
+        ``timeout`` seconds in aggregate).
+        """
+        futures = self.submit_many(requests)
+        collect_deadline = None if timeout is None else time.monotonic() + timeout
+        results = []
+        for future in futures:
+            remaining = (
+                None
+                if collect_deadline is None
+                else max(collect_deadline - time.monotonic(), 0.0)
+            )
+            results.append(future.result(timeout=remaining))
+        return results
 
     # ------------------------------------------------------------------
     # Statistics

@@ -274,6 +274,19 @@ class TransientRequest:
     store_every: int = 1
     include_maps: bool = False
     request_id: str = ""
+    deadline: Optional[float] = None
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Whether this request's deadline (if any) has already passed.
+
+        The streaming ``/solve_transient`` path re-checks this between
+        segments: an in-flight stream whose budget runs out is terminated
+        with a typed ``error`` frame and counted as shed, exactly the
+        engine's deadline semantics.
+        """
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
 
     @property
     def num_steps(self) -> int:
@@ -323,6 +336,7 @@ class TransientRequest:
         include_maps: bool = False,
         request_id: Optional[str] = None,
         chips: Optional[Any] = None,
+        deadline_ms: Optional[float] = None,
     ) -> "TransientRequest":
         """Validate every field and build a transient request.
 
@@ -331,8 +345,11 @@ class TransientRequest:
         the first at ``t_s=0``; it is mutually exclusive with the constant
         ``powers`` / ``total_power_W`` forms.  The request is bounded by
         :data:`MAX_TRANSIENT_STEPS` so one query cannot occupy the service
-        for minutes.  Raises :class:`ValueError` / :class:`KeyError` with
-        messages safe to return to an API client.
+        for minutes.  ``deadline_ms`` is an optional latency budget relative
+        to now; a streamed trace whose budget expires mid-integration is
+        terminated with a typed ``error`` frame (counted as shed).  Raises
+        :class:`ValueError` / :class:`KeyError` with messages safe to
+        return to an API client.
         """
         chip_stack = _resolve_chip(chip, chips)
         resolution = _validate_resolution(resolution)
@@ -431,6 +448,7 @@ class TransientRequest:
             store_every=store_every,
             include_maps=bool(include_maps),
             request_id=request_id or f"req-{next(_REQUEST_COUNTER)}",
+            deadline=_validate_deadline_ms(deadline_ms),
         )
 
     @classmethod
@@ -444,7 +462,7 @@ class TransientRequest:
             )
         known_keys = {
             "chip", "resolution", "duration_s", "dt_s", "powers", "total_power",
-            "schedule", "store_every", "include_maps", "request_id",
+            "schedule", "store_every", "include_maps", "request_id", "deadline_ms",
         }
         unknown = set(payload) - known_keys
         if unknown:
@@ -473,6 +491,7 @@ class TransientRequest:
             include_maps=payload.get("include_maps", False),
             request_id=payload.get("request_id"),
             chips=chips,
+            deadline_ms=payload.get("deadline_ms"),
         )
 
 

@@ -8,7 +8,13 @@ Endpoints
        "powers": {"core_layer/Core": 20.0}, "include_maps": false}
 
   ``powers`` may be omitted in favour of ``"total_power": <watts>`` spread
-  uniformly over all blocks.
+  uniformly over all blocks.  With ``?mode=speculative`` the endpoint
+  answers as an SSE stream instead: frame 1 (``event: speculative``) is the
+  fast surrogate answer (operator when a model is loaded, the compact
+  conductance model otherwise), frame 2 (``event: exact``) is the exact
+  answer from the requested backend, stamped with the surrogate-vs-exact
+  ``error_vs`` deltas.  ``?mode=exact`` (the default) keeps the blocking
+  JSON answer.
 * ``POST /solve_transient`` — integrate a constant or piecewise-constant
   power schedule and return the full quasi-steady trace.  Body::
 
@@ -17,7 +23,14 @@ Endpoints
 
   (or ``"schedule": [{"t_s": 0.0, "total_power": 40.0}, ...]``); the
   response carries ``history.times_s`` / ``history.peak_K`` /
-  ``history.mean_K`` arrays.
+  ``history.mean_K`` arrays.  With ``Accept: text/event-stream`` (or
+  ``?mode=stream``) the trace arrives incrementally instead: one
+  ``event: segment`` frame per stored step (``id:`` carries the step
+  index as a resumable cursor; reconnect with ``Last-Event-ID`` or
+  ``?since=`` to suppress already-seen segments) followed by one
+  ``event: result`` frame with the ordinary blocking answer.  A request
+  whose ``deadline_ms`` budget expires mid-stream is terminated with a
+  typed ``event: error`` frame and counted as shed.
 * ``POST /warm_up`` — pre-factorize solver state for a set of group keys
   (``{"keys": [{"chip": ..., "resolution": ..., "backend": ...}]}``)
   before traffic arrives; the fleet router replays a rejoining replica's
@@ -57,11 +70,13 @@ shed/degraded flags — for log shippers; the default plain-text access log
 from __future__ import annotations
 
 import json
+import math
 import sys
 import threading
 import time
 import urllib.parse
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional
 
@@ -101,6 +116,41 @@ EVENTS_MAX_BATCH = 500
 
 #: Seconds of silence before an SSE stream emits a keepalive comment.
 SSE_KEEPALIVE_S = 10.0
+
+
+def _error_frame_payload(error: BaseException) -> Dict[str, Any]:
+    """Typed ``event: error`` SSE payload for one solve failure.
+
+    Mirrors the blocking ``/solve`` status ladder so a streaming client
+    sees the same taxonomy it would have gotten as an HTTP status —
+    ``status`` carries the code the blocking path would have answered,
+    ``shed`` flags deadline-driven load shedding.  DeadlineExceeded must be
+    matched before FutureTimeoutError (it subclasses TimeoutError, which
+    *is* concurrent.futures.TimeoutError on modern Pythons).
+    """
+    if isinstance(error, QueueFullError):
+        return {"error": str(error), "status": 429, "shed": False}
+    if isinstance(error, DeadlineExceeded):
+        return {"error": str(error), "status": 504, "shed": True}
+    if isinstance(error, FutureTimeoutError):
+        return {
+            "error": "solve timed out; the service is overloaded",
+            "status": 504,
+            "shed": False,
+        }
+    if isinstance(error, (EngineStopped, CircuitOpenError)):
+        return {"error": str(error), "status": 503, "shed": False}
+    if isinstance(error, (KeyError, ValueError)):
+        return {"error": error_message(error), "status": 400, "shed": False}
+    return {"error": f"solve failed: {error}", "status": 500, "shed": False}
+
+
+def _finite_errors(errors: Dict[str, float]) -> Dict[str, Optional[float]]:
+    """JSON-safe view of an ``error_vs`` dict (non-finite deltas -> null)."""
+    return {
+        key: (round(float(value), 6) if math.isfinite(float(value)) else None)
+        for key, value in errors.items()
+    }
 
 
 class _HTTPServer(ThreadingHTTPServer):
@@ -157,6 +207,34 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
+
+    # ------------------------------------------------------------------
+    # SSE plumbing shared by /events, speculative /solve and streaming
+    # /solve_transient — one frame grammar across every streaming surface.
+    # ------------------------------------------------------------------
+    def _sse_begin(self) -> None:
+        """Write the SSE response head.
+
+        The response is deliberately ``Connection: close`` — an unframed
+        infinite body has no length, so the socket is the stream's lifetime.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+
+    def _sse_frame(self, seq: int, kind: str, data: Dict[str, Any]) -> None:
+        """One ``id:`` / ``event:`` / ``data:`` frame, flushed immediately."""
+        frame = f"id: {seq}\nevent: {kind}\ndata: {json.dumps(data)}\n\n"
+        self.wfile.write(frame.encode("utf-8"))
+        self.wfile.flush()
+
+    def _sse_comment(self, note: str = "keepalive") -> None:
+        """A comment frame — ignored by clients, proves the stream lives."""
+        self.wfile.write(f": {note}\n\n".encode("utf-8"))
+        self.wfile.flush()
 
     # ------------------------------------------------------------------
     def _log_access(self, status: int) -> None:
@@ -263,12 +341,7 @@ class _Handler(BaseHTTPRequestHandler):
         deliberately ``Connection: close`` — an unframed infinite body has
         no length, so the socket is the stream's lifetime.
         """
-        self.send_response(200)
-        self.send_header("Content-Type", "text/event-stream")
-        self.send_header("Cache-Control", "no-cache")
-        self.send_header("Connection", "close")
-        self.close_connection = True
-        self.end_headers()
+        self._sse_begin()
         cursor = since
         sent = 0
         try:
@@ -277,23 +350,15 @@ class _Handler(BaseHTTPRequestHandler):
                     since=cursor, timeout=SSE_KEEPALIVE_S, limit=EVENTS_MAX_BATCH
                 )
                 if not events:
-                    self.wfile.write(b": keepalive\n\n")
-                    self.wfile.flush()
+                    self._sse_comment()
                     continue
                 for event in events:
                     cursor = event.seq
-                    frame = (
-                        f"id: {event.seq}\n"
-                        f"event: {event.kind}\n"
-                        f"data: {json.dumps(event.to_json())}\n\n"
-                    )
-                    self.wfile.write(frame.encode("utf-8"))
+                    self._sse_frame(event.seq, event.kind, event.to_json())
                     sent += 1
                     if max_events is not None and sent >= max_events:
-                        self.wfile.flush()
                         self._log_access(200)
                         return
-                self.wfile.flush()
         except (BrokenPipeError, ConnectionResetError, OSError):
             # The subscriber hung up mid-stream: normal SSE lifecycle.
             self.close_connection = True
@@ -353,6 +418,15 @@ class _Handler(BaseHTTPRequestHandler):
         except (KeyError, ValueError) as error:
             self._send_error_json(400, error_message(error))
             return
+        mode = self._query().get("mode", "exact")
+        if mode == "speculative":
+            self._post_solve_speculative(request)
+            return
+        if mode != "exact":
+            self._send_error_json(
+                400, f"unknown mode '{mode}'; use 'exact' or 'speculative'"
+            )
+            return
         try:
             result = self.server.service.engine.solve(request, timeout=SOLVE_TIMEOUT_S)
         except QueueFullError as error:
@@ -388,6 +462,113 @@ class _Handler(BaseHTTPRequestHandler):
             "degraded": result.degraded,
         }
         self._send_json(200, result.to_json())
+
+    def _post_solve_speculative(self, request: "ThermalRequest") -> None:
+        """``POST /solve?mode=speculative``: answer twice over one stream.
+
+        Frame 1 (``event: speculative``) is the fast surrogate's answer;
+        frame 2 (``event: exact``) is the requested backend's answer — the
+        exact frame is byte-for-byte the blocking ``mode=exact`` body (same
+        engine path, same cache), plus an ``error_vs_speculative``
+        provenance block quantifying the correction.  Both solves are
+        submitted to the engine *before* any stream bytes go out, so
+        admission rejections (queue full, stopped engine, expired deadline)
+        still surface as ordinary JSON statuses; failures after the headers
+        become typed ``event: error`` frames.
+        """
+        service = self.server.service
+        engine = service.engine
+        surrogate_name = service.surrogate_backend(request)
+        if surrogate_name is None:
+            self._send_error_json(
+                400,
+                "speculative mode needs a surrogate backend distinct from "
+                f"'{request.backend}' (operator with a loaded model, or hotspot)",
+            )
+            return
+        surrogate_request = replace(
+            request,
+            backend=surrogate_name,
+            request_id=f"{request.request_id}-speculative",
+        )
+        try:
+            exact_future = engine.submit(request)
+        except QueueFullError as error:
+            self._send_error_json(429, str(error))
+            return
+        except DeadlineExceeded as error:
+            self._access_extra["shed"] = True
+            self._send_error_json(504, str(error))
+            return
+        except EngineStopped as error:
+            self._send_error_json(503, str(error))
+            return
+        except Exception as error:  # noqa: BLE001
+            self._send_error_json(500, f"solve failed: {error}")
+            return
+        # The surrogate shares the exact solve's deadline budget; if its
+        # admission fails the stream degrades to the exact frame alone
+        # (the exact future is already in flight and must be consumed).
+        try:
+            surrogate_future = engine.submit(surrogate_request)
+        except Exception:  # noqa: BLE001
+            surrogate_future = None
+        service.count_speculative()
+        self._access_extra["speculative"] = True
+        self._sse_begin()
+        seq = 0
+        surrogate_result = None
+        try:
+            if surrogate_future is not None:
+                try:
+                    surrogate_result = surrogate_future.result(timeout=SOLVE_TIMEOUT_S)
+                except Exception as error:  # noqa: BLE001
+                    seq += 1
+                    self._sse_frame(seq, "error", _error_frame_payload(error))
+                else:
+                    data = surrogate_result.to_json()
+                    data["provenance"] = {
+                        "speculative": True,
+                        "requested_backend": request.backend,
+                    }
+                    seq += 1
+                    self._sse_frame(seq, "speculative", data)
+            try:
+                exact_result = exact_future.result(timeout=SOLVE_TIMEOUT_S)
+            except Exception as error:  # noqa: BLE001
+                payload = _error_frame_payload(error)
+                if payload["shed"]:
+                    self._access_extra["shed"] = True
+                seq += 1
+                self._sse_frame(seq, "error", payload)
+                self._log_access(200)
+                return
+            data = exact_result.to_json()
+            provenance: Dict[str, Any] = {
+                "speculative": False,
+                "surrogate_backend": surrogate_name,
+            }
+            if surrogate_result is not None:
+                provenance["error_vs_speculative"] = _finite_errors(
+                    exact_result.error_vs(surrogate_result)
+                )
+            data["provenance"] = provenance
+            seq += 1
+            self._sse_frame(seq, "exact", data)
+            trace = exact_result.provenance.get("trace") or {}
+            self._access_extra.update(
+                {
+                    "trace_id": trace.get("trace_id", ""),
+                    "backend": exact_result.backend,
+                    "cached": exact_result.cached,
+                    "degraded": exact_result.degraded,
+                }
+            )
+            self._log_access(200)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            # The client hung up mid-stream; both futures already ran (or
+            # will run and be dropped) — nothing to unwind.
+            self.close_connection = True
 
     def _post_warm_up(self) -> None:
         payload = self._read_json_body()
@@ -448,6 +629,17 @@ class _Handler(BaseHTTPRequestHandler):
         except (KeyError, ValueError) as error:
             self._send_error_json(400, error_message(error))
             return
+        query = self._query()
+        mode = query.get("mode", "")
+        if mode not in ("", "block", "stream"):
+            self._send_error_json(
+                400, f"unknown mode '{mode}'; use 'block' or 'stream'"
+            )
+            return
+        accept = self.headers.get("Accept") or ""
+        if mode == "stream" or "text/event-stream" in accept:
+            self._stream_solve_transient(service, request, query)
+            return
         try:
             result = service.solve_transient(request)
         except QueueFullError as error:
@@ -460,6 +652,90 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(500, f"transient solve failed: {error}")
             return
         self._send_json(200, result.to_json())
+
+    def _stream_solve_transient(
+        self, service: "ThermalServer", request: "TransientRequest", query: Dict[str, str]
+    ) -> None:
+        """Stream one trace as SSE ``segment`` frames plus a final ``result``.
+
+        ``id:`` carries the backward-Euler step index, which doubles as the
+        resumable cursor: a client reconnecting with ``Last-Event-ID`` (or
+        an explicit ``?since=``, which wins — the ``/events`` convention)
+        re-runs the integration but already-seen segments are suppressed,
+        so the re-joined stream is the exact complement of what it saw.
+        The first frame is produced *before* the response head goes out, so
+        admission rejections (slot limit, bad chip) still map to ordinary
+        HTTP statuses instead of an in-band error frame.
+        """
+        try:
+            since = int(query["since"]) if "since" in query else None
+        except ValueError:
+            self._send_error_json(400, "'since' must be an integer")
+            return
+        if since is None and self.headers.get("Last-Event-ID"):
+            try:
+                since = int(self.headers["Last-Event-ID"])
+            except ValueError:
+                pass
+        frames = service.stream_transient(request)
+        try:
+            first = next(frames)
+        except QueueFullError as error:
+            self._send_error_json(429, str(error))
+            return
+        except StopIteration:
+            self._send_error_json(500, "transient stream produced no frames")
+            return
+        except (KeyError, ValueError) as error:
+            self._send_error_json(400, error_message(error))
+            return
+        except Exception as error:  # noqa: BLE001
+            self._send_error_json(500, f"transient solve failed: {error}")
+            return
+        self._access_extra["streamed"] = True
+        if first[0] == "error":
+            # The trace failed before a single step landed: answer the
+            # status the blocking path would have, not a one-frame stream.
+            frames.close()
+            self._send_error_json(first[2].get("status", 500), first[2]["error"])
+            return
+        self._sse_begin()
+        try:
+            self._sse_comment("stream open")
+            last_write = time.monotonic()
+            last_id = since if since is not None else 0
+            frame = first
+            while True:
+                kind, cursor_id, data = frame
+                if kind == "segment":
+                    if since is None or cursor_id > since:
+                        self._sse_frame(cursor_id, "segment", data)
+                        last_write = time.monotonic()
+                        last_id = cursor_id
+                    elif time.monotonic() - last_write >= SSE_KEEPALIVE_S:
+                        # A resume can suppress thousands of segments; the
+                        # client still needs proof of life meanwhile.
+                        self._sse_comment()
+                        last_write = time.monotonic()
+                elif kind == "result":
+                    self._sse_frame(cursor_id, "result", data)
+                    last_write = time.monotonic()
+                else:  # error
+                    if data.get("shed"):
+                        self._access_extra["shed"] = True
+                    self._sse_frame(last_id, "error", data)
+                    last_write = time.monotonic()
+                try:
+                    frame = next(frames)
+                except StopIteration:
+                    break
+            self._log_access(200)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            # The client hung up mid-trace: closing the generator (below)
+            # releases the integration slot and the solver lock.
+            self.close_connection = True
+        finally:
+            frames.close()
 
 
 class ThermalServer:
@@ -523,6 +799,9 @@ class ThermalServer:
         self._transient_requests = 0
         self._transient_errors = 0
         self._transient_seconds = 0.0
+        self._transient_streams = 0
+        self._transient_shed = 0
+        self._speculative_requests = 0
 
     # ------------------------------------------------------------------
     @property
@@ -581,6 +860,115 @@ class ThermalServer:
             self._transient_requests += 1
             self._transient_seconds += time.perf_counter() - start
         return solution
+
+    def stream_transient(self, request: "TransientRequest"):
+        """Generator of ``(kind, cursor, payload)`` frames for one trace.
+
+        ``kind`` is ``"segment"`` (cursor = step index, payload = the
+        per-step scalars), ``"result"`` (payload = the final solution's
+        JSON body — identical to the blocking answer's) or ``"error"``
+        (payload = a typed error frame).  Admission shares the blocking
+        endpoint's :data:`TRANSIENT_MAX_PENDING` slot budget; the slot is
+        released in a ``finally`` so a client disconnect (which closes the
+        generator) can never leak it.  A request whose deadline expires
+        between segments is terminated with a shed error frame — the
+        engine's deadline semantics, applied mid-stream.
+        """
+        with self._transient_stats_lock:
+            if self._transient_pending >= TRANSIENT_MAX_PENDING:
+                raise QueueFullError(
+                    f"{self._transient_pending} transient requests are already "
+                    f"running or queued (limit {TRANSIENT_MAX_PENDING}); retry later"
+                )
+            self._transient_pending += 1
+            self._transient_streams += 1
+        start = time.perf_counter()
+        completed = False
+        shed = False
+        aborted = False
+        stream = None
+        try:
+            adapter = self.session.backend("transient", request.chip, request.resolution)
+            stream = adapter.stream_trace(
+                request.trace(),
+                request.duration_s,
+                request.dt_s,
+                store_every=request.store_every,
+                include_maps=request.include_maps,
+            )
+            for kind, payload in stream:
+                if request.expired():
+                    shed = True
+                    yield (
+                        "error",
+                        None,
+                        {
+                            "error": (
+                                "deadline expired mid-stream after "
+                                f"{time.perf_counter() - start:.3f}s; "
+                                "the remaining trace was shed"
+                            ),
+                            "status": 504,
+                            "shed": True,
+                        },
+                    )
+                    return
+                if kind == "segment":
+                    yield ("segment", payload["step"], payload)
+                else:
+                    solution = payload
+                    solution.request_id = request.request_id
+                    completed = True
+                    yield ("result", request.num_steps, solution.to_json())
+        except GeneratorExit:
+            aborted = True
+            raise
+        except Exception as error:  # noqa: BLE001 — becomes a typed frame
+            yield ("error", None, _error_frame_payload(error))
+        finally:
+            if stream is not None:
+                # Close on this thread: the adapter's generator holds the
+                # per-(chip, resolution) solver RLock, which must be
+                # released by the thread that took it.
+                stream.close()
+            with self._transient_stats_lock:
+                self._transient_pending -= 1
+                if completed:
+                    self._transient_requests += 1
+                    self._transient_seconds += time.perf_counter() - start
+                elif shed:
+                    self._transient_shed += 1
+                elif not aborted:
+                    self._transient_errors += 1
+
+    # ------------------------------------------------------------------
+    def surrogate_backend(self, request: "ThermalRequest") -> Optional[str]:
+        """The backend a speculative first answer should come from.
+
+        The trained operator when one is registered for the request's
+        ``(chip, resolution)``, the compact conductance model otherwise —
+        never the request's own backend (a speculative answer from the
+        exact backend would just be the exact answer twice).  ``None``
+        when no distinct surrogate exists in this deployment.
+        """
+        for name in ("operator", "hotspot"):
+            if name == request.backend or name not in self.engine.backends:
+                continue
+            if name == "operator":
+                registry = self.session.models if self.session is not None else None
+                if registry is None:
+                    continue
+                try:
+                    registry.lookup(request.chip, request.resolution)
+                except KeyError:
+                    continue
+            return name
+        return None
+
+    def count_speculative(self) -> None:
+        """Bump the ``/solve?mode=speculative`` stream counter."""
+        with self._transient_stats_lock:
+            self._speculative_requests += 1
 
     # ------------------------------------------------------------------
     def warm_up(self, keys: List[Any]) -> Dict[str, Any]:
@@ -692,12 +1080,15 @@ class ThermalServer:
                 "pending": self._transient_pending,
                 "max_pending": TRANSIENT_MAX_PENDING,
                 "errors": self._transient_errors,
+                "streams": self._transient_streams,
+                "shed": self._transient_shed,
                 "mean_seconds": (
                     round(self._transient_seconds / self._transient_requests, 4)
                     if self._transient_requests
                     else 0.0
                 ),
             }
+            body["speculative_endpoint"] = {"requests": self._speculative_requests}
         if self.session is not None:
             body["session"] = self.session.stats()
         body["events"] = self.telemetry.stats()

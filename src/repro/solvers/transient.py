@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Callable, Dict, Iterator, List, Mapping, NamedTuple, Optional, Sequence, Union
 
 import numpy as np
 from scipy import sparse
@@ -37,6 +37,21 @@ from repro.solvers.fvm import FVMSolver, TemperatureField
 from repro.solvers.voxelize import VoxelGrid, build_geometry
 
 PowerTrace = Union[Mapping[str, float], Callable[[float], Mapping[str, float]]]
+
+
+class TransientStep(NamedTuple):
+    """One stored snapshot yielded by :meth:`TransientFVMSolver.iter_steps`.
+
+    ``step`` is the backward-Euler step index (0 for the initial state),
+    which doubles as the resumable cursor of the streaming
+    ``/solve_transient`` endpoint; ``grid`` is the (constant) voxel grid so
+    consumers can derive layer maps without re-voxelising.
+    """
+
+    step: int
+    t_s: float
+    snapshot: "np.ndarray"
+    grid: VoxelGrid
 
 
 @dataclass
@@ -128,28 +143,24 @@ class TransientFVMSolver:
         return trace
 
     # ------------------------------------------------------------------
-    def solve(
+    def iter_steps(
         self,
         power_trace: PowerTrace,
         duration_s: float,
         dt_s: float,
         initial_field: Optional[np.ndarray] = None,
         store_every: int = 1,
-    ) -> TransientResult:
-        """Integrate the transient heat equation.
+    ) -> Iterator[TransientStep]:
+        """Integrate incrementally, yielding each stored snapshot as it lands.
 
-        Parameters
-        ----------
-        power_trace:
-            Either a constant flat power assignment (``"layer/block" -> W``)
-            or a callable ``t -> assignment`` for time-varying workloads.
-        duration_s, dt_s:
-            Total simulated time and time-step size.
-        initial_field:
-            Initial temperature field of shape ``(nz, ny, nx)``; defaults to a
-            uniform ambient-temperature die.
-        store_every:
-            Keep every ``store_every``-th snapshot (plus the initial state).
+        The generator behind both :meth:`solve` (which collects every
+        yielded snapshot into a :class:`TransientResult`) and the streaming
+        ``/solve_transient`` endpoint (which forwards each snapshot as an
+        SSE frame instead of buffering up to 20k steps).  The first yield is
+        always the initial state at ``(step=0, t=0)``; afterwards every
+        ``store_every``-th step (plus the final one) is yielded.  The
+        arithmetic is byte-for-byte the pre-generator loop, so collected
+        results are bitwise-identical to the historical blocking path.
         """
         if duration_s <= 0 or dt_s <= 0:
             raise ValueError("duration and time step must be positive")
@@ -158,7 +169,6 @@ class TransientFVMSolver:
         if store_every < 1:
             raise ValueError("store_every must be >= 1")
 
-        start = time.perf_counter()
         initial_assignment = self._power_at(power_trace, 0.0)
         # Reuse the steady solver's cached geometry and assembly; only the
         # heat source depends on the trace.
@@ -188,10 +198,11 @@ class TransientFVMSolver:
         factor = self._factor_cache[1]
 
         time_varying = callable(power_trace)
-        times: List[float] = [0.0]
-        snapshots: List[np.ndarray] = [state.reshape(grid.nz, grid.ny, grid.nx).copy()]
         volumes = (grid.dx_m * grid.dy_m * grid.dz_m[:, None, None])
 
+        yield TransientStep(
+            0, 0.0, state.reshape(grid.nz, grid.ny, grid.nx).copy(), grid
+        )
         current_rhs = rhs
         for step in range(1, num_steps + 1):
             t = step * dt_s
@@ -204,9 +215,47 @@ class TransientFVMSolver:
                 current_rhs = rhs + source_change.ravel()
             state = factor(capacity / dt_s * state + current_rhs)
             if step % store_every == 0 or step == num_steps:
-                times.append(t)
-                snapshots.append(state.reshape(grid.nz, grid.ny, grid.nx).copy())
+                yield TransientStep(
+                    step, t, state.reshape(grid.nz, grid.ny, grid.nx).copy(), grid
+                )
 
+    def solve(
+        self,
+        power_trace: PowerTrace,
+        duration_s: float,
+        dt_s: float,
+        initial_field: Optional[np.ndarray] = None,
+        store_every: int = 1,
+    ) -> TransientResult:
+        """Integrate the transient heat equation.
+
+        Parameters
+        ----------
+        power_trace:
+            Either a constant flat power assignment (``"layer/block" -> W``)
+            or a callable ``t -> assignment`` for time-varying workloads.
+        duration_s, dt_s:
+            Total simulated time and time-step size.
+        initial_field:
+            Initial temperature field of shape ``(nz, ny, nx)``; defaults to a
+            uniform ambient-temperature die.
+        store_every:
+            Keep every ``store_every``-th snapshot (plus the initial state).
+        """
+        start = time.perf_counter()
+        times: List[float] = []
+        snapshots: List[np.ndarray] = []
+        grid: Optional[VoxelGrid] = None
+        for item in self.iter_steps(
+            power_trace,
+            duration_s,
+            dt_s,
+            initial_field=initial_field,
+            store_every=store_every,
+        ):
+            grid = item.grid
+            times.append(item.t_s)
+            snapshots.append(item.snapshot)
         return TransientResult(
             chip=self.chip,
             grid=grid,

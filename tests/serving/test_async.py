@@ -1,0 +1,221 @@
+"""Session-level async handles and the engine's future-based fan-out.
+
+``ThermalSession.submit`` answers a future; ``ThermalSession.solve_many``
+fans a mixed query list out across the session's batch path in one call;
+``MicroBatchEngine.solve_many`` rides ``submit_many`` so one slow group in
+a fan-out cannot serialise the others.
+"""
+
+import threading
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro.api.session import ThermalSession
+from repro.serving.backends import Backend
+from repro.serving.engine import MicroBatchEngine
+from repro.serving.request import ThermalRequest, ThermalResult
+
+RES = 10
+
+
+class TestSessionSubmit:
+    @pytest.fixture(scope="class")
+    def session(self):
+        return ThermalSession()
+
+    def test_submit_answers_a_future_matching_solve(self, session):
+        future = session.submit("chip1", total_power_W=40.0, resolution=RES)
+        assert isinstance(future, Future)
+        async_result = future.result(timeout=120)
+        blocking = session.solve("chip1", total_power_W=40.0, resolution=RES)
+        assert async_result.max_K == blocking.max_K
+        assert async_result.mean_K == blocking.mean_K
+        assert async_result.backend == "fvm"
+
+    def test_submit_validates_eagerly(self, session):
+        # Bad inputs raise in the caller's thread, not inside the future.
+        with pytest.raises(KeyError):
+            session.submit("no_such_chip", total_power_W=10.0)
+        with pytest.raises(ValueError):
+            session.submit("chip1", total_power_W=10.0, powers={"a/b": 1.0})
+
+    def test_concurrent_submits_all_land(self, session):
+        futures = [
+            session.submit("chip1", total_power_W=20.0 + i, resolution=RES)
+            for i in range(6)
+        ]
+        results = [f.result(timeout=120) for f in futures]
+        maxes = [r.max_K for r in results]
+        assert maxes == sorted(maxes)  # more watts, more kelvin
+
+
+class TestSessionSolveMany:
+    @pytest.fixture(scope="class")
+    def session(self):
+        return ThermalSession()
+
+    def test_fan_out_matches_individual_solves(self, session):
+        queries = [
+            {"chip": "chip1", "total_power_W": 30.0, "resolution": RES},
+            {"chip": "chip2", "total_power_W": 45.0, "resolution": RES},
+            {"chip": "chip1", "total_power_W": 35.0, "resolution": RES,
+             "backend": "hotspot"},
+        ]
+        results = session.solve_many(queries)
+        assert len(results) == 3
+        for query, result in zip(queries, results):
+            reference = session.solve(**{
+                {"total_power_W": "total_power_W"}.get(k, k): v
+                for k, v in query.items()
+            })
+            assert result.chip == reference.chip
+            assert result.max_K == reference.max_K
+            assert result.backend == reference.backend
+
+    def test_results_come_back_in_query_order(self, session):
+        queries = [
+            {"chip": "chip2", "total_power_W": 50.0, "resolution": RES},
+            {"chip": "chip1", "total_power_W": 20.0, "resolution": RES},
+            {"chip": "chip2", "total_power_W": 51.0, "resolution": RES},
+        ]
+        results = session.solve_many(queries)
+        assert [r.chip for r in results] == ["chip2", "chip1", "chip2"]
+        assert results[2].max_K > results[0].max_K
+
+    def test_empty_and_invalid_queries(self, session):
+        assert session.solve_many([]) == []
+        with pytest.raises(ValueError, match="query 1"):
+            session.solve_many([
+                {"chip": "chip1", "total_power_W": 10.0},
+                {"chip": "chip1", "wattage": 10.0},
+            ])
+        with pytest.raises(ValueError, match="'chip'"):
+            session.solve_many([{"total_power_W": 10.0}])
+
+
+class _SlowBackend(Backend):
+    """Blocks until released — stands in for a glacial exact solver."""
+
+    name = "fvm"
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+
+    def solve_batch(self, requests):
+        self.started.set()
+        assert self.release.wait(timeout=60), "test forgot to release the backend"
+        return [_result(r, self.name) for r in requests]
+
+
+class _FastBackend(Backend):
+    """Answers instantly — stands in for the surrogate."""
+
+    name = "hotspot"
+
+    def solve_batch(self, requests):
+        return [_result(r, self.name) for r in requests]
+
+
+def _result(request, backend):
+    return ThermalResult(
+        request_id=request.request_id, chip=request.chip,
+        resolution=request.resolution, backend=backend,
+        max_K=330.0, min_K=300.0, mean_K=315.0,
+        total_power_W=request.total_power_W,
+    )
+
+
+class TestEngineFanOut:
+    def test_submit_many_returns_one_future_per_request(self):
+        engine = MicroBatchEngine({"hotspot": _FastBackend()})
+        engine.start()
+        try:
+            requests = [
+                ThermalRequest.create(
+                    "chip1", total_power_W=20.0 + i, resolution=RES,
+                    backend="hotspot",
+                )
+                for i in range(4)
+            ]
+            futures = engine.submit_many(requests)
+            assert len(futures) == 4
+            results = [f.result(timeout=60) for f in futures]
+            assert [r.request_id for r in results] == [
+                r.request_id for r in requests
+            ]
+        finally:
+            engine.stop()
+
+    def test_slow_exact_group_does_not_block_surrogate_answers(self):
+        """The regression the async rework exists for: one stuck fvm
+        request in a fan-out must not delay the hotspot answers riding the
+        same ``solve_many`` call."""
+        slow = _SlowBackend()
+        engine = MicroBatchEngine({"fvm": slow, "hotspot": _FastBackend()})
+        engine.start()
+        try:
+            stuck = ThermalRequest.create(
+                "chip1", total_power_W=40.0, resolution=RES, backend="fvm"
+            )
+            quick = [
+                ThermalRequest.create(
+                    "chip1", total_power_W=20.0 + i, resolution=RES,
+                    backend="hotspot",
+                )
+                for i in range(3)
+            ]
+            futures = engine.submit_many([stuck, *quick])
+            assert slow.started.wait(timeout=30)
+            # Every surrogate answer lands while the fvm batch is still
+            # parked inside its backend.
+            for future in futures[1:]:
+                assert future.result(timeout=30).backend == "hotspot"
+            assert not futures[0].done()
+            slow.release.set()
+            assert futures[0].result(timeout=30).backend == "fvm"
+        finally:
+            slow.release.set()
+            engine.stop()
+
+    def test_solve_many_shares_one_timeout_budget(self):
+        slow = _SlowBackend()
+        engine = MicroBatchEngine({"fvm": slow})
+        engine.start()
+        try:
+            requests = [
+                ThermalRequest.create(
+                    "chip1", total_power_W=20.0 + i, resolution=RES,
+                    backend="fvm",
+                )
+                for i in range(3)
+            ]
+            started = time.monotonic()
+            with pytest.raises(TimeoutError):
+                engine.solve_many(requests, timeout=0.5)
+            elapsed = time.monotonic() - started
+            # One shared budget, not 0.5 s per request.
+            assert elapsed < 1.4
+        finally:
+            slow.release.set()
+            engine.stop()
+
+    def test_solve_many_preserves_request_order(self):
+        engine = MicroBatchEngine({"hotspot": _FastBackend()})
+        engine.start()
+        try:
+            requests = [
+                ThermalRequest.create(
+                    "chip2", total_power_W=30.0 + i, resolution=RES,
+                    backend="hotspot",
+                )
+                for i in range(5)
+            ]
+            results = engine.solve_many(requests, timeout=60)
+            assert [r.request_id for r in results] == [
+                r.request_id for r in requests
+            ]
+        finally:
+            engine.stop()

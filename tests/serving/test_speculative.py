@@ -1,0 +1,232 @@
+"""Differential suite for ``POST /solve?mode=speculative``.
+
+The speculative stream's contract is *exactness by construction*: the
+second (``event: exact``) frame must be byte-for-byte the answer the
+blocking ``mode=exact`` endpoint gives for the same body — same engine
+path, same session cache, same JSON rounding — for every registered chip
+at every tested resolution.  The first (``event: speculative``) frame is
+a fast surrogate answer whose provenance names the game being played:
+``speculative: true`` plus the backend the exact answer will come from.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.chip.designs import list_chips
+from repro.data.generation import DatasetSpec, generate_dataset
+from repro.operators.factory import build_operator, save_operator
+from repro.serving.backends import build_backends
+from repro.serving.engine import MicroBatchEngine
+from repro.serving.server import ThermalServer
+from repro.training.trainer import Trainer, TrainingConfig
+
+RES = 10
+RESOLUTIONS = (10, 12)
+
+#: Serving metadata that legitimately differs between two solves of the
+#: same physical query (ids, wall-clock, batching, cache provenance).
+VOLATILE_KEYS = {
+    "request_id", "solve_seconds", "latency_seconds", "batch_size",
+    "trace", "cached", "provenance",
+}
+
+
+def _post_json(url, body, headers=None):
+    request = urllib.request.Request(
+        url, data=json.dumps(body).encode("utf-8"), method="POST",
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _post_stream(url, body, headers=None):
+    """POST and return the raw SSE body text."""
+    request = urllib.request.Request(
+        url, data=json.dumps(body).encode("utf-8"), method="POST",
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        assert response.headers["Content-Type"].startswith("text/event-stream")
+        return response.read().decode("utf-8")
+
+
+def _parse_sse(text):
+    """SSE body -> list of (id, event, data-dict) frames (comments skipped)."""
+    frames = []
+    for block in text.split("\n\n"):
+        fields = {}
+        for line in block.splitlines():
+            if not line or line.startswith(":"):
+                continue
+            name, _, value = line.partition(":")
+            fields[name] = value.lstrip()
+        if "data" in fields:
+            frames.append(
+                (int(fields["id"]), fields["event"], json.loads(fields["data"]))
+            )
+    return frames
+
+
+def _stable(body):
+    """The physically meaningful slice of one solve answer."""
+    return {key: value for key, value in body.items() if key not in VOLATILE_KEYS}
+
+
+@pytest.fixture(scope="module")
+def trained_model_path(tmp_path_factory):
+    """A tiny FNO surrogate trained for chip1 at the test resolution."""
+    dataset = generate_dataset(
+        DatasetSpec(chip_name="chip1", resolution=RES, num_samples=8, seed=7)
+    )
+    model = build_operator(
+        "fno",
+        dataset.num_input_channels,
+        dataset.num_output_channels,
+        {"width": 8, "modes1": 3, "modes2": 3},
+        np.random.default_rng(0),
+    )
+    trainer = Trainer(model, TrainingConfig(epochs=1, batch_size=4, seed=0))
+    trainer.fit(dataset)
+    path = tmp_path_factory.mktemp("models") / "fno_chip1.npz"
+    save_operator(
+        model,
+        str(path),
+        input_normalizer=trainer.input_normalizer,
+        output_normalizer=trainer.output_normalizer,
+        chip_name=dataset.chip_name,
+        resolution=dataset.resolution,
+    )
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def server(trained_model_path):
+    engine = MicroBatchEngine(
+        build_backends(model_paths=[trained_model_path]),
+        max_batch_size=16,
+        max_wait_ms=2.0,
+    )
+    with ThermalServer(engine, port=0) as running:
+        yield running
+
+
+class TestDifferentialExactness:
+    @pytest.mark.parametrize("chip", list_chips())
+    @pytest.mark.parametrize("resolution", RESOLUTIONS)
+    def test_final_frame_is_bitwise_the_blocking_answer(
+        self, server, chip, resolution
+    ):
+        body = {"chip": chip, "total_power": 42.0, "resolution": resolution}
+        frames = _parse_sse(_post_stream(server.url + "/solve?mode=speculative", body))
+        kinds = [kind for _, kind, _ in frames]
+        assert kinds == ["speculative", "exact"]
+        status, blocking = _post_json(server.url + "/solve?mode=exact", body)
+        assert status == 200
+        exact_frame = frames[-1][2]
+        assert _stable(exact_frame) == _stable(blocking)
+
+    def test_exact_equals_default_mode_too(self, server):
+        body = {"chip": "chip1", "total_power": 33.0, "resolution": RES}
+        status, default_mode = _post_json(server.url + "/solve", body)
+        assert status == 200
+        frames = _parse_sse(_post_stream(server.url + "/solve?mode=speculative", body))
+        assert _stable(frames[-1][2]) == _stable(default_mode)
+
+    def test_include_maps_survive_the_stream_bitwise(self, server):
+        body = {
+            "chip": "chip1", "total_power": 51.0, "resolution": RES,
+            "include_maps": True,
+        }
+        frames = _parse_sse(_post_stream(server.url + "/solve?mode=speculative", body))
+        status, blocking = _post_json(server.url + "/solve?mode=exact", body)
+        assert status == 200
+        exact_frame = frames[-1][2]
+        assert exact_frame["layer_maps"] == blocking["layer_maps"]
+        assert _stable(exact_frame) == _stable(blocking)
+
+
+class TestSpeculativeFirstFrame:
+    def test_provenance_names_the_game(self, server):
+        body = {"chip": "chip2", "total_power": 40.0, "resolution": RES}
+        frames = _parse_sse(_post_stream(server.url + "/solve?mode=speculative", body))
+        seq, kind, first = frames[0]
+        assert seq == 1 and kind == "speculative"
+        assert first["provenance"]["speculative"] is True
+        assert first["provenance"]["requested_backend"] == "fvm"
+        # chip2 has no trained operator -> the compact model answers first.
+        assert first["backend"] == "hotspot"
+
+    def test_trained_operator_is_preferred_as_surrogate(self, server):
+        body = {"chip": "chip1", "total_power": 40.0, "resolution": RES}
+        frames = _parse_sse(_post_stream(server.url + "/solve?mode=speculative", body))
+        assert frames[0][2]["backend"] == "operator"
+
+    def test_exact_frame_carries_error_vs_provenance(self, server):
+        body = {"chip": "chip1", "total_power": 47.0, "resolution": RES}
+        frames = _parse_sse(_post_stream(server.url + "/solve?mode=speculative", body))
+        exact_frame = frames[-1][2]
+        provenance = exact_frame["provenance"]
+        assert provenance["speculative"] is False
+        assert provenance["surrogate_backend"] == "operator"
+        deltas = provenance["error_vs_speculative"]
+        assert set(deltas) >= {"delta_max_K", "delta_mean_K"}
+        # The correction is the exact answer minus the surrogate's.
+        speculative_frame = frames[0][2]
+        expected = round(exact_frame["max_K"] - speculative_frame["max_K"], 5)
+        assert round(deltas["delta_max_K"], 5) == pytest.approx(expected, abs=1e-4)
+
+    def test_trace_ids_are_stamped_and_distinct(self, server):
+        body = {"chip": "chip1", "total_power": 48.5, "resolution": RES}
+        frames = _parse_sse(_post_stream(server.url + "/solve?mode=speculative", body))
+        first, final = frames[0][2], frames[-1][2]
+        assert first["trace"]["trace_id"]
+        assert final["trace"]["trace_id"]
+        assert first["trace"]["trace_id"] != final["trace"]["trace_id"]
+
+
+class TestSpeculativeEdges:
+    def test_unknown_mode_is_400(self, server):
+        status, body = _post_json(
+            server.url + "/solve?mode=psychic",
+            {"chip": "chip1", "total_power": 30.0, "resolution": RES},
+        )
+        assert status == 400
+        assert "psychic" in body["error"]
+
+    def test_surrogate_backend_request_needs_a_distinct_surrogate(self, server):
+        # Asking for the hotspot backend speculatively: the operator (loaded
+        # for chip1) still serves as the fast first answer.
+        body = {
+            "chip": "chip1", "total_power": 30.0, "resolution": RES,
+            "backend": "hotspot",
+        }
+        frames = _parse_sse(_post_stream(server.url + "/solve?mode=speculative", body))
+        assert frames[0][2]["backend"] == "operator"
+        assert frames[-1][2]["backend"] == "hotspot"
+
+    def test_admission_errors_stay_http_statuses(self, server):
+        status, body = _post_json(
+            server.url + "/solve?mode=speculative",
+            {"chip": "no_such_chip", "total_power": 30.0},
+        )
+        assert status == 400
+        assert "unknown chip" in body["error"]
+
+    def test_speculative_counter_advances(self, server):
+        with urllib.request.urlopen(server.url + "/stats", timeout=60) as response:
+            before = json.loads(response.read())["speculative_endpoint"]["requests"]
+        _post_stream(
+            server.url + "/solve?mode=speculative",
+            {"chip": "chip1", "total_power": 36.0, "resolution": RES},
+        )
+        with urllib.request.urlopen(server.url + "/stats", timeout=60) as response:
+            after = json.loads(response.read())["speculative_endpoint"]["requests"]
+        assert after == before + 1
