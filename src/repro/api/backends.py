@@ -108,11 +108,16 @@ class FVMBackendAdapter:
         resolution: int,
         cells_per_layer: int = 2,
         method: str = "direct",
+        factorization: str = "auto",
     ):
         self.chip = chip
         self.resolution = int(resolution)
         self.solver = FVMSolver(
-            chip, nx=self.resolution, cells_per_layer=cells_per_layer, method=method
+            chip,
+            nx=self.resolution,
+            cells_per_layer=cells_per_layer,
+            method=method,
+            factorization=factorization,
         )
         # Serialise solves: the adapter is pooled per (chip, resolution) and
         # engine sharding normally gives it one worker, but the exact-refine
@@ -150,7 +155,13 @@ class FVMBackendAdapter:
                 else None
             ),
             values=field.values if include_values else None,
-            provenance={"source": "fvm", "method": self.solver.method},
+            provenance={
+                "source": "fvm",
+                "method": self.solver.method,
+                # The *resolved* kernel ("cholmod"/"lu"), not the request:
+                # provenance names what actually produced the bits.
+                "kernel": self.solver.resolved_kernel,
+            },
         )
 
     def solve(
@@ -196,6 +207,8 @@ class FVMBackendAdapter:
             "resolution": self.resolution,
             "method": self.solver.method,
             "cells_per_layer": self.solver.cells_per_layer,
+            "factorization": self.solver.factorization,
+            "kernel": self.solver.resolved_kernel,
         }
 
 
@@ -319,13 +332,17 @@ class TransientBackendAdapter:
         cells_per_layer: int = 2,
         horizon_time_constants: float = 8.0,
         steps_per_time_constant: int = 4,
+        factorization: str = "auto",
     ):
         if horizon_time_constants <= 0 or steps_per_time_constant < 1:
             raise ValueError("the transient horizon and step density must be positive")
         self.chip = chip
         self.resolution = int(resolution)
         self.solver = TransientFVMSolver(
-            chip, nx=self.resolution, cells_per_layer=cells_per_layer
+            chip,
+            nx=self.resolution,
+            cells_per_layer=cells_per_layer,
+            factorization=factorization,
         )
         self.horizon_time_constants = horizon_time_constants
         self.steps_per_time_constant = steps_per_time_constant
@@ -582,6 +599,7 @@ class TransientBackendAdapter:
             "resolution": self.resolution,
             "horizon_time_constants": self.horizon_time_constants,
             "steps_per_time_constant": self.steps_per_time_constant,
+            "factorization": self.solver.factorization,
         }
 
 

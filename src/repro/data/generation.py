@@ -35,6 +35,7 @@ from repro.data.dataset import ThermalDataset
 from repro.data.power import PowerCase, PowerSampler
 from repro.runtime.plane import ExecutionPlane, PlaneTask, SerialPlane
 from repro.runtime.tasks import SolverSpec, build_fvm_solver, generate_batch, solver_state_key
+from repro.solvers.factor import resolve_factorization, validate_factorization
 from repro.solvers.fvm import FVMSolver, SOLVER_VERSION, TemperatureField
 from repro.solvers.voxelize import GridGeometry, build_geometry
 
@@ -56,22 +57,31 @@ class DatasetSpec:
     core_bias: float = 3.0
     idle_probability: float = 0.15
     total_power_range_W: Optional[Tuple[float, float]] = None
+    #: SPD kernel request forwarded to the solver (see
+    #: :mod:`repro.solvers.factor`).  The cache key embeds the *resolved*
+    #: kernel, so an "auto" spec regenerates when CHOLMOD (dis)appears.
+    factorization: str = "auto"
 
     def cache_key(self) -> str:
         """A filesystem-safe identifier for caching.
 
         Embeds the solver pipeline version so cached datasets regenerate
-        whenever the solver changes.
+        whenever the solver changes, and the **resolved** factorization
+        kernel (``cholmod``/``lu``, not the request) so a dataset generated
+        under one kernel is never served to a host resolving to another —
+        the kernels agree only to ~1e-9 K, and cached bits must name what
+        produced them.
         """
         power = (
             "default"
             if self.total_power_range_W is None
             else f"{self.total_power_range_W[0]:g}-{self.total_power_range_W[1]:g}"
         )
+        kernel = resolve_factorization(self.factorization)
         return (
             f"{self.chip_name}_r{self.resolution}_n{self.num_samples}_s{self.seed}"
             f"_c{self.cells_per_layer}_b{self.core_bias:g}_i{self.idle_probability:g}_p{power}"
-            f"_v{SOLVER_VERSION}"
+            f"_k{kernel}_v{SOLVER_VERSION}"
         )
 
 
@@ -141,6 +151,7 @@ def generate_dataset(
         chip=chip,
         resolution=spec.resolution,
         cells_per_layer=spec.cells_per_layer,
+        factorization=validate_factorization(spec.factorization),
         geometry=geometry,
     )
     state_key = solver_state_key(solver_spec)
@@ -208,6 +219,7 @@ def generate_multifidelity_pair(
     chip: Optional[ChipStack] = None,
     plane: Optional[ExecutionPlane] = None,
     share_geometry: bool = True,
+    factorization: str = "auto",
 ) -> Tuple[ThermalDataset, ThermalDataset]:
     """Generate the low-fidelity / high-fidelity dataset pair for transfer learning.
 
@@ -241,6 +253,7 @@ def generate_multifidelity_pair(
             num_samples=num_low,
             seed=seed,
             cells_per_layer=cells_per_layer,
+            factorization=factorization,
         ),
         chip=chip,
         batch_size=batch_size,
@@ -254,6 +267,7 @@ def generate_multifidelity_pair(
             num_samples=num_high,
             seed=seed + 1,
             cells_per_layer=cells_per_layer,
+            factorization=factorization,
         ),
         chip=chip,
         batch_size=batch_size,

@@ -65,11 +65,19 @@ class SolverSpec:
     resolution: int
     cells_per_layer: int = 2
     method: str = "direct"
+    factorization: str = "auto"
     geometry: Optional[GridGeometry] = None
 
 
 def solver_state_key(spec: SolverSpec) -> Tuple:
-    """Warm-state cache key of a generation solver (geometry-independent)."""
+    """Warm-state cache key of a generation solver (geometry-independent).
+
+    The key embeds the *requested* ``factorization`` string: the resolution
+    to a concrete kernel is pure in ``CHOLMOD_AVAILABLE`` (see
+    :func:`repro.solvers.factor.resolve_factorization`), so every worker on
+    one host resolves a request identically, and distinct requests never
+    share a warm factorisation even when they currently resolve alike.
+    """
     return (
         "fvm-solver",
         spec.chip.name,
@@ -77,6 +85,7 @@ def solver_state_key(spec: SolverSpec) -> Tuple:
         int(spec.resolution),
         int(spec.cells_per_layer),
         spec.method,
+        spec.factorization,
     )
 
 
@@ -87,6 +96,7 @@ def build_fvm_solver(spec: SolverSpec) -> FVMSolver:
         nx=spec.resolution,
         cells_per_layer=spec.cells_per_layer,
         method=spec.method,
+        factorization=spec.factorization,
         geometry=spec.geometry,
     )
     solver.prepare()
@@ -120,10 +130,16 @@ class BackendSpec:
     resolution: int
     backend: str
     cells_per_layer: int = 2
+    factorization: str = "auto"
 
 
 def backend_state_key(spec: BackendSpec) -> Tuple:
-    """Warm-state cache key of a backend adapter."""
+    """Warm-state cache key of a backend adapter.
+
+    Like :func:`solver_state_key`, the key embeds the requested
+    ``factorization`` so workers never answer a ``"lu"`` request with a
+    ``"cholesky"``-warmed adapter (or vice versa).
+    """
     return (
         "backend",
         spec.backend,
@@ -131,6 +147,7 @@ def backend_state_key(spec: BackendSpec) -> Tuple:
         chip_digest(spec.chip),
         int(spec.resolution),
         int(spec.cells_per_layer),
+        spec.factorization,
     )
 
 
@@ -151,13 +168,19 @@ def build_backend_adapter(spec: BackendSpec) -> Any:
 
     if spec.backend == "fvm":
         return FVMBackendAdapter(
-            spec.chip, spec.resolution, cells_per_layer=spec.cells_per_layer
+            spec.chip,
+            spec.resolution,
+            cells_per_layer=spec.cells_per_layer,
+            factorization=spec.factorization,
         ).prepare()
     if spec.backend == "hotspot":
         return HotSpotBackendAdapter(spec.chip, spec.resolution)
     if spec.backend == "transient":
         return TransientBackendAdapter(
-            spec.chip, spec.resolution, cells_per_layer=spec.cells_per_layer
+            spec.chip,
+            spec.resolution,
+            cells_per_layer=spec.cells_per_layer,
+            factorization=spec.factorization,
         )
     raise ValueError(
         f"backend '{spec.backend}' cannot be rebuilt on a plane worker; "

@@ -19,17 +19,21 @@ solves on one chip/grid):
 
 * *Prepare* (once per solver): voxelize the chip geometry
   (:func:`~repro.solvers.voxelize.build_geometry`), assemble the sparse
-  conduction matrix and boundary right-hand side, and — for the direct
-  method — compute a sparse LU factorisation
-  (:func:`scipy.sparse.linalg.splu`).  The matrix depends only on geometry;
-  power enters the discretisation solely through the right-hand side.
+  conduction system **directly in CSC** (the 7-point stencil's column
+  structure is known in closed form, so no COO intermediate and no
+  ``tocsc()`` copy are ever built) and — for the direct method — factorise
+  it with the SPD kernel selected by ``factorization=``
+  (:mod:`repro.solvers.factor`: CHOLMOD Cholesky when available, sparse LU
+  otherwise).  The matrix depends only on geometry; power enters the
+  discretisation solely through the right-hand side.
 * *Solve* (per power case): rasterise the power assignment to a heat
   source, add it to the cached boundary RHS, and back-substitute against
   the cached factorisation.  :meth:`FVMSolver.solve_batch` stacks many RHS
   vectors into an ``(n, B)`` matrix and solves them in one shot, amortising
   the factorisation across the whole batch.  The CG path reuses the cached
-  matrix and diagonal preconditioner and warm-starts each solve from the
-  previous solution.
+  matrix and diagonal preconditioner and warm-starts each solve from a
+  prolonged coarse-grid solution (``coarse_warm_start=``) or the previous
+  answer.
 """
 
 from __future__ import annotations
@@ -43,12 +47,28 @@ from scipy import sparse
 from scipy.sparse import linalg as sparse_linalg
 
 from repro.chip.stack import ChipStack
+from repro.solvers.factor import SPDFactor, factorize, validate_factorization
 from repro.solvers.voxelize import GridGeometry, VoxelGrid, build_geometry
 
 #: Bumped whenever the solver pipeline changes in a way that can alter (even
 #: in the last floating-point bits) the fields it produces.  Dataset cache
 #: keys embed this token so stale datasets regenerate automatically.
-SOLVER_VERSION = "2"
+#: "3": direct CSC assembly + selectable SPD factorization kernel.
+SOLVER_VERSION = "3"
+
+#: Documented worst-case |error| vs the float64 direct answer of the
+#: float32 **refined** batch path (one mixed-precision refinement sweep).
+#: Measured ~3e-5 K on the benchmark chips; the bar leaves margin.
+FLOAT32_REFINED_BOUND_K = 1e-3
+
+#: Documented worst-case |error| vs the float64 direct answer of the
+#: float32 **single-sweep** path (``refine=False``: no refinement, one
+#: triangular sweep on the ambient-shifted rise system).  Measured
+#: 2e-3..1e-2 K across the benchmark chips at resolutions 48-80; the bound
+#: leaves margin for other designs.  Fine for surrogate-training data
+#: (operator errors are >= 0.1 K), not for answers served under the
+#: 1e-3 K exactness bar — use the refined path there.
+FLOAT32_SINGLE_SWEEP_BOUND_K = 5e-2
 
 
 @dataclass
@@ -117,20 +137,20 @@ def _harmonic_mean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 class _PreparedSystem:
     """Cached assembly products shared by every solve on one geometry.
 
-    ``matrix`` and ``rhs_boundary`` capture everything that is independent
-    of the power assignment; ``cell_volumes`` converts a volumetric heat
-    source into the RHS source term.  ``lu`` is the sparse LU factorisation
-    (direct method, built lazily on first use); ``diagonal`` backs the CG
-    preconditioner.
+    ``matrix`` (CSC, assembled directly in that format) and
+    ``rhs_boundary`` capture everything that is independent of the power
+    assignment; ``cell_volumes`` converts a volumetric heat source into the
+    RHS source term.  ``factor`` is the SPD factorisation (direct method,
+    built lazily on first use); ``diagonal`` backs the CG preconditioner.
     """
 
-    matrix: sparse.csr_matrix
+    matrix: sparse.csc_matrix
     rhs_boundary: np.ndarray
     cell_volumes: np.ndarray
-    lu: Optional[sparse_linalg.SuperLU] = None
+    factor: Optional[SPDFactor] = None
     diagonal: Optional[np.ndarray] = None
     #: Single-precision factorisation backing ``solve_batch(dtype="float32")``;
-    #: built lazily on first use, independent of the float64 ``lu``.
+    #: built lazily on first use, independent of the float64 ``factor``.
     lu_single: Optional[sparse_linalg.SuperLU] = None
 
 
@@ -148,10 +168,23 @@ class FVMSolver:
         well enough for the benchmark chips; increase for convergence
         studies).
     method:
-        ``"direct"`` (sparse LU, factorised once and reused across solves)
-        or ``"cg"`` (conjugate gradients with a diagonal preconditioner,
-        warm-started from the previous solution).  Direct is faster for the
-        grid sizes used in the benchmarks.
+        ``"direct"`` (sparse SPD factorisation, computed once and reused
+        across solves) or ``"cg"`` (conjugate gradients with a diagonal
+        preconditioner, warm-started from a coarse-grid solve or the
+        previous solution).  Direct is faster for the grid sizes used in
+        the benchmarks.
+    factorization:
+        Which SPD kernel backs the direct method: ``"auto"`` (CHOLMOD
+        Cholesky when :data:`~repro.solvers.factor.CHOLMOD_AVAILABLE`,
+        sparse LU otherwise), ``"cholesky"`` (CHOLMOD, falling back to the
+        bitwise-identical LU call when it is not importable) or ``"lu"``
+        (always SuperLU).  See :mod:`repro.solvers.factor`.
+    coarse_warm_start:
+        Optional in-plane coarsening factor (e.g. ``2``).  The CG method
+        then warm-starts every solve from a direct solve on the
+        ``coarsen(factor)`` geometry, prolonged back to the fine grid —
+        fewer CG iterations for one cheap coarse back-substitution.  Must
+        divide ``nx`` and ``ny``; ignored by the direct method.
     geometry:
         An optional pre-built :class:`~repro.solvers.voxelize.GridGeometry`
         to adopt instead of voxelising ``chip`` lazily — callers that share
@@ -168,6 +201,8 @@ class FVMSolver:
         cells_per_layer: int = 2,
         method: str = "direct",
         cg_tolerance: float = 1e-9,
+        factorization: str = "auto",
+        coarse_warm_start: Optional[int] = None,
         geometry: Optional[GridGeometry] = None,
     ):
         if method not in ("direct", "cg"):
@@ -178,6 +213,17 @@ class FVMSolver:
         self.cells_per_layer = cells_per_layer
         self.method = method
         self.cg_tolerance = cg_tolerance
+        self.factorization = validate_factorization(factorization)
+        if coarse_warm_start is not None:
+            coarse_warm_start = int(coarse_warm_start)
+            if coarse_warm_start < 2:
+                raise ValueError("coarse_warm_start must be a coarsening factor >= 2")
+            if self.nx % coarse_warm_start or self.ny % coarse_warm_start:
+                raise ValueError(
+                    f"coarse_warm_start factor {coarse_warm_start} does not divide "
+                    f"the {self.nx}x{self.ny} resolution"
+                )
+        self.coarse_warm_start = coarse_warm_start
         if geometry is not None:
             # Structural fingerprints, not names: a same-named but modified
             # design would otherwise pair this solver's cooling/dimensions
@@ -196,6 +242,10 @@ class FVMSolver:
         self._geometry: Optional[GridGeometry] = geometry
         self._prepared: Optional[_PreparedSystem] = None
         self._warm_start: Optional[np.ndarray] = None
+        self._coarse: Optional["FVMSolver"] = None
+        #: CG iteration count of the most recent iterative solve (None for
+        #: the direct method); the warm-start benchmarks read this.
+        self.last_cg_iterations: Optional[int] = None
 
     # ------------------------------------------------------------------
     @property
@@ -212,8 +262,8 @@ class FVMSolver:
 
         The float32 batch path uses this directly: it needs the matrix and
         boundary data but factorises in single precision, so building the
-        float64 LU would double its time-to-first-solve and hold an unused
-        factorisation for the solver's lifetime.
+        float64 factor would double its time-to-first-solve and hold an
+        unused factorisation for the solver's lifetime.
         """
         if self._prepared is None:
             geometry = self.geometry
@@ -230,11 +280,23 @@ class FVMSolver:
         the power rasterisation and the triangular back-substitution.
         """
         prepared = self._prepare_assembly()
-        if self.method == "direct" and prepared.lu is None:
-            prepared.lu = sparse_linalg.splu(prepared.matrix.tocsc())
+        if self.method == "direct" and prepared.factor is None:
+            prepared.factor = factorize(prepared.matrix, self.factorization)
         if self.method == "cg" and prepared.diagonal is None:
             prepared.diagonal = prepared.matrix.diagonal()
         return prepared
+
+    @property
+    def resolved_kernel(self) -> str:
+        """The SPD kernel the direct method runs: ``"cholmod"`` or ``"lu"``.
+
+        Resolved from the ``factorization`` knob without factorising, so
+        cache keys and provenance can name the kernel before (or without)
+        :meth:`prepare`.
+        """
+        from repro.solvers.factor import resolve_factorization
+
+        return resolve_factorization(self.factorization)
 
     # ------------------------------------------------------------------
     def solve(self, power_assignment: Mapping[str, float]) -> TemperatureField:
@@ -244,7 +306,8 @@ class FVMSolver:
         geometry = self.geometry
         heat_source = geometry.rasterize_power(power_assignment)
         rhs = prepared.rhs_boundary + (heat_source * prepared.cell_volumes).ravel()
-        temperatures = self._solve_linear(prepared, rhs)
+        x0 = self._coarse_guess(power_assignment)
+        temperatures = self._solve_linear(prepared, rhs, x0=x0)
         elapsed = time.perf_counter() - start
         grid = geometry.grid_with_source(heat_source)
         values = temperatures.reshape(geometry.nz, geometry.ny, geometry.nx)
@@ -254,29 +317,38 @@ class FVMSolver:
         self,
         power_assignments: Sequence[Mapping[str, float]],
         dtype: Optional[str] = None,
+        refine: bool = True,
     ) -> List[TemperatureField]:
         """Solve many power cases against the single cached factorisation.
 
         The RHS vectors are stacked into an ``(n, B)`` matrix and solved in
         one pass (direct method), so the factorisation and all symbolic work
         are paid once for the whole batch.  The CG path falls back to a loop
-        that warm-starts each case from the previous solution.
+        that warm-starts each case from a coarse-grid solve (when
+        ``coarse_warm_start`` is set) or the previous solution.
 
         ``dtype`` selects the precision of the stacked back-substitution:
         ``None``/``"float64"`` is the exact historical path; ``"float32"``
-        solves against a lazily built single-precision factorisation whose
-        L/U factors are half the bytes, halving the memory traffic of each
-        triangular sweep.  A float32 factorisation of this matrix alone is
-        only good to a few mK (the conduction matrix is ill-conditioned), so
-        the path solves for the temperature *rise* above ambient and applies
-        one mixed-precision refinement sweep, landing within ~3e-5 K of the
-        float64 answer — the refinement costs a second sweep, so use the
-        benchmark's measured ratio, not the naive 2x, when sizing a
-        deployment.  Only the direct method supports it; the returned
-        fields carry float32 values.
+        solves against a lazily built single-precision LU whose L/U factors
+        are half the bytes, halving the memory traffic of each triangular
+        sweep.  The float32 path solves for the temperature *rise* above
+        ambient (the rise is tens of kelvin instead of ~350 K, which keeps
+        the round-off well below the bounds quoted here) and then:
 
-        Each returned :class:`TemperatureField` carries the amortised
-        per-case wall-clock time in ``solve_seconds``.
+        * ``refine=True`` (default) applies one mixed-precision refinement
+          sweep — a float64 SpMV residual re-solved in float32 — landing
+          within :data:`FLOAT32_REFINED_BOUND_K` (measured ~3e-5 K) of the
+          float64 answer at the cost of a second triangular sweep;
+        * ``refine=False`` is the honest **single-sweep** mode for
+          surrogate-training data generation: one triangular sweep, within
+          :data:`FLOAT32_SINGLE_SWEEP_BOUND_K` (measured 2e-3..1e-2 K) of
+          the float64 answer.  Training data tolerates that easily
+          (operator errors are two orders larger), serving answers under
+          the 1e-3 K bar do not.
+
+        Only the direct method supports float32; the returned fields carry
+        float32 values.  Each returned :class:`TemperatureField` carries
+        the amortised per-case wall-clock time in ``solve_seconds``.
         """
         resolved_dtype = np.dtype(np.float64 if dtype is None else dtype)
         if resolved_dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
@@ -289,48 +361,57 @@ class FVMSolver:
                 "float32 RHS stacking requires the direct method (the CG path "
                 "iterates in float64)"
             )
+        if not refine and not single:
+            raise ValueError(
+                "refine=False is the float32 single-sweep mode; the float64 "
+                "path has no refinement sweep to skip"
+            )
         if not power_assignments:
             return []
         start = time.perf_counter()
         # The float32 path factorises in single precision only; do not build
-        # (or wait for) the float64 LU it would never use.
+        # (or wait for) the float64 factor it would never use.
         prepared = self._prepare_assembly() if single else self.prepare()
         geometry = self.geometry
         sources = [geometry.rasterize_power(a) for a in power_assignments]
+        power_columns = np.stack(
+            [(s * prepared.cell_volumes).ravel() for s in sources], axis=1
+        )
         if single:
             # Solve for the temperature *rise* above ambient: the boundary
             # RHS equals ``A @ (ambient * 1)`` exactly (interior row sums are
             # zero; boundary rows sum to their Robin conductance), so
-            # ``A u = power_rhs`` with ``T = ambient + u``.  The rise is
-            # tens of kelvin instead of ~350 K, which keeps the float32
-            # round-off well below 1e-3 K.
+            # ``A u = power_rhs`` with ``T = ambient + u``.
             if prepared.lu_single is None:
                 prepared.lu_single = sparse_linalg.splu(
-                    prepared.matrix.astype(np.float32).tocsc()
+                    prepared.matrix.astype(np.float32)
                 )
-            power_columns = np.stack(
-                [(s * prepared.cell_volumes).ravel() for s in sources], axis=1
-            )
             rises = prepared.lu_single.solve(power_columns.astype(np.float32))
-            # One step of mixed-precision iterative refinement: the residual
-            # is computed with the float64 matrix (a cheap SpMV against the
-            # two float32 triangular sweeps) and its correction re-solved in
-            # float32.  This wipes out the factorisation's condition-number
-            # amplification and keeps the error well under 1e-3 K.
-            residual = power_columns - prepared.matrix @ rises.astype(np.float64)
-            rises = rises + prepared.lu_single.solve(residual.astype(np.float32))
+            if refine:
+                # One step of mixed-precision iterative refinement: the
+                # residual is computed with the float64 matrix (a cheap SpMV
+                # against the two float32 triangular sweeps) and its
+                # correction re-solved in float32.  This wipes out the
+                # factorisation's condition-number amplification.
+                residual = power_columns - prepared.matrix @ rises.astype(np.float64)
+                rises = rises + prepared.lu_single.solve(residual.astype(np.float32))
             solutions = rises + np.float32(self.chip.cooling.ambient_K)
         else:
-            rhs_columns = np.stack(
-                [prepared.rhs_boundary + (s * prepared.cell_volumes).ravel() for s in sources],
-                axis=1,
-            )
+            # Broadcast the power-free boundary RHS over the power-column
+            # matrix in one vectorised add (elementwise identical to the
+            # historical per-column re-stacking, without rebuilding the
+            # boundary vector B times).
+            rhs_columns = prepared.rhs_boundary[:, None] + power_columns
             if self.method == "direct":
-                solutions = prepared.lu.solve(rhs_columns)
+                solutions = prepared.factor.solve(rhs_columns)
             else:
                 solutions = np.empty_like(rhs_columns)
                 for column in range(rhs_columns.shape[1]):
-                    solutions[:, column] = self._solve_linear(prepared, rhs_columns[:, column])
+                    solutions[:, column] = self._solve_linear(
+                        prepared,
+                        rhs_columns[:, column],
+                        x0=self._coarse_guess(power_assignments[column]),
+                    )
         per_case = (time.perf_counter() - start) / len(power_assignments)
 
         fields = []
@@ -346,14 +427,129 @@ class FVMSolver:
 
     # ------------------------------------------------------------------
     def _assemble_system(self, grid):
-        """Build the conduction matrix and power-free boundary RHS.
+        """Build the conduction system directly in CSC format.
 
         ``grid`` may be a :class:`VoxelGrid` or a :class:`GridGeometry` —
         only the geometric fields are read.  Returns ``(matrix,
-        rhs_boundary, cell_volumes)`` where ``rhs_boundary`` holds the
-        ambient (Robin) terms and ``cell_volumes`` (shape ``(nz, 1, 1)``
-        broadcastable to the grid) converts a volumetric heat source into
-        the RHS source term.
+        rhs_boundary, cell_volumes)`` where ``matrix`` is a
+        :class:`scipy.sparse.csc_matrix` with sorted, duplicate-free
+        indices, ``rhs_boundary`` holds the ambient (Robin) terms and
+        ``cell_volumes`` (shape ``(nz, 1, 1)`` broadcastable to the grid)
+        converts a volumetric heat source into the RHS source term.
+
+        The 7-point stencil fixes each CSC column's structure in closed
+        form: by symmetry, column ``j`` holds rows ``j + offset`` for the
+        offsets ``(-nx*ny, -nx, -1, 0, +1, +nx, +nx*ny)`` whose neighbour
+        exists — already in increasing row order.  Laying the seven
+        conductance bands out in that order and compressing the invalid
+        slots yields the canonical CSC arrays directly, with no COO
+        triplets, no duplicate summation and no format conversion before
+        factorisation.  The arrays are bitwise-identical to the COO
+        reference assembly (:meth:`_assemble_system_coo`) converted via
+        ``tocsc()``; the equivalence suite asserts this.
+        """
+        nz, ny, nx = grid.nz, grid.ny, grid.nx
+        dx = self.chip.die_width_mm * 1e-3 / nx
+        dy = self.chip.die_height_mm * 1e-3 / ny
+        dz = grid.dz_mm * 1e-3
+        k = grid.conductivity
+
+        ambient = self.chip.cooling.ambient_K
+        top_htc = self.chip.cooling.effective_top_htc(self.chip.die_area_m2)
+        bottom_htc = self.chip.cooling.secondary_htc
+
+        n = nz * ny * nx
+        diag = np.zeros((nz, ny, nx))
+        rhs = np.zeros((nz, ny, nx))
+        # Seven stencil bands in increasing row-offset order; band 3 is the
+        # diagonal.  ``band_data`` holds the signed matrix entries, ``valid``
+        # marks the slots whose neighbour exists.
+        band_data = np.zeros((7, nz, ny, nx))
+        valid = np.zeros((7, nz, ny, nx), dtype=bool)
+        valid[3] = True
+
+        # x-direction faces
+        if nx > 1:
+            k_face = _harmonic_mean(k[:, :, :-1], k[:, :, 1:])
+            area = dy * dz[:, None, None]
+            conductance = k_face * area / dx
+            diag[:, :, :-1] += conductance
+            diag[:, :, 1:] += conductance
+            band_data[2, :, :, 1:] = -conductance
+            valid[2, :, :, 1:] = True
+            band_data[4, :, :, :-1] = -conductance
+            valid[4, :, :, :-1] = True
+
+        # y-direction faces
+        if ny > 1:
+            k_face = _harmonic_mean(k[:, :-1, :], k[:, 1:, :])
+            area = dx * dz[:, None, None]
+            conductance = k_face * area / dy
+            diag[:, :-1, :] += conductance
+            diag[:, 1:, :] += conductance
+            band_data[1, :, 1:, :] = -conductance
+            valid[1, :, 1:, :] = True
+            band_data[5, :, :-1, :] = -conductance
+            valid[5, :, :-1, :] = True
+
+        # z-direction faces: series conduction through the two half-cells.
+        if nz > 1:
+            k_lower = k[:-1]
+            k_upper = k[1:]
+            resist = (0.5 * dz[:-1])[:, None, None] / k_lower + (0.5 * dz[1:])[:, None, None] / k_upper
+            conductance = (dx * dy) / resist
+            diag[:-1] += conductance
+            diag[1:] += conductance
+            band_data[0, 1:] = -conductance
+            valid[0, 1:] = True
+            band_data[6, :-1] = -conductance
+            valid[6, :-1] = True
+
+        face_area = dx * dy
+        # Top surface: Robin boundary through spreader + sink.  The boundary
+        # conductance is the series combination of the half-cell conduction
+        # and the film coefficient.
+        k_top = k[-1]
+        half_resistance = (0.5 * dz[-1]) / k_top
+        film_resistance = 1.0 / top_htc
+        top_conductance = face_area / (half_resistance + film_resistance)
+        diag[-1] += top_conductance
+        rhs[-1] += top_conductance * ambient
+
+        # Bottom surface: weak package path.
+        if bottom_htc > 0:
+            k_bottom = k[0]
+            half_resistance = (0.5 * dz[0]) / k_bottom
+            film_resistance = 1.0 / bottom_htc
+            bottom_conductance = face_area / (half_resistance + film_resistance)
+            diag[0] += bottom_conductance
+            rhs[0] += bottom_conductance * ambient
+
+        cell_volumes = face_area * dz[:, None, None]
+        band_data[3] = diag
+
+        offsets = np.array([-nx * ny, -nx, -1, 0, 1, nx, nx * ny])
+        columns = np.arange(n)
+        row_of_band = columns[None, :] + offsets[:, None]  # (7, n)
+        # Column-major compression: transpose to (n, 7) so each column's
+        # band entries are contiguous (and, by construction, row-sorted).
+        per_column_valid = valid.reshape(7, n).T
+        flat_valid = per_column_valid.ravel()
+        indices = row_of_band.T.ravel()[flat_valid]
+        data = band_data.reshape(7, n).T.ravel()[flat_valid]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(per_column_valid.sum(axis=1), out=indptr[1:])
+        matrix = sparse.csc_matrix((data, indices, indptr), shape=(n, n))
+        return matrix, rhs.ravel(), cell_volumes
+
+    def _assemble_system_coo(self, grid):
+        """Reference COO assembly (the historical path), kept for equivalence
+        tests and the prepare-time benchmark.
+
+        Builds the same system as :meth:`_assemble_system` through COO
+        triplets coalesced into CSR — the pre-CSC pipeline whose
+        ``tocsc()`` conversion the direct assembly eliminates.  Returns
+        ``(csr_matrix, rhs_boundary, cell_volumes)``.
         """
         nz, ny, nx = grid.nz, grid.ny, grid.nx
         dx = self.chip.die_width_mm * 1e-3 / nx
@@ -380,7 +576,6 @@ class FVMSolver:
             cols.append(idx_b)
             vals.append(-conductance)
 
-        # x-direction faces
         if nx > 1:
             k_face = _harmonic_mean(k[:, :, :-1], k[:, :, 1:])
             area = dy * dz[:, None, None]
@@ -393,7 +588,6 @@ class FVMSolver:
             add_pair(a, b, c)
             add_pair(b, a, c)
 
-        # y-direction faces
         if ny > 1:
             k_face = _harmonic_mean(k[:, :-1, :], k[:, 1:, :])
             area = dx * dz[:, None, None]
@@ -406,7 +600,6 @@ class FVMSolver:
             add_pair(a, b, c)
             add_pair(b, a, c)
 
-        # z-direction faces: series conduction through the two half-cells.
         if nz > 1:
             k_lower = k[:-1]
             k_upper = k[1:]
@@ -421,9 +614,6 @@ class FVMSolver:
             add_pair(b, a, c)
 
         face_area = dx * dy
-        # Top surface: Robin boundary through spreader + sink.  The boundary
-        # conductance is the series combination of the half-cell conduction
-        # and the film coefficient.
         k_top = k[-1]
         half_resistance = (0.5 * dz[-1]) / k_top
         film_resistance = 1.0 / top_htc
@@ -431,7 +621,6 @@ class FVMSolver:
         diag[-1] += top_conductance
         rhs[-1] += top_conductance * ambient
 
-        # Bottom surface: weak package path.
         if bottom_htc > 0:
             k_bottom = k[0]
             half_resistance = (0.5 * dz[0]) / k_bottom
@@ -453,21 +642,62 @@ class FVMSolver:
         return matrix, rhs.ravel(), cell_volumes
 
     # ------------------------------------------------------------------
-    def _solve_linear(self, prepared: _PreparedSystem, rhs: np.ndarray) -> np.ndarray:
+    def _coarse_guess(self, power_assignment: Mapping[str, float]) -> Optional[np.ndarray]:
+        """Prolonged coarse-grid solution as a CG initial iterate.
+
+        Solves the same power case with a direct solver on the
+        ``coarsen(coarse_warm_start)`` geometry (factorised once, cached on
+        this solver) and injects the coarse answer back to the fine grid by
+        piecewise-constant prolongation.  Returns ``None`` when the warm
+        start is disabled or the method is direct (a direct solve gains
+        nothing from an initial guess).
+        """
+        if self.coarse_warm_start is None or self.method != "cg":
+            return None
+        if self._coarse is None:
+            factor = self.coarse_warm_start
+            self._coarse = FVMSolver(
+                self.chip,
+                nx=self.nx // factor,
+                ny=self.ny // factor,
+                cells_per_layer=self.cells_per_layer,
+                method="direct",
+                factorization=self.factorization,
+                geometry=self.geometry.coarsen(factor),
+            )
+        coarse_field = self._coarse.solve(power_assignment)
+        factor = self.coarse_warm_start
+        fine = np.repeat(np.repeat(coarse_field.values, factor, axis=1), factor, axis=2)
+        return fine.ravel()
+
+    def _solve_linear(
+        self,
+        prepared: _PreparedSystem,
+        rhs: np.ndarray,
+        x0: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         if self.method == "direct":
-            return prepared.lu.solve(rhs)
+            return prepared.factor.solve(rhs)
         diagonal = prepared.diagonal
         preconditioner = sparse_linalg.LinearOperator(
             prepared.matrix.shape, matvec=lambda v: v / diagonal
         )
+        iterations = 0
+
+        def count_iteration(_xk):
+            nonlocal iterations
+            iterations += 1
+
         solution, info = sparse_linalg.cg(
             prepared.matrix,
             rhs,
-            x0=self._warm_start,
+            x0=x0 if x0 is not None else self._warm_start,
             rtol=self.cg_tolerance,
             maxiter=20000,
             M=preconditioner,
+            callback=count_iteration,
         )
+        self.last_cg_iterations = iterations
         if info != 0:
             raise RuntimeError(f"conjugate gradients failed to converge (info={info})")
         self._warm_start = solution.copy()

@@ -30,9 +30,9 @@ from typing import Callable, Dict, Iterator, List, Mapping, NamedTuple, Optional
 
 import numpy as np
 from scipy import sparse
-from scipy.sparse import linalg as sparse_linalg
 
 from repro.chip.stack import ChipStack
+from repro.solvers.factor import factorize, validate_factorization
 from repro.solvers.fvm import FVMSolver, TemperatureField
 from repro.solvers.voxelize import VoxelGrid, build_geometry
 
@@ -104,8 +104,11 @@ class TransientFVMSolver:
 
     Parameters
     ----------
-    chip, nx, ny, cells_per_layer:
-        Same meaning as for :class:`~repro.solvers.fvm.FVMSolver`.
+    chip, nx, ny, cells_per_layer, factorization:
+        Same meaning as for :class:`~repro.solvers.fvm.FVMSolver`.  The
+        ``factorization`` kernel choice applies both to the inner steady
+        solver and to the backward-Euler system ``C/dt + A`` (itself SPD:
+        adding the positive diagonal ``C/dt`` only strengthens definiteness).
     """
 
     def __init__(
@@ -114,14 +117,22 @@ class TransientFVMSolver:
         nx: int = 32,
         ny: Optional[int] = None,
         cells_per_layer: int = 2,
+        factorization: str = "auto",
     ):
         self.chip = chip
         self.nx = nx
         self.ny = ny or nx
         self.cells_per_layer = cells_per_layer
-        self._steady = FVMSolver(chip, nx=nx, ny=self.ny, cells_per_layer=cells_per_layer)
+        self.factorization = validate_factorization(factorization)
+        self._steady = FVMSolver(
+            chip,
+            nx=nx,
+            ny=self.ny,
+            cells_per_layer=cells_per_layer,
+            factorization=self.factorization,
+        )
         self._capacity: Optional[np.ndarray] = None
-        self._factor_cache = None  # (dt_s, factor) of the last Euler system
+        self._factor_cache = None  # (dt_s, SPDFactor) of the last Euler system
 
     # ------------------------------------------------------------------
     def _capacity_vector(self, grid: VoxelGrid) -> np.ndarray:
@@ -191,11 +202,13 @@ class TransientFVMSolver:
             state = initial_field.reshape(-1).astype(np.float64).copy()
 
         # The backward-Euler system matrix depends only on dt, so repeated
-        # traces with the same step reuse one factorisation.
+        # traces with the same step reuse one factorisation.  ``matrix`` is
+        # already CSC and diagonal + CSC stays CSC, so no format conversion
+        # happens before the factorisation.
         if self._factor_cache is None or self._factor_cache[0] != dt_s:
             system = sparse.diags(capacity / dt_s) + matrix
-            self._factor_cache = (dt_s, sparse_linalg.factorized(system.tocsc()))
-        factor = self._factor_cache[1]
+            self._factor_cache = (dt_s, factorize(system, self.factorization))
+        factor = self._factor_cache[1].solve
 
         time_varying = callable(power_trace)
         volumes = (grid.dx_m * grid.dy_m * grid.dz_m[:, None, None])
